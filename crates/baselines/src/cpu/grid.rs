@@ -1,0 +1,372 @@
+//! GridGraph-style CPU engine: 2-level hierarchical grid partitioning
+//! with edge-centric streaming (the paper's CPU baseline library, §6.3.2).
+//!
+//! Edges are bucketed into a `P × P` grid of blocks by (source range,
+//! destination range). Each iteration streams entire grid *columns* in
+//! parallel: all edges in column `j` write only to vertex range `j`, so
+//! worker threads own disjoint output slices and need no atomics —
+//! GridGraph's central trick.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use alpha_pim_sparse::partition::equal_ranges;
+use alpha_pim_sparse::Graph;
+
+/// Level / distance marker for unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Statistics of one CPU baseline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuRunStats {
+    /// Iterations executed (BFS levels, relaxation rounds, or power
+    /// iterations).
+    pub iterations: u32,
+    /// Measured wall-clock seconds on this machine.
+    pub wall_seconds: f64,
+    /// Total edges streamed across all iterations.
+    pub edges_streamed: u64,
+    /// Semiring-equivalent useful operations (2 per processed edge).
+    pub useful_ops: u64,
+}
+
+/// A graph loaded into the grid-partitioned CPU engine.
+#[derive(Debug)]
+pub struct GridEngine {
+    n: u32,
+    p: u32,
+    threads: u32,
+    ranges: Vec<Range<u32>>,
+    /// `blocks[i * p + j]`: edges with source in range `i`, destination in
+    /// range `j`.
+    blocks: Vec<Vec<(u32, u32, u32)>>,
+    out_degrees: Vec<u32>,
+}
+
+impl GridEngine {
+    /// Partitions `graph` into a `partitions × partitions` grid, streamed
+    /// by `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` or `threads` is zero.
+    pub fn new(graph: &Graph, partitions: u32, threads: u32) -> Self {
+        assert!(partitions > 0, "partitions must be positive");
+        assert!(threads > 0, "threads must be positive");
+        let n = graph.nodes();
+        let p = partitions.min(n.max(1));
+        let ranges = equal_ranges(n, p);
+        let mut part_of = vec![0u32; n as usize];
+        for (i, r) in ranges.iter().enumerate() {
+            for v in r.clone() {
+                part_of[v as usize] = i as u32;
+            }
+        }
+        let mut blocks: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); (p * p) as usize];
+        for (u, v, w) in graph.adjacency().iter() {
+            let (i, j) = (part_of[u as usize], part_of[v as usize]);
+            blocks[(i * p + j) as usize].push((u, v, w));
+        }
+        GridEngine { n, p, threads, ranges, blocks, out_degrees: graph.out_degrees() }
+    }
+
+    /// Number of vertices.
+    pub fn nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// The grid dimension actually used.
+    pub fn partitions(&self) -> u32 {
+        self.p
+    }
+
+    /// Streams every grid column in parallel: `fold(j, &mut out_slice)`
+    /// receives the column index and the exclusively-owned output slice
+    /// for vertex range `j`, and returns the number of edges it processed.
+    fn stream_columns<T: Send>(
+        &self,
+        out: &mut [T],
+        fold: impl Fn(u32, &mut [T]) -> u64 + Sync,
+    ) -> u64 {
+        // Carve the output into per-range slices that threads own.
+        let mut tasks: Vec<(u32, &mut [T])> = Vec::with_capacity(self.p as usize);
+        let mut rest = out;
+        for (j, r) in self.ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut((r.end - r.start) as usize);
+            tasks.push((j as u32, head));
+            rest = tail;
+        }
+        let edges = AtomicU64::new(0);
+        let chunk = tasks.len().div_ceil(self.threads as usize).max(1);
+        crossbeam::thread::scope(|scope| {
+            for group in tasks.chunks_mut(chunk) {
+                let fold = &fold;
+                let edges = &edges;
+                scope.spawn(move |_| {
+                    let mut local = 0u64;
+                    for (j, slice) in group.iter_mut() {
+                        local += fold(*j, slice);
+                    }
+                    edges.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("baseline worker panicked");
+        edges.into_inner()
+    }
+
+    /// Edge blocks feeding destination range `j`.
+    fn column_blocks(&self, j: u32) -> impl Iterator<Item = &[(u32, u32, u32)]> {
+        (0..self.p).map(move |i| self.blocks[(i * self.p + j) as usize].as_slice())
+    }
+
+    /// Breadth-first search from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn bfs(&self, source: u32) -> (Vec<u32>, CpuRunStats) {
+        assert!(source < self.n, "source {source} out of range");
+        let start = Instant::now();
+        let mut levels = vec![UNREACHED; self.n as usize];
+        levels[source as usize] = 0;
+        let mut active = vec![false; self.n as usize];
+        active[source as usize] = true;
+        let mut iterations = 0;
+        let mut edges_streamed = 0u64;
+        let mut useful = 0u64;
+        loop {
+            iterations += 1;
+            let snapshot = active.clone();
+            let level = iterations;
+            let ranges = &self.ranges;
+            let mut next = vec![false; self.n as usize];
+            edges_streamed += self.stream_columns(&mut next[..], |j, slice| {
+                let base = ranges[j as usize].start as usize;
+                let mut seen = 0u64;
+                for block in self.column_blocks(j) {
+                    seen += block.len() as u64;
+                    for &(u, v, _) in block {
+                        if snapshot[u as usize] && levels[v as usize] == UNREACHED {
+                            slice[v as usize - base] = true;
+                        }
+                    }
+                }
+                seen
+            });
+            let mut any = false;
+            for (v, &f) in next.iter().enumerate() {
+                if f && levels[v] == UNREACHED {
+                    levels[v] = level;
+                    any = true;
+                    useful += 2;
+                }
+            }
+            active = next;
+            if !any || iterations >= self.n {
+                break;
+            }
+        }
+        let stats = CpuRunStats {
+            iterations,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            edges_streamed,
+            useful_ops: useful.max(edges_streamed * 2),
+        };
+        (levels, stats)
+    }
+
+    /// Single-source shortest paths (Jacobi-style Bellman–Ford) from
+    /// `source` over the graph's edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn sssp(&self, source: u32) -> (Vec<u32>, CpuRunStats) {
+        assert!(source < self.n, "source {source} out of range");
+        let start = Instant::now();
+        let mut dist = vec![UNREACHED; self.n as usize];
+        dist[source as usize] = 0;
+        let mut active = vec![false; self.n as usize];
+        active[source as usize] = true;
+        let mut iterations = 0;
+        let mut edges_streamed = 0u64;
+        loop {
+            iterations += 1;
+            let snapshot_dist = dist.clone();
+            let snapshot_active = active.clone();
+            let ranges = &self.ranges;
+            edges_streamed += self.stream_columns(&mut dist[..], |j, slice| {
+                let base = ranges[j as usize].start as usize;
+                let mut seen = 0u64;
+                for block in self.column_blocks(j) {
+                    seen += block.len() as u64;
+                    for &(u, v, w) in block {
+                        if snapshot_active[u as usize] {
+                            let cand = snapshot_dist[u as usize].saturating_add(w);
+                            let slot = &mut slice[v as usize - base];
+                            if cand < *slot {
+                                *slot = cand;
+                            }
+                        }
+                    }
+                }
+                seen
+            });
+            let mut any = false;
+            for v in 0..self.n as usize {
+                let improved = dist[v] < snapshot_dist[v];
+                active[v] = improved;
+                any |= improved;
+            }
+            if !any || iterations >= self.n {
+                break;
+            }
+        }
+        let stats = CpuRunStats {
+            iterations,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            edges_streamed,
+            useful_ops: edges_streamed * 2,
+        };
+        (dist, stats)
+    }
+
+    /// Personalized PageRank from `source` with damping `alpha`, stopping
+    /// at L1 change `tolerance` or after `max_iterations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn ppr(
+        &self,
+        source: u32,
+        alpha: f32,
+        tolerance: f32,
+        max_iterations: u32,
+    ) -> (Vec<f32>, CpuRunStats) {
+        assert!(source < self.n, "source {source} out of range");
+        let start = Instant::now();
+        let mut scores = vec![0.0f32; self.n as usize];
+        scores[source as usize] = 1.0;
+        let mut iterations = 0;
+        let mut edges_streamed = 0u64;
+        for _ in 0..max_iterations {
+            iterations += 1;
+            let snapshot = scores.clone();
+            let degrees = &self.out_degrees;
+            let ranges = &self.ranges;
+            let mut y = vec![0.0f32; self.n as usize];
+            edges_streamed += self.stream_columns(&mut y[..], |j, slice| {
+                let base = ranges[j as usize].start as usize;
+                let mut seen = 0u64;
+                for block in self.column_blocks(j) {
+                    seen += block.len() as u64;
+                    for &(u, v, _) in block {
+                        let d = degrees[u as usize];
+                        if d > 0 {
+                            slice[v as usize - base] += snapshot[u as usize] / d as f32;
+                        }
+                    }
+                }
+                seen
+            });
+            let mut delta = 0.0f32;
+            for (v, yv) in y.iter().enumerate() {
+                let teleport = if v as u32 == source { 1.0 - alpha } else { 0.0 };
+                let next = alpha * yv + teleport;
+                delta += (next - scores[v]).abs();
+                scores[v] = next;
+            }
+            if delta <= tolerance {
+                break;
+            }
+        }
+        let stats = CpuRunStats {
+            iterations,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            edges_streamed,
+            useful_ops: edges_streamed * 2,
+        };
+        (scores, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_pim_sparse::{gen, Coo};
+
+    fn chain() -> Graph {
+        Graph::from_coo(
+            Coo::from_entries(4, 4, vec![(0, 1, 1u32), (1, 2, 1), (2, 3, 1), (0, 2, 5)])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn bfs_finds_hop_levels() {
+        let e = GridEngine::new(&chain(), 2, 2);
+        let (levels, stats) = e.bfs(0);
+        assert_eq!(levels, vec![0, 1, 1, 2]);
+        assert!(stats.iterations >= 2);
+        assert!(stats.edges_streamed > 0);
+    }
+
+    #[test]
+    fn sssp_respects_weights() {
+        let e = GridEngine::new(&chain(), 2, 2);
+        let (dist, _) = e.sssp(0);
+        // 0→1 (1) →2 (2) beats the direct 0→2 (5).
+        assert_eq!(dist, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn grid_engine_matches_single_partition_results() {
+        let g = Graph::from_coo(gen::erdos_renyi(120, 900, 3).unwrap()).with_random_weights(9);
+        let coarse = GridEngine::new(&g, 1, 1);
+        let fine = GridEngine::new(&g, 8, 4);
+        assert_eq!(coarse.bfs(0).0, fine.bfs(0).0);
+        assert_eq!(coarse.sssp(0).0, fine.sssp(0).0);
+        let (a, _) = coarse.ppr(0, 0.85, 1e-5, 40);
+        let (b, _) = fine.ppr(0, 0.85, 1e-5, 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ppr_mass_stays_near_source() {
+        let g = Graph::from_coo(gen::erdos_renyi(60, 400, 8).unwrap());
+        let e = GridEngine::new(&g, 4, 2);
+        let (scores, stats) = e.ppr(5, 0.85, 1e-6, 60);
+        assert!(stats.iterations > 1);
+        let max = scores.iter().cloned().fold(0.0f32, f32::max);
+        assert!(scores[5] >= 0.5 * max);
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        let g = Graph::from_coo(Coo::from_entries(3, 3, vec![(0, 1, 1u32)]).unwrap());
+        let e = GridEngine::new(&g, 2, 1);
+        let (levels, _) = e.bfs(0);
+        assert_eq!(levels[2], UNREACHED);
+        let (dist, _) = e.sssp(0);
+        assert_eq!(dist[2], UNREACHED);
+    }
+
+    #[test]
+    fn more_partitions_than_nodes_is_clamped() {
+        let g = chain();
+        let e = GridEngine::new(&g, 64, 2);
+        assert!(e.partitions() <= 4);
+        assert_eq!(e.bfs(0).0, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_rejects_bad_source() {
+        GridEngine::new(&chain(), 2, 1).bfs(10);
+    }
+}

@@ -1,0 +1,8 @@
+//! CPU baseline: a real GridGraph-style engine plus the calibrated timing
+//! model of the paper's machine.
+
+mod grid;
+mod model;
+
+pub use grid::{CpuRunStats, GridEngine, UNREACHED};
+pub use model::CpuModel;

@@ -1,0 +1,5 @@
+//! GPU baseline: the calibrated cuGraph/RTX 3050 analytical model.
+
+mod model;
+
+pub use model::GpuModel;

@@ -1,0 +1,61 @@
+//! Baselines for the ALPHA-PIM system-level comparison (§6.3.2, Table 4).
+//!
+//! * [`cpu`] — a real, runnable GridGraph-style multithreaded edge-
+//!   streaming engine (used for correctness parity with the PIM
+//!   framework) plus a timing model calibrated to the paper's i7-1265U;
+//! * [`gpu`] — a roofline-style model of cuGraph on the RTX 3050;
+//! * [`specs`] — the Table 3 machine specifications, peak-performance
+//!   constants, and the compute-utilization metric.
+//!
+//! # Example
+//!
+//! ```
+//! use alpha_pim_baselines::cpu::GridEngine;
+//! use alpha_pim_sparse::{gen, Graph};
+//!
+//! # fn main() -> Result<(), alpha_pim_sparse::SparseError> {
+//! let graph = Graph::from_coo(gen::erdos_renyi(100, 600, 1)?);
+//! let engine = GridEngine::new(&graph, 4, 2);
+//! let (levels, stats) = engine.bfs(0);
+//! assert_eq!(levels[0], 0);
+//! assert!(stats.edges_streamed > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cpu;
+pub mod gpu;
+pub mod specs;
+
+pub use specs::{compute_utilization_pct, SystemSpec, CPU, GPU, UPMEM};
+
+/// The three graph applications of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Breadth-first search.
+    Bfs,
+    /// Single-source shortest paths.
+    Sssp,
+    /// Personalized PageRank.
+    Ppr,
+}
+
+impl Algorithm {
+    /// All algorithms, in Table 4 order.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Bfs, Algorithm::Sssp, Algorithm::Ppr];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "BFS",
+            Algorithm::Sssp => "SSSP",
+            Algorithm::Ppr => "PPR",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}

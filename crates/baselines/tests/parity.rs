@@ -1,0 +1,57 @@
+//! Parity tests: the CPU baseline engine and the PIM framework must agree
+//! on algorithmic results — the same property the paper relies on when
+//! comparing systems.
+
+use alpha_pim::apps::{AppOptions, PprOptions};
+use alpha_pim::AlphaPim;
+use alpha_pim_baselines::cpu::GridEngine;
+use alpha_pim_sim::{PimConfig, SimFidelity};
+use alpha_pim_sparse::{gen, Graph};
+
+fn engine() -> AlphaPim {
+    AlphaPim::new(PimConfig {
+        num_dpus: 8,
+        fidelity: SimFidelity::Full,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn test_graph(seed: u64) -> Graph {
+    Graph::from_coo(gen::erdos_renyi(150, 1100, seed).unwrap()).with_random_weights(9)
+}
+
+#[test]
+fn bfs_levels_agree_between_cpu_and_pim() {
+    let g = test_graph(1);
+    let pim = engine().bfs(&g, 0, &AppOptions::default()).unwrap();
+    let cpu = GridEngine::new(&g, 6, 2).bfs(0);
+    assert_eq!(pim.levels, cpu.0);
+}
+
+#[test]
+fn sssp_distances_agree_between_cpu_and_pim() {
+    let g = test_graph(2);
+    let pim = engine().sssp(&g, 3, &AppOptions::default()).unwrap();
+    let cpu = GridEngine::new(&g, 6, 2).sssp(3);
+    assert_eq!(pim.distances, cpu.0);
+}
+
+#[test]
+fn ppr_scores_agree_between_cpu_and_pim() {
+    let g = test_graph(3);
+    let options = PprOptions { tolerance: 1e-6, ..Default::default() };
+    let pim = engine().ppr(&g, 7, &options).unwrap();
+    let cpu = GridEngine::new(&g, 6, 2).ppr(7, 0.85, 1e-6, 50);
+    for (a, b) in pim.scores.iter().zip(&cpu.0) {
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn road_class_graph_agrees_too() {
+    let g = Graph::from_coo(gen::road_network(500, 2.8, 11).unwrap()).with_random_weights(5);
+    let pim = engine().sssp(&g, 0, &AppOptions::default()).unwrap();
+    let cpu = GridEngine::new(&g, 4, 2).sssp(0);
+    assert_eq!(pim.distances, cpu.0);
+}

@@ -1,0 +1,42 @@
+//! Criterion bench: the revolver-pipeline discrete-event simulator itself
+//! (throughput of the substrate, Fig 9–11 cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alpha_pim_sim::instr::InstrClass;
+use alpha_pim_sim::pipeline::simulate_dpu;
+use alpha_pim_sim::trace::TaskletTrace;
+use alpha_pim_sim::PipelineConfig;
+
+fn traces(tasklets: u32, work: u32) -> Vec<TaskletTrace> {
+    (0..tasklets)
+        .map(|t| {
+            let mut tr = TaskletTrace::new();
+            for i in 0..8 {
+                tr.dma(512 + 64 * ((t + i) % 4));
+                tr.compute(InstrClass::Arith, work);
+                tr.compute(InstrClass::LoadStore, work / 4);
+                tr.mutex_lock((i % 4) as u16);
+                tr.compute(InstrClass::LoadStore, 2);
+                tr.mutex_unlock((i % 4) as u16);
+            }
+            tr.barrier();
+            tr
+        })
+        .collect()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = PipelineConfig::default();
+    let mut group = c.benchmark_group("pipeline");
+    for tasklets in [1u32, 8, 16, 24] {
+        let t = traces(tasklets, 512);
+        group.bench_with_input(BenchmarkId::from_parameter(tasklets), &t, |b, t| {
+            b.iter(|| simulate_dpu(t, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: one SpMV iteration per variant (Fig 2 regression).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alpha_pim::semiring::BoolOrAnd;
+use alpha_pim::{PreparedSpmv, SpmvVariant};
+use alpha_pim_sim::{PimConfig, PimSystem, SimFidelity};
+use alpha_pim_sparse::{gen, DenseVector, Graph};
+
+fn bench_spmv(c: &mut Criterion) {
+    let graph = Graph::from_coo(gen::erdos_renyi(4_000, 32_000, 7).expect("valid"));
+    let m = graph.transposed();
+    let sys = PimSystem::new(PimConfig {
+        num_dpus: 256,
+        fidelity: SimFidelity::Sampled(16),
+        ..Default::default()
+    })
+    .expect("valid");
+    let x = DenseVector::filled(graph.nodes() as usize, 1u32);
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(10);
+    for variant in SpmvVariant::ALL {
+        let prep = PreparedSpmv::<BoolOrAnd>::prepare(&m, variant, &sys).expect("fits");
+        group.bench_with_input(BenchmarkId::from_parameter(variant), &prep, |b, prep| {
+            b.iter(|| prep.run(&x, &sys).expect("dims"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the paper's ablation experiment. See `DESIGN.md` §3.
+
+fn main() {
+    let cfg = alpha_pim_bench::HarnessConfig::from_env();
+    print!("{}", alpha_pim_bench::experiments::ablation::run(&cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the beyond-the-paper extensions report (DESIGN.md S22–S24).
+
+fn main() {
+    let cfg = alpha_pim_bench::HarnessConfig::from_env();
+    print!("{}", alpha_pim_bench::experiments::extensions::run(&cfg));
+}

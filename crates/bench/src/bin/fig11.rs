@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig11 experiment. See `DESIGN.md` §3.
+
+fn main() {
+    let cfg = alpha_pim_bench::HarnessConfig::from_env();
+    let rows = alpha_pim_bench::experiments::profile::collect(&cfg);
+    print!("{}", alpha_pim_bench::experiments::profile::fig11(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6 experiment. See `DESIGN.md` §3.
+
+fn main() {
+    let cfg = alpha_pim_bench::HarnessConfig::from_env();
+    print!("{}", alpha_pim_bench::experiments::fig6::run(&cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §6.4 hardware-recommendation what-if study.
+
+fn main() {
+    let cfg = alpha_pim_bench::HarnessConfig::from_env();
+    print!("{}", alpha_pim_bench::experiments::whatif::run(&cfg));
+}

@@ -1,0 +1,56 @@
+//! Figure 2: execution-time breakdown of the two top SparseP SpMV
+//! partitionings (1D `COO.nnz` vs 2D `DCOO`), 2048 DPUs, INT32 data,
+//! normalized to the 1D total.
+//!
+//! Paper shape: 1D is dominated by the input-vector broadcast (Load);
+//! 2D cuts Load sharply but adds Retrieve + Merge overhead and wins
+//! overall.
+
+use alpha_pim::semiring::BoolOrAnd;
+use alpha_pim::{PreparedSpmv, SpmvVariant};
+use alpha_pim_sparse::DenseVector;
+
+use crate::experiments::{banner, lift_bool};
+use crate::report::{geomean, phase_cells, Table};
+use crate::HarnessConfig;
+
+/// Regenerates Figure 2.
+pub fn run(cfg: &HarnessConfig) -> String {
+    let mut out = banner(
+        "Figure 2 — SpMV 1D vs 2D execution-time breakdown",
+        "phases normalized to the 1D total per dataset; paper: 1D load-dominated, 2D wins",
+    );
+    let mut table = Table::new(&[
+        "dataset", "variant", "load", "kernel", "retrieve", "merge", "total",
+    ]);
+    let sys = cfg.engine(None);
+    let sys = sys.system();
+    let mut ratios = Vec::new();
+    for spec in cfg.all_datasets() {
+        let graph = cfg.load(spec);
+        let m = lift_bool(&graph);
+        let x = DenseVector::filled(graph.nodes() as usize, 1u32);
+        let mut reference_total = 0.0;
+        let mut totals = vec![0.0f64; SpmvVariant::ALL.len()];
+        for (vi, variant) in SpmvVariant::ALL.iter().enumerate() {
+            let prep = PreparedSpmv::<BoolOrAnd>::prepare(&m, *variant, sys)
+                .expect("catalog datasets fit MRAM");
+            let outcome = prep.run(&x, sys).expect("dimensions match");
+            if vi == 0 {
+                reference_total = outcome.phases.total();
+            }
+            totals[vi] = outcome.phases.total();
+            let mut cells = vec![spec.abbrev.to_string(), variant.label().to_string()];
+            cells.extend(phase_cells(&outcome.phases, reference_total));
+            table.row(cells);
+        }
+        // geomean ratio of the paper's two headliners: DCOO (2D) vs COO.nnz (1D).
+        ratios.push(totals[SpmvVariant::ALL.len() - 1] / totals[0]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\ngeomean 2D/1D total-time ratio: {:.3} (paper: 2D well below 1D)\n",
+        geomean(&ratios)
+    ));
+    out
+}

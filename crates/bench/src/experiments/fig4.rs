@@ -1,0 +1,65 @@
+//! Figure 4: per-iteration execution time for BFS and SSSP on two
+//! datasets under SpMV-only vs SpMSpV-only strategies, annotated with the
+//! input-vector density of each iteration.
+//!
+//! Paper shape: SpMSpV time scales with input density while SpMV stays
+//! steady, so the curves cross at a dataset-dependent density.
+
+use alpha_pim::apps::{AppOptions, KernelPolicy};
+use alpha_pim::{SpmspvVariant, SpmvVariant};
+use alpha_pim_sparse::datasets;
+
+use crate::experiments::banner;
+use crate::report::{ms, Table};
+use crate::HarnessConfig;
+
+/// Regenerates Figure 4.
+pub fn run(cfg: &HarnessConfig) -> String {
+    let mut out = banner(
+        "Figure 4 — per-iteration time: SpMV-only vs SpMSpV-only (BFS & SSSP)",
+        "paper: SpMSpV scales with density, SpMV flat; crossover near the class threshold",
+    );
+    let engine = cfg.engine(None);
+    for abbrev in ["A302", "r-TX"] {
+        let spec = datasets::by_abbrev(abbrev).expect("known dataset");
+        let graph = cfg.load(spec).with_random_weights(9);
+        for algo in ["BFS", "SSSP"] {
+            out.push_str(&format!("\n## {algo} on {abbrev}\n"));
+            let mut table =
+                Table::new(&["iter", "density%", "SpMV ms", "SpMSpV ms", "faster"]);
+            let spmv_opts = AppOptions {
+                policy: KernelPolicy::SpmvOnly(SpmvVariant::Dcoo2d),
+                ..Default::default()
+            };
+            let spmspv_opts = AppOptions {
+                policy: KernelPolicy::SpmspvOnly(SpmspvVariant::Csc2d),
+                ..Default::default()
+            };
+            let (spmv_iters, spmspv_iters) = if algo == "BFS" {
+                (
+                    engine.bfs(&graph, 0, &spmv_opts).expect("bfs runs").report.iterations,
+                    engine.bfs(&graph, 0, &spmspv_opts).expect("bfs runs").report.iterations,
+                )
+            } else {
+                (
+                    engine.sssp(&graph, 0, &spmv_opts).expect("sssp runs").report.iterations,
+                    engine.sssp(&graph, 0, &spmspv_opts).expect("sssp runs").report.iterations,
+                )
+            };
+            let rounds = spmv_iters.len().min(spmspv_iters.len());
+            for i in 0..rounds {
+                let a = spmv_iters[i].phases.total();
+                let b = spmspv_iters[i].phases.total();
+                table.row(vec![
+                    format!("{i}"),
+                    format!("{:.2}", spmspv_iters[i].input_density * 100.0),
+                    ms(a),
+                    ms(b),
+                    if b < a { "SpMSpV".into() } else { "SpMV".into() },
+                ]);
+            }
+            out.push_str(&table.render());
+        }
+    }
+    out
+}

@@ -1,0 +1,109 @@
+//! Figure 5: SpMSpV variant breakdown (COO, CSC-R, CSC-C, CSC-2D) at
+//! input densities 1 %, 10 %, and 50 %, normalized to COO per dataset,
+//! plus the CSR-exclusion slowdown factors (§6.1: 2.8× / 12.68× / 25.23×
+//! at the three densities).
+//!
+//! Paper shape: CSC-2D wins at higher densities; CSC-C wins on regular
+//! road graphs (r-PA) via small compressed outputs; CSC-R can win below
+//! 10 % on skewed graphs (g-18); COO generally trails; CSR always loses.
+
+use alpha_pim::semiring::BoolOrAnd;
+use alpha_pim::{PreparedSpmspv, SpmspvVariant};
+
+use crate::experiments::{banner, lift_bool};
+use crate::harness::striped_vector;
+use crate::report::{geomean, phase_cells, Table};
+use crate::HarnessConfig;
+
+const DENSITIES: [f64; 3] = [0.01, 0.10, 0.50];
+const SHOWN: [SpmspvVariant; 4] = [
+    SpmspvVariant::Coo,
+    SpmspvVariant::CscR,
+    SpmspvVariant::CscC,
+    SpmspvVariant::Csc2d,
+];
+
+/// Regenerates Figure 5 (plus the §6.1 CSR exclusion factors).
+pub fn run(cfg: &HarnessConfig) -> String {
+    let mut out = banner(
+        "Figure 5 — SpMSpV variant breakdown at 1/10/50 % density (normalized to COO)",
+        "paper: CSC-2D best overall at higher densities; CSC-C on road graphs; CSR excluded",
+    );
+    let sys_engine = cfg.engine(None);
+    let sys = sys_engine.system();
+
+    // Per-dataset rows for the representative set.
+    for spec in cfg.representative() {
+        let graph = cfg.load(spec);
+        let m = lift_bool(&graph);
+        let n = graph.nodes() as usize;
+        out.push_str(&format!("\n## {} ({} nodes scaled)\n", spec.abbrev, n));
+        let mut table = Table::new(&[
+            "density%", "variant", "load", "kernel", "retrieve", "merge", "total",
+        ]);
+        for density in DENSITIES {
+            let x = striped_vector(n, density);
+            let mut reference = 0.0;
+            for (vi, variant) in SHOWN.iter().enumerate() {
+                let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&m, *variant, sys)
+                    .expect("dataset fits MRAM");
+                let outcome = prep.run(&x, sys).expect("dimensions match");
+                if vi == 0 {
+                    reference = outcome.phases.total();
+                }
+                let mut cells =
+                    vec![format!("{:.0}", density * 100.0), variant.label().to_string()];
+                cells.extend(phase_cells(&outcome.phases, reference));
+                table.row(cells);
+            }
+        }
+        out.push_str(&table.render());
+    }
+
+    // Geomean across the full dataset suite + CSR factors.
+    out.push_str("\n## Geomean across all Table-2 datasets (normalized to COO)\n");
+    let mut table = Table::new(&["density%", "variant", "total (geomean)"]);
+    let mut csr_factors = Vec::new();
+    for density in DENSITIES {
+        let mut totals: Vec<Vec<f64>> = vec![Vec::new(); SHOWN.len()];
+        let mut csr_ratio = Vec::new();
+        for spec in cfg.all_datasets() {
+            let graph = cfg.load(spec);
+            let m = lift_bool(&graph);
+            let x = striped_vector(graph.nodes() as usize, density);
+            let mut per_variant = Vec::new();
+            for variant in SHOWN {
+                let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&m, variant, sys)
+                    .expect("dataset fits MRAM");
+                per_variant.push(prep.run(&x, sys).expect("dimensions match").phases.total());
+            }
+            let reference = per_variant[0];
+            for (vi, t) in per_variant.iter().enumerate() {
+                totals[vi].push(t / reference);
+            }
+            let csr = PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Csr, sys)
+                .expect("dataset fits MRAM")
+                .run(&x, sys)
+                .expect("dimensions match")
+                .phases
+                .total();
+            let best_other = per_variant.iter().cloned().fold(f64::MAX, f64::min);
+            csr_ratio.push(csr / best_other);
+        }
+        for (vi, variant) in SHOWN.iter().enumerate() {
+            table.row(vec![
+                format!("{:.0}", density * 100.0),
+                variant.label().to_string(),
+                format!("{:.3}", geomean(&totals[vi])),
+            ]);
+        }
+        csr_factors.push(geomean(&csr_ratio));
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nCSR slowdown vs best other variant (geomean): {:.2}x @1%, {:.2}x @10%, {:.2}x @50% \
+         (paper: 2.8x / 12.68x / 25.23x — CSR excluded from the figure)\n",
+        csr_factors[0], csr_factors[1], csr_factors[2]
+    ));
+    out
+}

@@ -1,0 +1,83 @@
+//! Figure 6: best SpMV (DCOO 2D) vs best SpMSpV (CSC-2D) at input
+//! densities 1 / 10 / 30 / 50 %, normalized to SpMV per dataset.
+//!
+//! Paper shape: SpMSpV slashes the Load phase at every density, wins
+//! outright below ~30 %, and roughly matches SpMV at 50 %.
+
+use alpha_pim::semiring::BoolOrAnd;
+use alpha_pim::{PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
+
+use crate::experiments::{banner, lift_bool};
+use crate::harness::striped_vector;
+use crate::report::{geomean, phase_cells, Table};
+use crate::HarnessConfig;
+
+const DENSITIES: [f64; 4] = [0.01, 0.10, 0.30, 0.50];
+
+/// Regenerates Figure 6.
+pub fn run(cfg: &HarnessConfig) -> String {
+    let mut out = banner(
+        "Figure 6 — best SpMV (DCOO) vs best SpMSpV (CSC-2D) by density (normalized to SpMV)",
+        "paper: SpMSpV cuts Load at all densities, wins below ~30 %, ties near 50 %",
+    );
+    let engine = cfg.engine(None);
+    let sys = engine.system();
+
+    for spec in cfg.representative() {
+        let graph = cfg.load(spec);
+        let m = lift_bool(&graph);
+        let n = graph.nodes() as usize;
+        let spmv =
+            PreparedSpmv::<BoolOrAnd>::prepare(&m, SpmvVariant::Dcoo2d, sys).expect("fits");
+        let spmspv = PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Csc2d, sys)
+            .expect("fits");
+        out.push_str(&format!("\n## {}\n", spec.abbrev));
+        let mut table = Table::new(&[
+            "density%", "kernel", "load", "kernel", "retrieve", "merge", "total",
+        ]);
+        for density in DENSITIES {
+            let x = striped_vector(n, density);
+            let dense = x.to_dense(0u32);
+            let spmv_out = spmv.run(&dense, sys).expect("dims");
+            let reference = spmv_out.phases.total();
+            let mut cells = vec![format!("{:.0}", density * 100.0), "SpMV".into()];
+            cells.extend(phase_cells(&spmv_out.phases, reference));
+            table.row(cells);
+            let spmspv_out = spmspv.run(&x, sys).expect("dims");
+            let mut cells = vec![format!("{:.0}", density * 100.0), "SpMSpV".into()];
+            cells.extend(phase_cells(&spmspv_out.phases, reference));
+            table.row(cells);
+        }
+        out.push_str(&table.render());
+    }
+
+    out.push_str("\n## Geomean across all Table-2 datasets (SpMSpV total / SpMV total)\n");
+    let mut table = Table::new(&["density%", "SpMSpV/SpMV total", "SpMSpV/SpMV load"]);
+    for density in DENSITIES {
+        let mut total_ratio = Vec::new();
+        let mut load_ratio = Vec::new();
+        for spec in cfg.all_datasets() {
+            let graph = cfg.load(spec);
+            let m = lift_bool(&graph);
+            let x = striped_vector(graph.nodes() as usize, density);
+            let dense = x.to_dense(0u32);
+            let spmv = PreparedSpmv::<BoolOrAnd>::prepare(&m, SpmvVariant::Dcoo2d, sys)
+                .expect("fits")
+                .run(&dense, sys)
+                .expect("dims");
+            let spmspv = PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Csc2d, sys)
+                .expect("fits")
+                .run(&x, sys)
+                .expect("dims");
+            total_ratio.push(spmspv.phases.total() / spmv.phases.total());
+            load_ratio.push(spmspv.phases.load / spmv.phases.load.max(1e-12));
+        }
+        table.row(vec![
+            format!("{:.0}", density * 100.0),
+            format!("{:.3}", geomean(&total_ratio)),
+            format!("{:.3}", geomean(&load_ratio)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}

@@ -1,0 +1,61 @@
+//! Figure 7: end-to-end ALPHA-PIM (adaptive SpMSpV→SpMV switching) vs the
+//! SparseP SpMV-only baseline for BFS, SSSP, and PPR.
+//!
+//! Paper shape: average speedups of 1.72× (BFS), 1.34× (SSSP), and 1.22×
+//! (PPR) from adaptive switching.
+
+use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
+use alpha_pim::SpmvVariant;
+use alpha_pim_baselines::Algorithm;
+
+use crate::experiments::banner;
+use crate::report::{geomean, ms, speedup, Table};
+use crate::HarnessConfig;
+
+/// Regenerates Figure 7.
+pub fn run(cfg: &HarnessConfig) -> String {
+    let mut out = banner(
+        "Figure 7 — ALPHA-PIM (adaptive) vs SparseP SpMV-only, end-to-end",
+        "paper: average speedups 1.72x (BFS), 1.34x (SSSP), 1.22x (PPR)",
+    );
+    let engine = cfg.engine(None);
+    let spmv_only = AppOptions {
+        policy: KernelPolicy::SpmvOnly(SpmvVariant::Dcoo2d),
+        ..Default::default()
+    };
+    let adaptive = AppOptions::default();
+
+    for algo in Algorithm::ALL {
+        out.push_str(&format!("\n## {algo}\n"));
+        let mut table =
+            Table::new(&["dataset", "SpMV-only ms", "ALPHA-PIM ms", "speedup"]);
+        let mut speedups = Vec::new();
+        for spec in cfg.all_datasets() {
+            let graph = cfg.load(spec).with_random_weights(9);
+            let (base_s, ours_s) = match algo {
+                Algorithm::Bfs => (
+                    engine.bfs(&graph, 0, &spmv_only).expect("runs").report.total_seconds(),
+                    engine.bfs(&graph, 0, &adaptive).expect("runs").report.total_seconds(),
+                ),
+                Algorithm::Sssp => (
+                    engine.sssp(&graph, 0, &spmv_only).expect("runs").report.total_seconds(),
+                    engine.sssp(&graph, 0, &adaptive).expect("runs").report.total_seconds(),
+                ),
+                Algorithm::Ppr => {
+                    let base = PprOptions { app: spmv_only, ..Default::default() };
+                    let ours = PprOptions { app: adaptive, ..Default::default() };
+                    (
+                        engine.ppr(&graph, 0, &base).expect("runs").report.total_seconds(),
+                        engine.ppr(&graph, 0, &ours).expect("runs").report.total_seconds(),
+                    )
+                }
+            };
+            let s = base_s / ours_s;
+            speedups.push(s);
+            table.row(vec![spec.abbrev.into(), ms(base_s), ms(ours_s), speedup(s)]);
+        }
+        out.push_str(&table.render());
+        out.push_str(&format!("geomean speedup: {}\n", speedup(geomean(&speedups))));
+    }
+    out
+}

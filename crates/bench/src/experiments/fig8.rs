@@ -1,0 +1,65 @@
+//! Figure 8: application time breakdown across DPU counts (512 / 1024 /
+//! 2048), normalized to the 512-DPU total.
+//!
+//! Paper shape: BFS and SSSP are dominated by Load/Retrieve (host-mediated
+//! vector exchange every iteration); PPR is kernel-dominated (software
+//! floating point); 2048 DPUs pays more for Load, limiting the speedup
+//! over 1024, while PPR still benefits from more DPUs.
+
+use alpha_pim::apps::{AppOptions, PprOptions};
+use alpha_pim_baselines::Algorithm;
+use alpha_pim_sim::report::PhaseBreakdown;
+
+use crate::experiments::banner;
+use crate::report::{geomean, phase_cells, Table};
+use crate::HarnessConfig;
+
+const DPU_COUNTS: [u32; 3] = [512, 1024, 2048];
+
+/// Regenerates Figure 8.
+pub fn run(cfg: &HarnessConfig) -> String {
+    let mut out = banner(
+        "Figure 8 — app time breakdown vs DPU count (normalized to 512 DPUs)",
+        "paper: BFS/SSSP transfer-bound, PPR kernel-bound; load grows with DPU count",
+    );
+    for algo in Algorithm::ALL {
+        out.push_str(&format!("\n## {algo}\n"));
+        let mut table = Table::new(&[
+            "dataset", "dpus", "load", "kernel", "retrieve", "merge", "total",
+        ]);
+        let mut per_dpu_ratio: Vec<Vec<f64>> = vec![Vec::new(); DPU_COUNTS.len()];
+        for spec in cfg.representative() {
+            let graph = cfg.load(spec).with_random_weights(9);
+            let mut reference = 0.0;
+            for (di, &dpus) in DPU_COUNTS.iter().enumerate() {
+                let engine = cfg.engine(Some(dpus));
+                let total: PhaseBreakdown = match algo {
+                    Algorithm::Bfs => {
+                        engine.bfs(&graph, 0, &AppOptions::default()).expect("runs").report.total
+                    }
+                    Algorithm::Sssp => {
+                        engine.sssp(&graph, 0, &AppOptions::default()).expect("runs").report.total
+                    }
+                    Algorithm::Ppr => {
+                        engine.ppr(&graph, 0, &PprOptions::default()).expect("runs").report.total
+                    }
+                };
+                if di == 0 {
+                    reference = total.total();
+                }
+                per_dpu_ratio[di].push(total.total() / reference);
+                let mut cells = vec![spec.abbrev.to_string(), format!("{dpus}")];
+                cells.extend(phase_cells(&total, reference));
+                table.row(cells);
+            }
+        }
+        out.push_str(&table.render());
+        let means: Vec<String> = DPU_COUNTS
+            .iter()
+            .zip(&per_dpu_ratio)
+            .map(|(d, r)| format!("{d}: {:.3}", geomean(r)))
+            .collect();
+        out.push_str(&format!("geomean normalized totals — {}\n", means.join(", ")));
+    }
+    out
+}

@@ -1,0 +1,30 @@
+//! One module per paper table/figure; each returns a formatted report.
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod profile;
+pub mod sensitivity;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+pub mod whatif;
+
+use alpha_pim::semiring::{BoolOrAnd, Semiring};
+use alpha_pim_sparse::{Coo, Graph};
+
+/// Lifts a graph's transposed adjacency into the Boolean semiring — the
+/// matrix the kernel-level experiments operate on (BFS-style traversal).
+pub(crate) fn lift_bool(g: &Graph) -> Coo<u32> {
+    g.transposed().map(BoolOrAnd::from_weight)
+}
+
+/// A standard experiment banner.
+pub(crate) fn banner(title: &str, detail: &str) -> String {
+    format!("# {title}\n# {detail}\n\n")
+}

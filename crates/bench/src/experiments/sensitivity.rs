@@ -1,0 +1,47 @@
+//! §4.2.1 sensitivity analysis: perturbing the SpMSpV→SpMV switching
+//! threshold around the predicted value should change total runtime only
+//! mildly (paper: a 10 % deviation costs < 5 % on average; 60 % instead of
+//! 50 % on A302 costs only 2.5 %).
+
+use alpha_pim::apps::{AppOptions, KernelPolicy};
+use alpha_pim_sparse::datasets;
+
+use crate::experiments::banner;
+use crate::report::{ms, Table};
+use crate::HarnessConfig;
+
+const THRESHOLDS: [f64; 5] = [0.30, 0.40, 0.50, 0.60, 0.70];
+
+/// Regenerates the switching-threshold sensitivity study.
+pub fn run(cfg: &HarnessConfig) -> String {
+    let mut out = banner(
+        "§4.2.1 — switching-threshold sensitivity (BFS)",
+        "paper: ±10 % threshold deviation costs < 5 % runtime on average",
+    );
+    let engine = cfg.engine(None);
+    for abbrev in ["A302", "e-En"] {
+        let spec = datasets::by_abbrev(abbrev).expect("known dataset");
+        let graph = cfg.load(spec);
+        out.push_str(&format!("\n## BFS on {abbrev}\n"));
+        let mut table = Table::new(&["threshold %", "total ms", "vs best"]);
+        let mut results = Vec::new();
+        for t in THRESHOLDS {
+            let options = AppOptions {
+                policy: KernelPolicy::FixedThreshold(t),
+                ..Default::default()
+            };
+            let r = engine.bfs(&graph, 0, &options).expect("runs");
+            results.push((t, r.report.total_seconds()));
+        }
+        let best = results.iter().map(|&(_, s)| s).fold(f64::MAX, f64::min);
+        for (t, s) in &results {
+            table.row(vec![
+                format!("{:.0}", t * 100.0),
+                ms(*s),
+                format!("+{:.1}%", (s / best - 1.0) * 100.0),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}

@@ -1,0 +1,132 @@
+//! Table 4: system-level comparison — UPMEM (kernel & total) vs CPU
+//! (GridGraph on i7-1265U, modeled) vs GPU (cuGraph on RTX 3050, modeled)
+//! for BFS / SSSP / PPR on six datasets: execution time, compute
+//! utilization, and energy.
+//!
+//! Paper headlines: ALPHA-PIM beats the CPU by 10.2× / 48.8× / 3.6×
+//! (kernel) and 2.6× / 10.4× / 1.7× (total) for BFS / SSSP / PPR; UPMEM's
+//! compute utilization is orders of magnitude above CPU/GPU; the GPU is
+//! fastest outright.
+
+use alpha_pim::apps::{AppOptions, PprOptions};
+use alpha_pim_baselines::cpu::CpuModel;
+use alpha_pim_baselines::gpu::GpuModel;
+use alpha_pim_baselines::{compute_utilization_pct, specs, Algorithm};
+use alpha_pim_sim::EnergyModel;
+use alpha_pim_sparse::datasets;
+
+use crate::experiments::banner;
+use crate::report::{geomean, ms, speedup, Table};
+use crate::HarnessConfig;
+
+/// One measured/modeled system row.
+struct SystemRow {
+    seconds: f64,
+    utilization_pct: f64,
+    energy_j: f64,
+}
+
+/// Regenerates Table 4.
+pub fn run(cfg: &HarnessConfig) -> String {
+    let mut out = banner(
+        "Table 4 — UPMEM vs CPU vs GPU: time, compute utilization, energy",
+        "paper: kernel speedups 10.2x/48.8x/3.6x and total 2.6x/10.4x/1.7x vs CPU; GPU fastest",
+    );
+    let engine = cfg.engine(None);
+    let energy = EnergyModel::default();
+    let upmem_peak = specs::UPMEM.peak_flops_for(cfg.num_dpus);
+
+    for algo in Algorithm::ALL {
+        out.push_str(&format!("\n## {algo}\n"));
+        let mut table = Table::new(&[
+            "dataset", "system", "time ms", "util %", "energy J",
+        ]);
+        let mut kernel_speedups = Vec::new();
+        let mut total_speedups = Vec::new();
+        for spec in datasets::table4_datasets() {
+            let graph = cfg.load(spec).with_random_weights(9);
+            let nodes = graph.nodes() as u64;
+            let edges = graph.edges() as u64;
+            // Run ALPHA-PIM (adaptive) and harvest iteration counts + ops.
+            let (report, _converged) = match algo {
+                Algorithm::Bfs => {
+                    let r = engine.bfs(&graph, 0, &AppOptions::default()).expect("runs");
+                    (r.report, true)
+                }
+                Algorithm::Sssp => {
+                    let r = engine.sssp(&graph, 0, &AppOptions::default()).expect("runs");
+                    (r.report, true)
+                }
+                Algorithm::Ppr => {
+                    let r = engine.ppr(&graph, 0, &PprOptions::default()).expect("runs");
+                    (r.report, true)
+                }
+            };
+            let iterations = report.num_iterations();
+            let ops = report.useful_ops;
+
+            // CPU baseline (calibrated model; the GridGraph engine streams
+            // every edge each iteration, so its op count is edge-based).
+            let cpu_s =
+                CpuModel::for_algorithm(algo).predict_seconds(edges, nodes, iterations);
+            let cpu_ops = 2 * edges * iterations as u64;
+            let cpu = SystemRow {
+                seconds: cpu_s,
+                utilization_pct: compute_utilization_pct(cpu_ops, cpu_s, specs::CPU.peak_flops),
+                energy_j: energy.cpu_energy(cpu_s),
+            };
+            // GPU baseline.
+            let gpu_s =
+                GpuModel::for_algorithm(algo).predict_seconds(edges, nodes, iterations);
+            let gpu = SystemRow {
+                seconds: gpu_s,
+                utilization_pct: compute_utilization_pct(cpu_ops, gpu_s, specs::GPU.peak_flops),
+                energy_j: energy.gpu_energy(gpu_s),
+            };
+            // UPMEM rows.
+            let kernel_s = report.kernel_seconds();
+            let total_s = report.total_seconds();
+            let upmem_kernel = SystemRow {
+                seconds: kernel_s,
+                utilization_pct: compute_utilization_pct(ops, kernel_s, upmem_peak),
+                energy_j: energy.upmem_kernel_energy(kernel_s, cfg.num_dpus),
+            };
+            let upmem_total = SystemRow {
+                seconds: total_s,
+                utilization_pct: compute_utilization_pct(ops, total_s, upmem_peak),
+                energy_j: energy.upmem_energy(&report.total, cfg.num_dpus),
+            };
+            kernel_speedups.push(cpu.seconds / kernel_s);
+            total_speedups.push(cpu.seconds / total_s);
+
+            for (name, row) in [
+                ("CPU", &cpu),
+                ("GPU", &gpu),
+                ("UPMEM-Kernel", &upmem_kernel),
+                ("UPMEM-Total", &upmem_total),
+            ] {
+                table.row(vec![
+                    spec.abbrev.into(),
+                    name.into(),
+                    ms(row.seconds),
+                    format!("{:.3}", row.utilization_pct),
+                    format!("{:.3}", row.energy_j),
+                ]);
+            }
+        }
+        out.push_str(&table.render());
+        out.push_str(&format!(
+            "geomean speedup vs CPU — kernel: {}, total: {}\n",
+            speedup(geomean(&kernel_speedups)),
+            speedup(geomean(&total_speedups)),
+        ));
+    }
+    out.push_str(&format!(
+        "\nmodeled peaks — CPU {:.2} GFLOPS, GPU {:.2} TFLOPS, UPMEM({} DPUs) {:.2} GFLOPS\n",
+        specs::CPU.peak_flops / 1e9,
+        specs::GPU.peak_flops / 1e12,
+        cfg.num_dpus,
+        upmem_peak / 1e9,
+    ));
+    out
+}

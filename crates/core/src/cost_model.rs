@@ -1,0 +1,182 @@
+//! Empirical cost model for kernel selection (§4, step ②).
+//!
+//! The paper determines the optimal SpMV/SpMSpV switch point empirically:
+//! per-iteration SpMV time is flat in input density while SpMSpV time
+//! grows roughly linearly with it (Fig 4). Fitting those two curves from a
+//! handful of probe runs predicts the crossover density — the quantity the
+//! decision tree of [`crate::adaptive`] generalizes across graphs.
+
+use alpha_pim_sim::PimSystem;
+use alpha_pim_sparse::{DenseVector, SparseVector};
+
+use crate::error::AlphaPimError;
+use crate::kernel::{PreparedSpmspv, PreparedSpmv};
+use crate::semiring::Semiring;
+
+/// One probe measurement at a fixed input-vector density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProbe {
+    /// Input-vector density in `[0, 1]`.
+    pub density: f64,
+    /// Total SpMV iteration seconds at this density.
+    pub spmv_seconds: f64,
+    /// Total SpMSpV iteration seconds at this density.
+    pub spmspv_seconds: f64,
+}
+
+/// Linear empirical model: `spmspv(d) = a + b·d`, `spmv(d) = c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalCostModel {
+    /// SpMSpV intercept `a` (seconds).
+    pub spmspv_intercept: f64,
+    /// SpMSpV slope `b` (seconds per unit density).
+    pub spmspv_slope: f64,
+    /// SpMV flat cost `c` (seconds).
+    pub spmv_flat: f64,
+}
+
+impl EmpiricalCostModel {
+    /// Fits the model to probe measurements by least squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two probes are provided.
+    pub fn fit(probes: &[CostProbe]) -> Self {
+        assert!(probes.len() >= 2, "need at least two probes to fit");
+        let n = probes.len() as f64;
+        let mean_d: f64 = probes.iter().map(|p| p.density).sum::<f64>() / n;
+        let mean_t: f64 = probes.iter().map(|p| p.spmspv_seconds).sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for p in probes {
+            num += (p.density - mean_d) * (p.spmspv_seconds - mean_t);
+            den += (p.density - mean_d).powi(2);
+        }
+        let slope = if den == 0.0 { 0.0 } else { num / den };
+        EmpiricalCostModel {
+            spmspv_intercept: mean_t - slope * mean_d,
+            spmspv_slope: slope,
+            spmv_flat: probes.iter().map(|p| p.spmv_seconds).sum::<f64>() / n,
+        }
+    }
+
+    /// Predicted SpMSpV iteration time at `density`.
+    pub fn predict_spmspv(&self, density: f64) -> f64 {
+        self.spmspv_intercept + self.spmspv_slope * density
+    }
+
+    /// Predicted SpMV iteration time (density-independent).
+    pub fn predict_spmv(&self) -> f64 {
+        self.spmv_flat
+    }
+
+    /// The density at which SpMV starts to win, if the curves cross within
+    /// `(0, 1]`.
+    pub fn crossover_density(&self) -> Option<f64> {
+        if self.spmspv_slope <= 0.0 {
+            return None;
+        }
+        let d = (self.spmv_flat - self.spmspv_intercept) / self.spmspv_slope;
+        (0.0..=1.0).contains(&d).then_some(d)
+    }
+}
+
+/// Runs probe iterations at the given densities against prepared kernels,
+/// using a deterministic striped input vector.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn probe_kernels<S: Semiring>(
+    spmv: &PreparedSpmv<S>,
+    spmspv: &PreparedSpmspv<S>,
+    densities: &[f64],
+    sys: &PimSystem,
+) -> Result<Vec<CostProbe>, AlphaPimError> {
+    let n = spmv.n() as usize;
+    let mut probes = Vec::with_capacity(densities.len());
+    for &density in densities {
+        let stride = (1.0 / density.clamp(1e-6, 1.0)).round().max(1.0) as u32;
+        let idx: Vec<u32> = (0..n as u32).filter(|i| i % stride == 0).collect();
+        let vals: Vec<S::Elem> = idx.iter().map(|&i| S::from_weight(i % 13 + 1)).collect();
+        let x = SparseVector::from_pairs(n, idx, vals)
+            .expect("striped indices are unique and in range");
+        let dense: DenseVector<S::Elem> = x.to_dense(S::zero());
+        let spmv_out = spmv.run(&dense, sys)?;
+        let spmspv_out = spmspv.run(&x, sys)?;
+        probes.push(CostProbe {
+            density: x.density(),
+            spmv_seconds: spmv_out.phases.total(),
+            spmspv_seconds: spmspv_out.phases.total(),
+        });
+    }
+    Ok(probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SpmspvVariant, SpmvVariant};
+    use crate::semiring::BoolOrAnd;
+    use alpha_pim_sim::{PimConfig, SimFidelity};
+
+    #[test]
+    fn fit_recovers_a_linear_relationship() {
+        let probes: Vec<CostProbe> = (1..=5)
+            .map(|i| {
+                let d = i as f64 / 10.0;
+                CostProbe { density: d, spmv_seconds: 0.8, spmspv_seconds: 0.1 + 2.0 * d }
+            })
+            .collect();
+        let m = EmpiricalCostModel::fit(&probes);
+        assert!((m.spmspv_slope - 2.0).abs() < 1e-9);
+        assert!((m.spmspv_intercept - 0.1).abs() < 1e-9);
+        assert!((m.spmv_flat - 0.8).abs() < 1e-9);
+        let cross = m.crossover_density().unwrap();
+        assert!((cross - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_crossover_when_spmspv_always_wins() {
+        let m = EmpiricalCostModel {
+            spmspv_intercept: 0.1,
+            spmspv_slope: 0.1,
+            spmv_flat: 10.0,
+        };
+        assert!(m.crossover_density().is_none());
+    }
+
+    #[test]
+    fn probes_show_spmspv_growing_with_density() {
+        let coo = alpha_pim_sparse::gen::erdos_renyi(600, 6000, 3)
+            .unwrap()
+            .map(BoolOrAnd::from_weight);
+        let sys = PimSystem::new(PimConfig {
+            num_dpus: 32,
+            fidelity: SimFidelity::Sampled(8),
+            ..Default::default()
+        })
+        .unwrap();
+        let spmv = PreparedSpmv::<BoolOrAnd>::prepare(&coo, SpmvVariant::Dcoo2d, &sys).unwrap();
+        let spmspv =
+            PreparedSpmspv::<BoolOrAnd>::prepare(&coo, SpmspvVariant::Csc2d, &sys).unwrap();
+        let probes =
+            probe_kernels(&spmv, &spmspv, &[0.02, 0.25, 0.9], &sys).unwrap();
+        assert!(probes[2].spmspv_seconds > probes[0].spmspv_seconds);
+        // SpMV stays comparatively flat.
+        let spmv_spread = probes[2].spmv_seconds / probes[0].spmv_seconds;
+        assert!(spmv_spread < 1.8, "SpMV spread {spmv_spread}");
+        let model = EmpiricalCostModel::fit(&probes);
+        assert!(model.spmspv_slope > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two probes")]
+    fn fitting_one_probe_panics() {
+        EmpiricalCostModel::fit(&[CostProbe {
+            density: 0.1,
+            spmv_seconds: 1.0,
+            spmspv_seconds: 1.0,
+        }]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the ALPHA-PIM framework.
+
+use std::fmt;
+
+use alpha_pim_sparse::SparseError;
+
+/// Errors produced while preparing or running kernels and applications.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AlphaPimError {
+    /// An underlying sparse data-structure error.
+    Sparse(SparseError),
+    /// The PIM system configuration is invalid.
+    Config(String),
+    /// A partition does not fit the per-DPU memory capacities.
+    Capacity(String),
+    /// An input vector's length does not match the prepared matrix.
+    Dimension {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// A requested source vertex does not exist.
+    InvalidSource {
+        /// The requested vertex.
+        source: u32,
+        /// Number of vertices in the graph.
+        nodes: u32,
+    },
+}
+
+impl fmt::Display for AlphaPimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlphaPimError::Sparse(e) => write!(f, "sparse error: {e}"),
+            AlphaPimError::Config(msg) => write!(f, "invalid PIM configuration: {msg}"),
+            AlphaPimError::Capacity(msg) => write!(f, "capacity exceeded: {msg}"),
+            AlphaPimError::Dimension { expected, actual } => {
+                write!(f, "vector length {actual} does not match matrix dimension {expected}")
+            }
+            AlphaPimError::InvalidSource { source, nodes } => {
+                write!(f, "source vertex {source} out of range for {nodes}-node graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlphaPimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlphaPimError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for AlphaPimError {
+    fn from(e: SparseError) -> Self {
+        AlphaPimError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AlphaPimError::Dimension { expected: 10, actual: 7 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("10"));
+        let e = AlphaPimError::InvalidSource { source: 5, nodes: 3 };
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn sparse_errors_convert_and_chain() {
+        use std::error::Error;
+        let e: AlphaPimError =
+            SparseError::InvalidArgument("bad".into()).into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AlphaPimError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! Kernel execution outcomes and the four-phase accounting of §4.1.
+
+use alpha_pim_sim::report::{KernelReport, PhaseBreakdown};
+use alpha_pim_sparse::DenseVector;
+
+use crate::semiring::Semiring;
+
+/// The result of one matrix–vector multiplication on the PIM system.
+#[derive(Debug, Clone)]
+pub struct IterationOutcome<S: Semiring> {
+    /// The full output vector `y = M ⊗ x` in the kernel's semiring.
+    pub y: DenseVector<S::Elem>,
+    /// Wall-clock phase breakdown (Load / Kernel / Retrieve / Merge).
+    pub phases: PhaseBreakdown,
+    /// Cycle-level kernel report from the pipeline simulator.
+    pub kernel: KernelReport,
+    /// Semiring operations actually performed (2 per processed entry),
+    /// for compute-utilization accounting.
+    pub useful_ops: u64,
+    /// Non-zero entries in the output vector.
+    pub output_nnz: usize,
+}
+
+impl<S: Semiring> IterationOutcome<S> {
+    /// Total wall-clock seconds of the iteration.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.total()
+    }
+
+    /// Compresses the output into non-zero `(index, value)` pairs.
+    pub fn output_sparse(&self) -> alpha_pim_sparse::SparseVector<S::Elem> {
+        self.y.to_sparse(|v| !S::is_zero(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::BoolOrAnd;
+    use alpha_pim_sim::report::CycleBreakdown;
+    use alpha_pim_sim::InstrMix;
+
+    fn dummy_kernel_report() -> KernelReport {
+        KernelReport {
+            num_dpus: 1,
+            detailed_dpus: 1,
+            max_cycles: 100,
+            seconds: 1e-6,
+            mean_cycles: 100.0,
+            breakdown: CycleBreakdown::default(),
+            instr_mix: InstrMix::new(),
+            avg_active_threads: 1.0,
+            total_instructions: 100,
+        }
+    }
+
+    #[test]
+    fn outcome_totals_and_compression() {
+        let outcome: IterationOutcome<BoolOrAnd> = IterationOutcome {
+            y: DenseVector::from_values(vec![0, 1, 0, 1]),
+            phases: PhaseBreakdown { load: 1.0, kernel: 2.0, retrieve: 3.0, merge: 4.0 },
+            kernel: dummy_kernel_report(),
+            useful_ops: 8,
+            output_nnz: 2,
+        };
+        assert!((outcome.total_seconds() - 10.0).abs() < 1e-12);
+        let sparse = outcome.output_sparse();
+        assert_eq!(sparse.indices(), &[1, 3]);
+    }
+}

@@ -1,0 +1,157 @@
+//! SpMV and SpMSpV kernels for the simulated UPMEM system.
+//!
+//! Each kernel executes *functionally* in Rust (producing the true output
+//! vector in the chosen semiring) while recording per-tasklet traces for
+//! the pipeline simulator, then combines the simulated kernel time with
+//! the transfer and host-merge models into the Load/Kernel/Retrieve/Merge
+//! phase breakdown of §4.1.
+//!
+//! Variants match the paper's design-space exploration:
+//!
+//! * SpMV (§3, from SparseP): [`SpmvVariant::Coo1d`] (row-partitioned,
+//!   nnz-balanced `COO.nnz`) and [`SpmvVariant::Dcoo2d`] (static
+//!   equal-sized 2D COO tiles, `DCOO`);
+//! * SpMSpV (§4.1): [`SpmspvVariant::Coo`], [`SpmspvVariant::Csr`],
+//!   [`SpmspvVariant::CscR`] (row-wise CSC), [`SpmspvVariant::CscC`]
+//!   (column-wise CSC), and [`SpmspvVariant::Csc2d`] (2D CSC tiles).
+
+pub mod exec;
+pub(crate) mod layout;
+pub mod spmm;
+pub mod spmspv;
+pub mod spmv;
+
+pub use exec::IterationOutcome;
+pub use spmm::{MultiVector, PreparedSpmm};
+pub use spmspv::PreparedSpmspv;
+pub use spmv::PreparedSpmv;
+
+use std::fmt;
+
+/// SpMV partitioning variants (the SparseP family of §3; `COO.nnz` and
+/// `DCOO` are the paper's two top performers, the CSR variants round out
+/// the 1D design space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpmvVariant {
+    /// 1D row partitioning with nnz-balanced COO bands (`COO.nnz`). The
+    /// full dense input vector is broadcast to every DPU; no merge needed.
+    Coo1d,
+    /// 1D row partitioning in CSR with equal-row bands (`CSR.row`) —
+    /// suffers load imbalance on skewed graphs.
+    CsrRow1d,
+    /// 1D row partitioning in CSR with nnz-balanced bands (`CSR.nnz`).
+    CsrNnz1d,
+    /// 2D static equal-sized COO tiles (`DCOO`). Input and output vectors
+    /// are partitioned; overlapping row bands are merged on the host.
+    Dcoo2d,
+}
+
+impl SpmvVariant {
+    /// All variants, in display order.
+    pub const ALL: [SpmvVariant; 4] = [
+        SpmvVariant::Coo1d,
+        SpmvVariant::CsrRow1d,
+        SpmvVariant::CsrNnz1d,
+        SpmvVariant::Dcoo2d,
+    ];
+
+    /// Short label used in reports (matches SparseP's naming).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpmvVariant::Coo1d => "COO.nnz-1D",
+            SpmvVariant::CsrRow1d => "CSR.row-1D",
+            SpmvVariant::CsrNnz1d => "CSR.nnz-1D",
+            SpmvVariant::Dcoo2d => "DCOO-2D",
+        }
+    }
+}
+
+impl fmt::Display for SpmvVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// SpMSpV format/partitioning variants (§4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpmspvVariant {
+    /// Row-wise COO bands; the compressed input vector is broadcast and
+    /// each matrix entry is matched against it by binary search.
+    Coo,
+    /// Row-wise CSR bands with equal-row splitting — consistently the
+    /// worst performer in the paper (§6.1), kept for completeness.
+    Csr,
+    /// Row-wise bands stored in CSC; only active columns are traversed.
+    CscR,
+    /// Column-wise CSC bands; each DPU receives only its input-vector
+    /// segment but emits a full-length partial output merged on the host.
+    CscC,
+    /// 2D CSC tiles — the paper's best overall SpMSpV (§6.1).
+    Csc2d,
+}
+
+impl SpmspvVariant {
+    /// All variants, in display order.
+    pub const ALL: [SpmspvVariant; 5] = [
+        SpmspvVariant::Coo,
+        SpmspvVariant::Csr,
+        SpmspvVariant::CscR,
+        SpmspvVariant::CscC,
+        SpmspvVariant::Csc2d,
+    ];
+
+    /// Short label used in reports (matches the paper's naming).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpmspvVariant::Coo => "COO",
+            SpmspvVariant::Csr => "CSR",
+            SpmspvVariant::CscR => "CSC-R",
+            SpmspvVariant::CscC => "CSC-C",
+            SpmspvVariant::Csc2d => "CSC-2D",
+        }
+    }
+}
+
+impl fmt::Display for SpmspvVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which kernel a graph-application iteration ran (per §4.2's adaptive
+/// switching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Dense-input sparse matrix–vector multiplication.
+    Spmv(SpmvVariant),
+    /// Sparse-input sparse matrix–sparse vector multiplication.
+    Spmspv(SpmspvVariant),
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelKind::Spmv(v) => write!(f, "SpMV({v})"),
+            KernelKind::Spmspv(v) => write!(f, "SpMSpV({v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(SpmspvVariant::Csc2d.label(), "CSC-2D");
+        assert_eq!(SpmvVariant::Dcoo2d.to_string(), "DCOO-2D");
+        assert_eq!(KernelKind::Spmspv(SpmspvVariant::CscR).to_string(), "SpMSpV(CSC-R)");
+    }
+
+    #[test]
+    fn variant_lists_are_complete() {
+        assert_eq!(SpmvVariant::ALL.len(), 4);
+        assert_eq!(SpmspvVariant::ALL.len(), 5);
+        assert_eq!(SpmvVariant::CsrRow1d.label(), "CSR.row-1D");
+    }
+}

@@ -1,0 +1,857 @@
+//! SpMSpV kernels: the paper's core contribution (§4.1).
+//!
+//! All five variants consume a *compressed* input vector, which slashes
+//! the Load phase relative to SpMV's dense broadcast (Fig 6). They differ
+//! in format and partitioning:
+//!
+//! * **COO / CSR** (row-wise) stream the whole matrix and match every
+//!   entry against the compressed vector by binary search — CSR with
+//!   per-row transfers and equal-row splitting, which is why it is
+//!   consistently the worst performer (§6.1) and excluded from Fig 5;
+//! * **CSC-R / CSC-C / CSC-2D** traverse only *active* columns (those
+//!   matching non-zero input entries), doing work proportional to the
+//!   frontier rather than the matrix.
+//!
+//! Outputs are compressed on the DPU before retrieval; column-wise and 2D
+//! variants additionally merge partial results on the host.
+
+use std::collections::HashMap;
+
+use alpha_pim_sim::instr::InstrClass;
+use alpha_pim_sim::report::PhaseBreakdown;
+use alpha_pim_sim::trace::TaskletTrace;
+use alpha_pim_sim::PimSystem;
+use alpha_pim_sparse::partition::{
+    near_square_grid, partition_cols, partition_grid, partition_rows, Balance,
+};
+use alpha_pim_sparse::{Coo, Csc, Csr, DenseVector, SparseVector};
+
+use crate::error::AlphaPimError;
+use crate::kernel::exec::IterationOutcome;
+use crate::kernel::layout::{
+    coo_entry_bytes, edge_base_cost, search_probes, tasklet_prologue,
+    tasklet_ranges, vec_entry_bytes, BlockedOutput, CHUNK_BYTES, CHUNK_OVERHEAD, KERNEL_LAUNCH_S,
+    SEARCH_CACHE_ENTRIES,
+};
+use crate::kernel::SpmspvVariant;
+use crate::semiring::Semiring;
+
+/// A matrix partitioned and laid out for one SpMSpV variant.
+#[derive(Debug)]
+pub struct PreparedSpmspv<S: Semiring> {
+    variant: SpmspvVariant,
+    n: u32,
+    data: SpmspvData<S::Elem>,
+}
+
+/// A row band in CSR form.
+#[derive(Debug)]
+struct CsrBand<V> {
+    rows: std::ops::Range<u32>,
+    matrix: Csr<V>,
+}
+
+/// A row band in CSC form (local rows × all columns).
+#[derive(Debug)]
+struct CscRowBand<V> {
+    rows: std::ops::Range<u32>,
+    matrix: Csc<V>,
+}
+
+/// A column band in CSC form (all rows × local columns).
+#[derive(Debug)]
+struct CscColBand<V> {
+    cols: std::ops::Range<u32>,
+    matrix: Csc<V>,
+}
+
+/// One 2D tile in CSC form (local rows × local columns).
+#[derive(Debug)]
+struct CscTile<V> {
+    rows: std::ops::Range<u32>,
+    cols: std::ops::Range<u32>,
+    matrix: Csc<V>,
+}
+
+#[derive(Debug)]
+enum SpmspvData<V> {
+    Coo(Vec<alpha_pim_sparse::RowPartition<V>>),
+    Csr(Vec<CsrBand<V>>),
+    CscR(Vec<CscRowBand<V>>),
+    CscC(Vec<CscColBand<V>>),
+    Csc2d { grid_cols: u32, tiles: Vec<CscTile<V>> },
+}
+
+impl<S: Semiring> PreparedSpmspv<S> {
+    /// Partitions `matrix` (already lifted into the semiring) for
+    /// `variant` across the system's DPUs, validating MRAM capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlphaPimError::Capacity`] if a DPU's share exceeds its
+    /// MRAM bank, and propagates partitioning errors.
+    pub fn prepare(
+        matrix: &Coo<S::Elem>,
+        variant: SpmspvVariant,
+        sys: &PimSystem,
+    ) -> Result<Self, AlphaPimError> {
+        let n = matrix.n_rows().max(matrix.n_cols());
+        let d = sys.num_dpus();
+        let eb = S::elem_bytes() as u64;
+        let entry = coo_entry_bytes(S::elem_bytes()) as u64;
+        let ventry = vec_entry_bytes(S::elem_bytes()) as u64;
+        let data = match variant {
+            SpmspvVariant::Coo => {
+                let mut parts = partition_rows(matrix, d, Balance::Nnz)?;
+                for p in &mut parts {
+                    p.matrix.sort_row_major();
+                    let bytes = p.matrix.nnz() as u64 * entry + n as u64 * ventry;
+                    sys.check_mram(bytes).map_err(AlphaPimError::Capacity)?;
+                }
+                SpmspvData::Coo(parts)
+            }
+            SpmspvVariant::Csr => {
+                let parts = partition_rows(matrix, d, Balance::EqualRange)?;
+                let bands: Vec<CsrBand<S::Elem>> = parts
+                    .into_iter()
+                    .map(|p| CsrBand { rows: p.row_range, matrix: p.matrix.to_csr() })
+                    .collect();
+                for b in &bands {
+                    let rows = (b.rows.end - b.rows.start) as u64;
+                    let bytes = (rows + 1) * 4 + b.matrix.nnz() as u64 * ventry + n as u64 * ventry;
+                    sys.check_mram(bytes).map_err(AlphaPimError::Capacity)?;
+                }
+                SpmspvData::Csr(bands)
+            }
+            SpmspvVariant::CscR => {
+                let parts = partition_rows(matrix, d, Balance::Nnz)?;
+                let bands: Vec<CscRowBand<S::Elem>> = parts
+                    .into_iter()
+                    .map(|p| CscRowBand { rows: p.row_range, matrix: p.matrix.to_csc() })
+                    .collect();
+                for b in &bands {
+                    let bytes = (n as u64 + 1) * 4
+                        + b.matrix.nnz() as u64 * ventry
+                        + n as u64 * ventry;
+                    sys.check_mram(bytes).map_err(AlphaPimError::Capacity)?;
+                }
+                SpmspvData::CscR(bands)
+            }
+            SpmspvVariant::CscC => {
+                let parts = partition_cols(matrix, d, Balance::Nnz)?;
+                let bands: Vec<CscColBand<S::Elem>> = parts
+                    .into_iter()
+                    .map(|p| CscColBand { cols: p.col_range, matrix: p.matrix.to_csc() })
+                    .collect();
+                for b in &bands {
+                    let cols = (b.cols.end - b.cols.start) as u64;
+                    let bytes =
+                        (cols + 1) * 4 + b.matrix.nnz() as u64 * ventry + n as u64 * eb;
+                    sys.check_mram(bytes).map_err(AlphaPimError::Capacity)?;
+                }
+                SpmspvData::CscC(bands)
+            }
+            SpmspvVariant::Csc2d => {
+                let (gr, gc) = near_square_grid(d);
+                let grid = partition_grid(matrix, gr, gc)?;
+                let tiles: Vec<CscTile<S::Elem>> = grid
+                    .tiles
+                    .into_iter()
+                    .map(|t| CscTile {
+                        rows: t.row_range,
+                        cols: t.col_range,
+                        matrix: t.matrix.to_csc(),
+                    })
+                    .collect();
+                for t in &tiles {
+                    let cols = (t.cols.end - t.cols.start) as u64;
+                    let rows = (t.rows.end - t.rows.start) as u64;
+                    let bytes = (cols + 1) * 4 + t.matrix.nnz() as u64 * ventry + rows * eb;
+                    sys.check_mram(bytes).map_err(AlphaPimError::Capacity)?;
+                }
+                SpmspvData::Csc2d { grid_cols: gc, tiles }
+            }
+        };
+        Ok(PreparedSpmspv { variant, n, data })
+    }
+
+    /// The variant this preparation targets.
+    pub fn variant(&self) -> SpmspvVariant {
+        self.variant
+    }
+
+    /// The (square) matrix dimension.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Runs one `y = M ⊗ x` iteration with a compressed input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlphaPimError::Dimension`] if `x.len() != n`.
+    pub fn run(
+        &self,
+        x: &SparseVector<S::Elem>,
+        sys: &PimSystem,
+    ) -> Result<IterationOutcome<S>, AlphaPimError> {
+        if x.len() != self.n as usize {
+            return Err(AlphaPimError::Dimension { expected: self.n as usize, actual: x.len() });
+        }
+        match &self.data {
+            SpmspvData::Coo(parts) => self.run_matched(x, sys, MatchedKind::Coo(parts)),
+            SpmspvData::Csr(bands) => self.run_matched(x, sys, MatchedKind::Csr(bands)),
+            SpmspvData::CscR(bands) => self.run_csc_r(x, sys, bands),
+            SpmspvData::CscC(bands) => self.run_csc_c(x, sys, bands),
+            SpmspvData::Csc2d { grid_cols, tiles } => {
+                self.run_csc_2d(x, sys, *grid_cols, tiles)
+            }
+        }
+    }
+
+    /// COO and CSR: stream the whole matrix, match entries against `x`.
+    fn run_matched(
+        &self,
+        x: &SparseVector<S::Elem>,
+        sys: &PimSystem,
+        kind: MatchedKind<'_, S::Elem>,
+    ) -> Result<IterationOutcome<S>, AlphaPimError> {
+        let eb = S::elem_bytes();
+        let ventry = vec_entry_bytes(eb) as u64;
+        let tasklets = sys.config().tasklets_per_dpu;
+        let mut acc = sys.accumulator();
+        let mut y = vec![S::zero(); self.n as usize];
+        let mut ops = 0u64;
+        let num_parts = kind.len();
+        let mut retrieve = vec![0u64; num_parts];
+        for part in 0..num_parts {
+            let (rows_range, nnz) = kind.band(part);
+            let band = (rows_range.end - rows_range.start) as usize;
+            let mut local = vec![S::zero(); band];
+            let traces = match &kind {
+                MatchedKind::Coo(parts) => coo_matched_traces::<S>(
+                    &parts[part].matrix,
+                    x,
+                    &mut local,
+                    tasklets,
+                    &mut ops,
+                ),
+                MatchedKind::Csr(bands) => csr_matched_traces::<S>(
+                    &bands[part].matrix,
+                    x,
+                    &mut local,
+                    tasklets,
+                    &mut ops,
+                ),
+            };
+            acc.add(part as u32, &traces);
+            let mut nnz_out = 0u64;
+            for (i, v) in local.into_iter().enumerate() {
+                if !S::is_zero(&v) {
+                    nnz_out += 1;
+                }
+                y[rows_range.start as usize + i] = v;
+            }
+            retrieve[part] = (nnz_out * ventry).min(band as u64 * eb as u64).max(u64::from(nnz > 0) * ventry);
+        }
+        let kernel = acc.finish();
+        let phases = PhaseBreakdown {
+            load: sys.broadcast_time(x.compressed_bytes(eb as usize) as u64, num_parts as u32),
+            kernel: kernel.seconds + KERNEL_LAUNCH_S,
+            retrieve: sys.gather_time(&retrieve),
+            merge: 0.0,
+        };
+        finish::<S>(y, kernel, phases, ops)
+    }
+
+    /// CSC-R: row bands, full compressed vector broadcast, active-column
+    /// traversal, shared-WRAM output under mutexes.
+    fn run_csc_r(
+        &self,
+        x: &SparseVector<S::Elem>,
+        sys: &PimSystem,
+        bands: &[CscRowBand<S::Elem>],
+    ) -> Result<IterationOutcome<S>, AlphaPimError> {
+        let eb = S::elem_bytes();
+        let ventry = vec_entry_bytes(eb) as u64;
+        let tasklets = sys.config().tasklets_per_dpu;
+        let mut acc = sys.accumulator();
+        let mut y = vec![S::zero(); self.n as usize];
+        let mut ops = 0u64;
+        let mut retrieve = vec![0u64; bands.len()];
+        let entries: Vec<(u32, S::Elem)> = x.iter().collect();
+        for (part, b) in bands.iter().enumerate() {
+            let band = (b.rows.end - b.rows.start) as usize;
+            let mut local = vec![S::zero(); band];
+            let traces = csc_active_traces::<S>(
+                &b.matrix,
+                &entries,
+                band as u64 * eb as u64,
+                sys,
+                tasklets,
+                &mut |r, contrib| {
+                    local[r as usize] = S::add(local[r as usize], contrib);
+                },
+                &mut ops,
+            );
+            acc.add(part as u32, &traces);
+            let mut nnz_out = 0u64;
+            for (i, v) in local.into_iter().enumerate() {
+                if !S::is_zero(&v) {
+                    nnz_out += 1;
+                }
+                y[b.rows.start as usize + i] = v;
+            }
+            retrieve[part] = (nnz_out * ventry).min(band as u64 * eb as u64);
+        }
+        let kernel = acc.finish();
+        let phases = PhaseBreakdown {
+            load: sys.broadcast_time(x.compressed_bytes(eb as usize) as u64, bands.len() as u32),
+            kernel: kernel.seconds + KERNEL_LAUNCH_S,
+            retrieve: sys.gather_time(&retrieve),
+            merge: 0.0,
+        };
+        finish::<S>(y, kernel, phases, ops)
+    }
+
+    /// CSC-C: column bands, segmented vector scatter, full-length partial
+    /// outputs compressed on the DPU and merged on the host.
+    fn run_csc_c(
+        &self,
+        x: &SparseVector<S::Elem>,
+        sys: &PimSystem,
+        bands: &[CscColBand<S::Elem>],
+    ) -> Result<IterationOutcome<S>, AlphaPimError> {
+        let eb = S::elem_bytes();
+        let ventry = vec_entry_bytes(eb) as u64;
+        let tasklets = sys.config().tasklets_per_dpu;
+        let mut acc = sys.accumulator();
+        let mut y = vec![S::zero(); self.n as usize];
+        let mut ops = 0u64;
+        let mut load = vec![0u64; bands.len()];
+        let mut retrieve = vec![0u64; bands.len()];
+        let mut merged_elems = 0u64;
+        for (part, b) in bands.iter().enumerate() {
+            let seg = x.slice_range(b.cols.start, b.cols.end);
+            let entries: Vec<(u32, S::Elem)> = seg.iter().collect();
+            load[part] = seg.compressed_bytes(eb as usize) as u64;
+            let mut partial: HashMap<u32, S::Elem> = HashMap::new();
+            let traces = csc_active_traces::<S>(
+                &b.matrix,
+                &entries,
+                // Output band is the whole vector: never fits WRAM.
+                u64::MAX,
+                sys,
+                tasklets,
+                &mut |r, contrib| {
+                    let slot = partial.entry(r).or_insert_with(S::zero);
+                    *slot = S::add(*slot, contrib);
+                },
+                &mut ops,
+            );
+            acc.add(part as u32, &traces);
+            retrieve[part] = (partial.len() as u64 * ventry).min(self.n as u64 * eb as u64);
+            merged_elems += partial.len() as u64;
+            for (r, v) in partial {
+                y[r as usize] = S::add(y[r as usize], v);
+            }
+        }
+        let kernel = acc.finish();
+        let phases = PhaseBreakdown {
+            load: sys.scatter_time(&load),
+            kernel: kernel.seconds + KERNEL_LAUNCH_S,
+            retrieve: sys.gather_time(&retrieve),
+            merge: sys.merge_time(merged_elems.max(1), 1, ventry as u32),
+        };
+        finish::<S>(y, kernel, phases, ops)
+    }
+
+    /// CSC-2D: tiles with segmented inputs and banded outputs — the best
+    /// overall SpMSpV (§6.1).
+    fn run_csc_2d(
+        &self,
+        x: &SparseVector<S::Elem>,
+        sys: &PimSystem,
+        _grid_cols: u32,
+        tiles: &[CscTile<S::Elem>],
+    ) -> Result<IterationOutcome<S>, AlphaPimError> {
+        let eb = S::elem_bytes();
+        let ventry = vec_entry_bytes(eb) as u64;
+        let tasklets = sys.config().tasklets_per_dpu;
+        let mut acc = sys.accumulator();
+        let mut y = vec![S::zero(); self.n as usize];
+        let mut ops = 0u64;
+        let mut load = vec![0u64; tiles.len()];
+        let mut retrieve = vec![0u64; tiles.len()];
+        let mut merged_elems = 0u64;
+        for (part, t) in tiles.iter().enumerate() {
+            let band = (t.rows.end - t.rows.start) as usize;
+            let seg = x.slice_range(t.cols.start, t.cols.end);
+            let entries: Vec<(u32, S::Elem)> = seg.iter().collect();
+            load[part] = seg.compressed_bytes(eb as usize) as u64;
+            let mut local = vec![S::zero(); band];
+            let traces = csc_active_traces::<S>(
+                &t.matrix,
+                &entries,
+                band as u64 * eb as u64,
+                sys,
+                tasklets,
+                &mut |r, contrib| {
+                    local[r as usize] = S::add(local[r as usize], contrib);
+                },
+                &mut ops,
+            );
+            acc.add(part as u32, &traces);
+            let mut nnz_out = 0u64;
+            for (i, v) in local.into_iter().enumerate() {
+                if !S::is_zero(&v) {
+                    nnz_out += 1;
+                    let g = t.rows.start as usize + i;
+                    y[g] = S::add(y[g], v);
+                }
+            }
+            retrieve[part] = (nnz_out * ventry).min(band as u64 * eb as u64);
+            merged_elems += nnz_out;
+        }
+        let kernel = acc.finish();
+        let phases = PhaseBreakdown {
+            load: sys.scatter_time(&load),
+            kernel: kernel.seconds + KERNEL_LAUNCH_S,
+            retrieve: sys.gather_time(&retrieve),
+            merge: sys.merge_time(merged_elems.max(1), 1, ventry as u32),
+        };
+        finish::<S>(y, kernel, phases, ops)
+    }
+}
+
+enum MatchedKind<'a, V> {
+    Coo(&'a [alpha_pim_sparse::RowPartition<V>]),
+    Csr(&'a [CsrBand<V>]),
+}
+
+impl<V: Copy> MatchedKind<'_, V> {
+    fn len(&self) -> usize {
+        match self {
+            MatchedKind::Coo(p) => p.len(),
+            MatchedKind::Csr(b) => b.len(),
+        }
+    }
+
+    fn band(&self, i: usize) -> (std::ops::Range<u32>, usize) {
+        match self {
+            MatchedKind::Coo(p) => (p[i].row_range.clone(), p[i].matrix.nnz()),
+            MatchedKind::Csr(b) => (b[i].rows.clone(), b[i].matrix.nnz()),
+        }
+    }
+}
+
+fn finish<S: Semiring>(
+    y: Vec<S::Elem>,
+    kernel: alpha_pim_sim::report::KernelReport,
+    phases: PhaseBreakdown,
+    ops: u64,
+) -> Result<IterationOutcome<S>, AlphaPimError> {
+    let output_nnz = y.iter().filter(|v| !S::is_zero(v)).count();
+    Ok(IterationOutcome {
+        y: DenseVector::from_values(y),
+        phases,
+        kernel,
+        useful_ops: ops,
+        output_nnz,
+    })
+}
+
+/// Binary-search cost of matching one matrix entry against the compressed
+/// input vector, with the top tree levels cached in WRAM.
+fn record_search(trace: &mut TaskletTrace, x_nnz: u64, cached_entries: u64) {
+    let probes = search_probes(x_nnz);
+    let cached = search_probes(cached_entries);
+    trace.compute(InstrClass::Arith, 2 * probes + 2);
+    trace.compute(InstrClass::Control, probes);
+    for _ in 0..probes.saturating_sub(cached) {
+        trace.dma(8);
+    }
+}
+
+/// COO SpMSpV worker: stream the band's entries coarse-grained and match
+/// each against `x`.
+fn coo_matched_traces<S: Semiring>(
+    m: &Coo<S::Elem>,
+    x: &SparseVector<S::Elem>,
+    local_y: &mut [S::Elem],
+    tasklets: u32,
+    ops: &mut u64,
+) -> Vec<TaskletTrace> {
+    let entry_bytes = coo_entry_bytes(S::elem_bytes());
+    let per_chunk = (CHUNK_BYTES / entry_bytes).max(1) as usize;
+    let ranges = tasklet_ranges(m.nnz(), tasklets);
+    let (rows, cols, vals) = (m.rows(), m.cols(), m.vals());
+    let mut traces = Vec::with_capacity(tasklets as usize);
+    for range in ranges {
+        let mut t = TaskletTrace::new();
+        tasklet_prologue(&mut t);
+        let mut out = BlockedOutput::new(S::elem_bytes());
+        let mut idx = range.start;
+        while idx < range.end {
+            let chunk_end = (idx + per_chunk).min(range.end);
+            t.dma((chunk_end - idx) as u32 * entry_bytes);
+            t.compute(InstrClass::Control, CHUNK_OVERHEAD);
+            for e in idx..chunk_end {
+                edge_base_cost(&mut t);
+                record_search(&mut t, x.nnz() as u64, SEARCH_CACHE_ENTRIES);
+                if let Some(xv) = x.get(cols[e]) {
+                    S::mul_cost().record(&mut t);
+                    let contrib = S::mul(vals[e], xv);
+                    out.update::<S>(local_y, rows[e], contrib, &mut t);
+                    *ops += 2;
+                }
+            }
+            idx = chunk_end;
+        }
+        out.flush(&mut t);
+        t.barrier();
+        traces.push(t);
+    }
+    traces
+}
+
+/// CSR SpMSpV worker: equal-row tasklet splitting, per-row pointer and
+/// element transfers (fine-grained DMA), per-element binary search with a
+/// smaller WRAM cache — deliberately the paper's worst performer.
+fn csr_matched_traces<S: Semiring>(
+    m: &Csr<S::Elem>,
+    x: &SparseVector<S::Elem>,
+    local_y: &mut [S::Elem],
+    tasklets: u32,
+    ops: &mut u64,
+) -> Vec<TaskletTrace> {
+    let ranges = tasklet_ranges(m.n_rows() as usize, tasklets);
+    let elem_dma = vec_entry_bytes(S::elem_bytes()).max(8);
+    let mut traces = Vec::with_capacity(tasklets as usize);
+    for range in ranges {
+        let mut t = TaskletTrace::new();
+        tasklet_prologue(&mut t);
+        for r in range {
+            // Row pointer pair fetch.
+            t.dma(8);
+            t.compute(InstrClass::Control, 2);
+            let (row_cols, row_vals) = m.row(r as u32);
+            let mut acc = S::zero();
+            for (&c, &v) in row_cols.iter().zip(row_vals) {
+                t.dma(elem_dma);
+                edge_base_cost(&mut t);
+                record_search(&mut t, x.nnz() as u64, 16);
+                if let Some(xv) = x.get(c) {
+                    S::mul_cost().record(&mut t);
+                    S::add_cost().record(&mut t);
+                    acc = S::add(acc, S::mul(v, xv));
+                    *ops += 2;
+                }
+            }
+            if !S::is_zero(&acc) {
+                t.dma(8);
+                t.compute(InstrClass::LoadStore, 1);
+                local_y[r] = acc;
+            }
+        }
+        t.barrier();
+        traces.push(t);
+    }
+    traces
+}
+
+/// The reserved mutex protecting the dynamic column work queue.
+const QUEUE_MUTEX: u16 = crate::kernel::layout::DATA_MUTEXES;
+
+/// CSC SpMSpV worker shared by CSC-R, CSC-C, and CSC-2D.
+///
+/// Tasklets pull *chunks of active columns* from a shared work queue
+/// (the thread-level workload balancing of §4.1.2): each dequeue takes the
+/// queue mutex, so at low input density — many dequeues per unit of useful
+/// work — synchronization dominates the instruction mix and contention
+/// spins pile up, while at high density larger chunks amortize the queue
+/// traffic (the Fig 11 effect). Column contributions are applied to the
+/// output band under one stripe mutex per column when the band fits in
+/// shared WRAM, or through the per-tasklet blocked MRAM cache otherwise.
+fn csc_active_traces<S: Semiring>(
+    m: &Csc<S::Elem>,
+    x_entries: &[(u32, S::Elem)],
+    band_bytes: u64,
+    sys: &PimSystem,
+    tasklets: u32,
+    apply: &mut dyn FnMut(u32, S::Elem),
+    ops: &mut u64,
+) -> Vec<TaskletTrace> {
+    let eb = S::elem_bytes();
+    let ventry = vec_entry_bytes(eb);
+    // The shared-WRAM accumulator needs the whole band plus streaming room.
+    let shared_wram = band_bytes <= (sys.config().wram_bytes as u64 * 3) / 4;
+    // Dynamic chunking: enough chunks for balance, large enough to
+    // amortize queue synchronization when the frontier is dense.
+    let chunk_cols = (x_entries.len() / (tasklets as usize * 2)).max(1);
+    let chunks: Vec<&[(u32, S::Elem)]> = x_entries.chunks(chunk_cols).collect();
+    let mut traces: Vec<TaskletTrace> = (0..tasklets as usize)
+        .map(|_| {
+            let mut t = TaskletTrace::new();
+            tasklet_prologue(&mut t);
+            if shared_wram {
+                // Tasklet-parallel zeroing of the shared accumulator
+                // (64-bit stores cover two elements each).
+                let share = (band_bytes / 2 / tasklets.max(1) as u64 / eb as u64) as u32;
+                t.compute(InstrClass::LoadStore, share.min(1 << 20));
+                t.barrier();
+            }
+            t
+        })
+        .collect();
+    let mut blocked: Vec<BlockedOutput> =
+        (0..tasklets as usize).map(|_| BlockedOutput::new(eb)).collect();
+    // Deterministic round-robin stands in for the dynamic queue order.
+    for (ci, chunk) in chunks.iter().enumerate() {
+        let tid = ci % tasklets as usize;
+        let t = &mut traces[tid];
+        // Dequeue: grab the next chunk descriptor under the queue mutex.
+        t.mutex_lock(QUEUE_MUTEX);
+        t.compute(InstrClass::LoadStore, 2);
+        t.mutex_unlock(QUEUE_MUTEX);
+        // Stream the chunk's input entries and batch-fetch column pointers.
+        t.dma(chunk.len() as u32 * ventry);
+        t.dma(chunk.len() as u32 * 8);
+        t.compute(InstrClass::Control, CHUNK_OVERHEAD);
+        // When the active columns are dense enough, their CSC data is
+        // nearly contiguous: stream the whole span once instead of issuing
+        // one small DMA per column (§4.1.3 — SpMSpV's accesses are "more
+        // localized than in SpMV"). Sparse frontiers fall back to
+        // per-column fetches and stay DMA-latency-bound.
+        let first_col = chunk.first().map(|&(j, _)| j).unwrap_or(0);
+        let last_col = chunk.last().map(|&(j, _)| j).unwrap_or(0);
+        let span_entries = m.col_ptr()[last_col as usize + 1] - m.col_ptr()[first_col as usize];
+        let useful_entries: usize =
+            chunk.iter().map(|&(j, _)| m.col_nnz(j)).sum();
+        let span_streamed = useful_entries > 0 && span_entries <= 2 * useful_entries;
+        if span_streamed {
+            t.dma_stream(span_entries as u64 * ventry as u64, CHUNK_BYTES, CHUNK_OVERHEAD);
+        }
+        // Per-stripe update counts buffered over this chunk (§4.1.3:
+        // partial results for the same output rows are buffered in WRAM
+        // and merged under one stripe mutex per chunk).
+        let mut stripe_updates = [0u32; crate::kernel::layout::DATA_MUTEXES as usize];
+        for &(j, xv) in *chunk {
+            t.compute(InstrClass::Arith, 3);
+            t.compute(InstrClass::Control, 2);
+            let (col_rows, col_vals) = m.col(j);
+            if col_rows.is_empty() {
+                continue;
+            }
+            if !span_streamed {
+                t.dma_stream(col_rows.len() as u64 * ventry as u64, CHUNK_BYTES, CHUNK_OVERHEAD);
+            }
+            for (&r, &v) in col_rows.iter().zip(col_vals) {
+                edge_base_cost(t);
+                S::mul_cost().record(t);
+                if shared_wram {
+                    // Buffer into the tasklet-private WRAM staging area.
+                    t.compute(InstrClass::LoadStore, 2);
+                    stripe_updates[crate::kernel::layout::mutex_for(r) as usize] += 1;
+                } else {
+                    blocked[tid].touch::<S>(r, t);
+                }
+                apply(r, S::mul(v, xv));
+                *ops += 2;
+            }
+        }
+        if shared_wram {
+            // Merge the chunk's buffered contributions into the shared
+            // accumulator, one stripe mutex per touched stripe.
+            for (stripe, &count) in stripe_updates.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                t.mutex_lock(stripe as u16);
+                t.compute(InstrClass::LoadStore, 2 * count);
+                for _ in 0..count {
+                    S::add_cost().record(t);
+                }
+                t.mutex_unlock(stripe as u16);
+            }
+        }
+    }
+    for (tid, t) in traces.iter_mut().enumerate() {
+        // Work-stealing termination: one final empty-queue poll.
+        t.mutex_lock(QUEUE_MUTEX);
+        t.compute(InstrClass::LoadStore, 1);
+        t.mutex_unlock(QUEUE_MUTEX);
+        if shared_wram {
+            // Write the shared accumulator band back to MRAM in parallel.
+            let share = band_bytes / tasklets as u64;
+            t.dma_stream(share, CHUNK_BYTES, CHUNK_OVERHEAD);
+        } else {
+            blocked[tid].flush(t);
+        }
+        t.barrier();
+    }
+    traces
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolOrAnd, MinPlus, PlusTimes};
+    use alpha_pim_sim::{PimConfig, SimFidelity};
+
+    fn system(dpus: u32) -> PimSystem {
+        PimSystem::new(PimConfig {
+            num_dpus: dpus,
+            fidelity: SimFidelity::Full,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    /// Reference multiply restricted to the sparse input's entries.
+    fn reference<S: Semiring>(m: &Coo<S::Elem>, x: &SparseVector<S::Elem>) -> Vec<S::Elem> {
+        let dense = x.to_dense(S::zero());
+        let mut y = vec![S::zero(); m.n_rows() as usize];
+        for (r, c, v) in m.iter() {
+            if !S::is_zero(&dense[c as usize]) {
+                y[r as usize] = S::add(y[r as usize], S::mul(v, dense[c as usize]));
+            }
+        }
+        y
+    }
+
+    fn sample_matrix() -> Coo<u32> {
+        alpha_pim_sparse::gen::erdos_renyi(80, 700, 13).unwrap()
+    }
+
+    fn sample_x<S: Semiring>(n: usize, stride: u32) -> SparseVector<S::Elem> {
+        let idx: Vec<u32> = (0..n as u32).filter(|i| i % stride == 0).collect();
+        let vals: Vec<S::Elem> = idx.iter().map(|&i| S::from_weight(i % 7 + 1)).collect();
+        SparseVector::from_pairs(n, idx, vals).unwrap()
+    }
+
+    #[test]
+    fn all_variants_compute_the_same_product_bool() {
+        let m = sample_matrix().map(BoolOrAnd::from_weight);
+        let sys = system(6);
+        let x = sample_x::<BoolOrAnd>(80, 3);
+        let expect = reference::<BoolOrAnd>(&m, &x);
+        for variant in SpmspvVariant::ALL {
+            let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&m, variant, &sys).unwrap();
+            let out = prep.run(&x, &sys).unwrap();
+            assert_eq!(out.y.values(), expect.as_slice(), "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn all_variants_compute_the_same_product_minplus() {
+        let m = sample_matrix().map(MinPlus::from_weight);
+        let sys = system(5);
+        let x = sample_x::<MinPlus>(80, 4);
+        let expect = reference::<MinPlus>(&m, &x);
+        for variant in SpmspvVariant::ALL {
+            let prep = PreparedSpmspv::<MinPlus>::prepare(&m, variant, &sys).unwrap();
+            let out = prep.run(&x, &sys).unwrap();
+            assert_eq!(out.y.values(), expect.as_slice(), "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn csc2d_matches_reference_float() {
+        let m = sample_matrix().map(PlusTimes::from_weight);
+        let sys = system(4);
+        let x = sample_x::<PlusTimes>(80, 2);
+        let expect = reference::<PlusTimes>(&m, &x);
+        let prep = PreparedSpmspv::<PlusTimes>::prepare(&m, SpmspvVariant::Csc2d, &sys).unwrap();
+        let out = prep.run(&x, &sys).unwrap();
+        for (a, b) in out.y.values().iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_input_vector_produces_zero_output() {
+        let m = sample_matrix().map(BoolOrAnd::from_weight);
+        let sys = system(4);
+        let x = SparseVector::new(80);
+        for variant in SpmspvVariant::ALL {
+            let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&m, variant, &sys).unwrap();
+            let out = prep.run(&x, &sys).unwrap();
+            assert_eq!(out.output_nnz, 0, "variant {variant}");
+            assert_eq!(out.useful_ops, 0, "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let m = sample_matrix().map(BoolOrAnd::from_weight);
+        let sys = system(4);
+        let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Csc2d, &sys).unwrap();
+        let x = SparseVector::one_hot(40, 0, 1u32);
+        assert!(matches!(prep.run(&x, &sys), Err(AlphaPimError::Dimension { .. })));
+    }
+
+    #[test]
+    fn csc_variants_do_work_proportional_to_frontier() {
+        // The defining SpMSpV property (§4.1): active-column traversal
+        // means sparser inputs do fewer operations.
+        let m = sample_matrix().map(BoolOrAnd::from_weight);
+        let sys = system(4);
+        let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Csc2d, &sys).unwrap();
+        let sparse = prep.run(&sample_x::<BoolOrAnd>(80, 16), &sys).unwrap();
+        let dense = prep.run(&sample_x::<BoolOrAnd>(80, 1), &sys).unwrap();
+        assert!(sparse.useful_ops < dense.useful_ops / 4);
+        assert!(sparse.phases.kernel < dense.phases.kernel);
+    }
+
+    #[test]
+    fn csr_is_the_slowest_variant() {
+        // §6.1: CSR consistently underperforms the other SpMSpV formats.
+        let m = alpha_pim_sparse::gen::rmat(9, 8, Default::default(), 3)
+            .unwrap()
+            .map(BoolOrAnd::from_weight);
+        let n = m.n_rows() as usize;
+        let sys = PimSystem::new(PimConfig {
+            num_dpus: 32,
+            fidelity: SimFidelity::Sampled(8),
+            ..Default::default()
+        })
+        .unwrap();
+        let idx: Vec<u32> = (0..n as u32).filter(|i| i % 10 == 0).collect();
+        let vals = vec![1u32; idx.len()];
+        let x = SparseVector::from_pairs(n, idx, vals).unwrap();
+        let mut times = std::collections::HashMap::new();
+        for variant in SpmspvVariant::ALL {
+            let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&m, variant, &sys).unwrap();
+            let out = prep.run(&x, &sys).unwrap();
+            times.insert(variant, out.phases.total());
+        }
+        let csr = times[&SpmspvVariant::Csr];
+        for (v, t) in &times {
+            if *v != SpmspvVariant::Csr {
+                assert!(csr > *t, "CSR ({csr:.6}s) should be slower than {v} ({t:.6}s)");
+            }
+        }
+    }
+
+    #[test]
+    fn load_phase_shrinks_with_compressed_input() {
+        // Fig 6: SpMSpV's compressed load beats SpMV's dense broadcast.
+        let m = sample_matrix().map(BoolOrAnd::from_weight);
+        let sys = system(8);
+        let x_sparse = sample_x::<BoolOrAnd>(80, 8);
+        let spmspv =
+            PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Coo, &sys).unwrap();
+        let out = spmspv.run(&x_sparse, &sys).unwrap();
+        let spmv = crate::kernel::spmv::PreparedSpmv::<BoolOrAnd>::prepare(
+            &m,
+            crate::kernel::SpmvVariant::Coo1d,
+            &sys,
+        )
+        .unwrap();
+        let dense = x_sparse.to_dense(BoolOrAnd::zero());
+        let out_v = spmv.run(&dense, &sys).unwrap();
+        assert!(out.phases.load < out_v.phases.load);
+    }
+}

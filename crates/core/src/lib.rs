@@ -1,0 +1,65 @@
+//! ALPHA-PIM: linear-algebraic graph processing on a (simulated) real
+//! processing-in-memory system.
+//!
+//! This crate is the paper's primary contribution: a framework that runs
+//! traversal-based graph applications — BFS, SSSP, and personalized
+//! PageRank — as iterated matrix–vector products over algebraic semirings
+//! on the UPMEM PIM architecture, with
+//!
+//! * a design-space of **SpMV** kernels (SparseP's `COO.nnz` 1D and `DCOO`
+//!   2D) and **SpMSpV** kernels (COO, CSR, CSC-R, CSC-C, CSC-2D) in
+//!   [`kernel`];
+//! * the **semiring framework** of Table 1 in [`semiring`];
+//! * **adaptive SpMSpV→SpMV switching** driven by a decision tree over
+//!   graph degree statistics (§4.2) in [`adaptive`], plus the empirical
+//!   cost model in [`cost_model`];
+//! * the **applications** themselves in [`apps`];
+//! * the one-stop [`AlphaPim`] engine in [`framework`].
+//!
+//! Kernels execute functionally in Rust while feeding per-tasklet traces
+//! into the cycle-level UPMEM simulator (`alpha-pim-sim`), so every run
+//! yields both the true algorithmic output *and* the paper's performance
+//! metrics (phase breakdowns, pipeline stalls, instruction mixes).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use alpha_pim::AlphaPim;
+//! use alpha_pim::apps::AppOptions;
+//! use alpha_pim_sim::{PimConfig, SimFidelity};
+//! use alpha_pim_sparse::{gen, Graph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = AlphaPim::builder()
+//!     .config(PimConfig { num_dpus: 16, fidelity: SimFidelity::Full, ..Default::default() })
+//!     .build()?;
+//! let graph = Graph::from_coo(gen::erdos_renyi(500, 4000, 1)?);
+//! let result = engine.bfs(&graph, 0, &AppOptions::default())?;
+//! println!(
+//!     "{} iterations, {:.2} ms simulated, kernels: {:?}",
+//!     result.report.num_iterations(),
+//!     result.report.total_seconds() * 1e3,
+//!     result.report.iterations.iter().map(|s| s.kernel).collect::<Vec<_>>(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod adaptive;
+pub mod apps;
+pub mod cost_model;
+pub mod error;
+pub mod framework;
+pub mod gblas;
+pub mod kernel;
+pub mod semiring;
+
+pub use adaptive::{DecisionTree, GraphFeatures};
+pub use cost_model::EmpiricalCostModel;
+pub use error::AlphaPimError;
+pub use framework::{AlphaPim, AlphaPimBuilder};
+pub use kernel::{KernelKind, MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
+pub use semiring::{BoolOrAnd, CountPlus, MaxMin, MinPlus, OpCost, PlusTimes, PlusTimesHw, Semiring};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, AlphaPimError>;

@@ -1,0 +1,137 @@
+//! Property-based tests: every kernel variant computes the same semiring
+//! product as the reference dense algorithm, on arbitrary graphs, vectors,
+//! and system shapes.
+
+use alpha_pim::semiring::{BoolOrAnd, MaxMin, MinPlus, Semiring};
+use alpha_pim::{PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
+use alpha_pim_sim::{PimConfig, PimSystem, SimFidelity};
+use alpha_pim_sparse::{Coo, SparseVector};
+use proptest::prelude::*;
+
+/// A small random square matrix with weights 1..=9.
+fn matrix_strategy() -> impl Strategy<Value = Coo<u32>> {
+    (4u32..40).prop_flat_map(|n| {
+        let max_nnz = (n as usize * n as usize).min(160);
+        proptest::collection::btree_set((0..n, 0..n), 0..max_nnz).prop_map(move |coords| {
+            Coo::from_entries(
+                n,
+                n,
+                coords.into_iter().enumerate().map(|(i, (r, c))| (r, c, (i % 9 + 1) as u32)),
+            )
+            .expect("coords in range")
+        })
+    })
+}
+
+fn reference<S: Semiring>(m: &Coo<S::Elem>, x: &[S::Elem]) -> Vec<S::Elem> {
+    let mut y = vec![S::zero(); m.n_rows() as usize];
+    for (r, c, v) in m.iter() {
+        if !S::is_zero(&x[c as usize]) {
+            y[r as usize] = S::add(y[r as usize], S::mul(v, x[c as usize]));
+        }
+    }
+    y
+}
+
+fn system(dpus: u32, tasklets: u32) -> PimSystem {
+    PimSystem::new(PimConfig {
+        num_dpus: dpus,
+        tasklets_per_dpu: tasklets,
+        fidelity: SimFidelity::Full,
+        ..Default::default()
+    })
+    .expect("valid config")
+}
+
+fn sparse_x<S: Semiring>(n: u32, mask: u64) -> SparseVector<S::Elem> {
+    let idx: Vec<u32> = (0..n).filter(|i| mask >> (i % 64) & 1 == 1).collect();
+    let vals: Vec<S::Elem> = idx.iter().map(|&i| S::from_weight(i % 7 + 1)).collect();
+    SparseVector::from_pairs(n as usize, idx, vals).expect("unique indices")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_spmspv_variant_matches_reference_bool(
+        m in matrix_strategy(),
+        mask in any::<u64>(),
+        dpus in 1u32..9,
+        tasklets in 1u32..20,
+    ) {
+        let lifted = m.map(BoolOrAnd::from_weight);
+        let sys = system(dpus, tasklets);
+        let x = sparse_x::<BoolOrAnd>(m.n_rows(), mask);
+        let expect = reference::<BoolOrAnd>(&lifted, x.to_dense(BoolOrAnd::zero()).values());
+        for variant in SpmspvVariant::ALL {
+            let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&lifted, variant, &sys).unwrap();
+            let out = prep.run(&x, &sys).unwrap();
+            prop_assert_eq!(out.y.values(), expect.as_slice(), "variant {}", variant);
+        }
+    }
+
+    #[test]
+    fn every_spmv_variant_matches_reference_minplus(
+        m in matrix_strategy(),
+        mask in any::<u64>(),
+        dpus in 1u32..9,
+    ) {
+        let lifted = m.map(MinPlus::from_weight);
+        let sys = system(dpus, 16);
+        let x = sparse_x::<MinPlus>(m.n_rows(), mask).to_dense(MinPlus::zero());
+        let expect = reference::<MinPlus>(&lifted, x.values());
+        for variant in SpmvVariant::ALL {
+            let prep = PreparedSpmv::<MinPlus>::prepare(&lifted, variant, &sys).unwrap();
+            let out = prep.run(&x, &sys).unwrap();
+            prop_assert_eq!(out.y.values(), expect.as_slice(), "variant {}", variant);
+        }
+    }
+
+    #[test]
+    fn maxmin_spmspv_matches_reference(
+        m in matrix_strategy(),
+        mask in any::<u64>(),
+    ) {
+        let lifted = m.map(MaxMin::from_weight);
+        let sys = system(4, 8);
+        let x = sparse_x::<MaxMin>(m.n_rows(), mask);
+        let expect = reference::<MaxMin>(&lifted, x.to_dense(MaxMin::zero()).values());
+        let prep =
+            PreparedSpmspv::<MaxMin>::prepare(&lifted, SpmspvVariant::Csc2d, &sys).unwrap();
+        let out = prep.run(&x, &sys).unwrap();
+        prop_assert_eq!(out.y.values(), expect.as_slice());
+    }
+
+    #[test]
+    fn kernel_timing_is_deterministic(
+        m in matrix_strategy(),
+        mask in any::<u64>(),
+    ) {
+        let lifted = m.map(BoolOrAnd::from_weight);
+        let sys = system(4, 16);
+        let x = sparse_x::<BoolOrAnd>(m.n_rows(), mask);
+        let prep =
+            PreparedSpmspv::<BoolOrAnd>::prepare(&lifted, SpmspvVariant::Csc2d, &sys).unwrap();
+        let a = prep.run(&x, &sys).unwrap();
+        let b = prep.run(&x, &sys).unwrap();
+        prop_assert_eq!(a.phases, b.phases);
+        prop_assert_eq!(a.kernel.max_cycles, b.kernel.max_cycles);
+        prop_assert_eq!(a.kernel.instr_mix, b.kernel.instr_mix);
+    }
+
+    #[test]
+    fn useful_ops_never_exceed_matrix_work(
+        m in matrix_strategy(),
+        mask in any::<u64>(),
+    ) {
+        let lifted = m.map(BoolOrAnd::from_weight);
+        let sys = system(4, 8);
+        let x = sparse_x::<BoolOrAnd>(m.n_rows(), mask);
+        for variant in SpmspvVariant::ALL {
+            let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&lifted, variant, &sys).unwrap();
+            let out = prep.run(&x, &sys).unwrap();
+            prop_assert!(out.useful_ops <= 2 * m.nnz() as u64, "variant {}", variant);
+            prop_assert!(out.output_nnz <= m.n_rows() as usize);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Shape tests: the paper's headline relative results must hold on the
+//! simulated system at reduced scale.
+
+use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
+use alpha_pim::{AlphaPim, SpmspvVariant, SpmvVariant};
+use alpha_pim_sim::{PimConfig, SimFidelity};
+use alpha_pim_sparse::datasets;
+
+fn engine(dpus: u32) -> AlphaPim {
+    AlphaPim::new(PimConfig {
+        num_dpus: dpus,
+        fidelity: SimFidelity::Sampled(32),
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+/// Fig 4: SpMSpV per-iteration time grows with input density while SpMV
+/// stays roughly flat, so the two curves cross.
+#[test]
+fn fig4_shape_spmspv_scales_with_density_spmv_flat() {
+    let spec = datasets::by_abbrev("A302").unwrap();
+    let graph = spec.generate_scaled(0.05, 42).unwrap();
+    let eng = engine(128);
+    let options = AppOptions {
+        policy: KernelPolicy::SpmspvOnly(SpmspvVariant::Csc2d),
+        ..Default::default()
+    };
+    let spmspv = eng.bfs(&graph, 0, &options).unwrap();
+    let options = AppOptions {
+        policy: KernelPolicy::SpmvOnly(SpmvVariant::Dcoo2d),
+        ..Default::default()
+    };
+    let spmv = eng.bfs(&graph, 0, &options).unwrap();
+
+    // SpMSpV iteration time correlates with density: the densest iteration
+    // is much slower than the sparsest.
+    let times: Vec<(f64, f64)> = spmspv
+        .report
+        .iterations
+        .iter()
+        .map(|s| (s.input_density, s.phases.total()))
+        .collect();
+    let min_density = times.iter().cloned().fold((2.0, 0.0), |a, b| if b.0 < a.0 { b } else { a });
+    let max_density = times.iter().cloned().fold((-1.0, 0.0), |a, b| if b.0 > a.0 { b } else { a });
+    assert!(
+        max_density.1 > 2.0 * min_density.1,
+        "SpMSpV densest iter {:?} should dwarf sparsest {:?}",
+        max_density,
+        min_density
+    );
+
+    // SpMV iteration time is flat (within 2x across iterations).
+    let spmv_times: Vec<f64> =
+        spmv.report.iterations.iter().map(|s| s.phases.total()).collect();
+    let (lo, hi) = spmv_times
+        .iter()
+        .fold((f64::MAX, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+    assert!(hi / lo < 2.0, "SpMV iterations should be flat: {lo} .. {hi}");
+    assert_eq!(spmv.levels, spmspv.levels);
+}
+
+/// Fig 7: adaptive switching beats SpMV-only end-to-end for BFS.
+#[test]
+fn fig7_shape_adaptive_beats_spmv_only() {
+    let spec = datasets::by_abbrev("e-En").unwrap();
+    let graph = spec.generate_scaled(0.2, 7).unwrap();
+    let eng = engine(128);
+    let adaptive = eng.bfs(&graph, 1, &AppOptions::default()).unwrap();
+    let spmv_only = eng
+        .bfs(
+            &graph,
+            1,
+            &AppOptions {
+                policy: KernelPolicy::SpmvOnly(SpmvVariant::Dcoo2d),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(adaptive.levels, spmv_only.levels);
+    let speedup = spmv_only.report.total_seconds() / adaptive.report.total_seconds();
+    assert!(speedup > 1.0, "adaptive should win, got speedup {speedup:.3}");
+}
+
+/// Fig 8 (obs. 2): PPR is kernel-dominated; BFS is transfer-dominated.
+#[test]
+fn fig8_shape_ppr_kernel_dominated_bfs_transfer_dominated() {
+    let spec = datasets::by_abbrev("face").unwrap();
+    let graph = spec.generate_scaled(0.5, 9).unwrap();
+    let eng = engine(128);
+    let ppr = eng.ppr(&graph, 0, &PprOptions::default()).unwrap();
+    let ppr_total = ppr.report.total_seconds();
+    let ppr_kernel_share = ppr.report.kernel_seconds() / ppr_total;
+    let bfs = eng.bfs(&graph, 0, &AppOptions::default()).unwrap();
+    let bfs_total = bfs.report.total_seconds();
+    let bfs_kernel_share = bfs.report.kernel_seconds() / bfs_total;
+    assert!(
+        ppr_kernel_share > bfs_kernel_share,
+        "PPR kernel share {ppr_kernel_share:.2} should exceed BFS's {bfs_kernel_share:.2}"
+    );
+    assert!(ppr_kernel_share > 0.4, "PPR should be kernel-dominated: {ppr_kernel_share:.2}");
+}
+
+/// Fig 11: SpMSpV's sync-instruction share falls as input density rises
+/// (queue dequeues amortize; contention spreads out).
+#[test]
+fn fig11_shape_sync_share_falls_with_density() {
+    use alpha_pim::semiring::BoolOrAnd;
+    use alpha_pim::{PreparedSpmspv, Semiring, SpmspvVariant};
+    use alpha_pim_sim::instr::InstrClass;
+    use alpha_pim_sim::PimSystem;
+    use alpha_pim_sparse::SparseVector;
+
+    let spec = datasets::by_abbrev("e-En").unwrap();
+    let graph = spec.generate_scaled(0.1, 11).unwrap();
+    let m = graph.transposed().map(BoolOrAnd::from_weight);
+    let n = graph.nodes() as usize;
+    let sys = PimSystem::new(PimConfig {
+        num_dpus: 64,
+        fidelity: SimFidelity::Sampled(16),
+        ..Default::default()
+    })
+    .unwrap();
+    let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Csc2d, &sys).unwrap();
+    let share = |density: f64| {
+        let stride = (1.0 / density).round().max(1.0) as u32;
+        let idx: Vec<u32> = (0..n as u32).filter(|i| i % stride == 0).collect();
+        let vals = vec![1u32; idx.len()];
+        let x = SparseVector::from_pairs(n, idx, vals).unwrap();
+        let mix = prep.run(&x, &sys).unwrap().kernel.instr_mix;
+        mix.fraction(InstrClass::Sync)
+    };
+    let low = share(0.01);
+    let high = share(0.50);
+    assert!(
+        low > high,
+        "sync share should fall with density: {low:.3} @1% vs {high:.3} @50%"
+    );
+}

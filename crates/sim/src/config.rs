@@ -1,0 +1,283 @@
+//! Configuration of the simulated UPMEM system.
+//!
+//! Defaults model the machine used in the paper (§5.2): 20 PIM DIMMs with
+//! 2,560 DPUs total (2,048 used by default, as in the paper's experiments),
+//! each DPU a 350 MHz multithreaded in-order core with a 14-stage revolver
+//! pipeline, a 64 MB MRAM bank, 64 KB of WRAM, and 24 KB of IRAM (§2.3.2).
+//! Timing constants are calibrated to published UPMEM/PrIM/PIMulator
+//! measurements; see `DESIGN.md` for the calibration table.
+
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a simulated UPMEM PIM system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PimConfig {
+    /// Number of DPUs allocated to kernels (paper default: 2,048).
+    pub num_dpus: u32,
+    /// Hardware threads (tasklets) per DPU, 1..=24 (paper kernels use 16).
+    pub tasklets_per_dpu: u32,
+    /// DPU clock frequency in Hz (UPMEM: 350 MHz).
+    pub dpu_frequency_hz: u64,
+    /// MRAM (DRAM bank) capacity per DPU in bytes (64 MB).
+    pub mram_bytes: u64,
+    /// WRAM (scratchpad) capacity per DPU in bytes (64 KB).
+    pub wram_bytes: u32,
+    /// IRAM (instruction memory) capacity per DPU in bytes (24 KB).
+    pub iram_bytes: u32,
+    /// Pipeline timing model.
+    pub pipeline: PipelineConfig,
+    /// CPU↔DPU transfer timing model.
+    pub transfer: TransferConfig,
+    /// Host-side (merge, convergence check) timing model.
+    pub host: HostConfig,
+    /// How many DPUs receive full discrete-event simulation.
+    pub fidelity: SimFidelity,
+}
+
+impl Default for PimConfig {
+    fn default() -> Self {
+        PimConfig {
+            num_dpus: 2048,
+            tasklets_per_dpu: 16,
+            dpu_frequency_hz: 350_000_000,
+            mram_bytes: 64 * 1024 * 1024,
+            wram_bytes: 64 * 1024,
+            iram_bytes: 24 * 1024,
+            pipeline: PipelineConfig::default(),
+            transfer: TransferConfig::default(),
+            host: HostConfig::default(),
+            fidelity: SimFidelity::default(),
+        }
+    }
+}
+
+impl PimConfig {
+    /// A configuration with `num_dpus` DPUs and paper defaults elsewhere.
+    pub fn with_dpus(num_dpus: u32) -> Self {
+        PimConfig { num_dpus, ..PimConfig::default() }
+    }
+
+    /// Seconds per DPU cycle.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / self.dpu_frequency_hz as f64
+    }
+
+    /// Validates structural limits (tasklet count, positive sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_dpus == 0 {
+            return Err("num_dpus must be positive".into());
+        }
+        if self.tasklets_per_dpu == 0 || self.tasklets_per_dpu > 24 {
+            return Err(format!(
+                "tasklets_per_dpu must be in 1..=24, got {}",
+                self.tasklets_per_dpu
+            ));
+        }
+        if self.dpu_frequency_hz == 0 {
+            return Err("dpu_frequency_hz must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Revolver pipeline and DMA timing parameters (§2.3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Minimum cycles between consecutive instructions of one tasklet — the
+    /// "revolver" scheduling constraint (11 on UPMEM).
+    pub revolver_period: u32,
+    /// Pipeline depth (14 stages; drain cost at kernel end).
+    pub pipeline_depth: u32,
+    /// Fixed cycles to start one MRAM↔WRAM DMA transfer.
+    pub dma_startup_cycles: u32,
+    /// Additional DMA cycles per byte transferred (~0.5 ⇒ ≈ 630 MB/s
+    /// sustained at 350 MHz, matching PrIM's measured MRAM bandwidth).
+    pub dma_cycles_per_byte: f64,
+    /// Extra issue delay when an instruction's operands collide in the
+    /// even/odd register-file banks.
+    pub rf_hazard_penalty: u32,
+    /// Fraction of register-reading instructions that incur an even/odd
+    /// bank conflict (deterministic pseudo-random selection).
+    pub rf_hazard_rate: f64,
+    /// Cycles a tasklet backs off before retrying a contended mutex
+    /// acquire (each retry issues one extra `Sync` instruction).
+    pub mutex_backoff_cycles: u32,
+    /// What-if (§6.4 recommendation): non-blocking DMA lets the issuing
+    /// tasklet keep computing while the transfer is in flight (upper-bound
+    /// model — data dependencies are assumed prefetchable).
+    #[serde(default)]
+    pub non_blocking_dma: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            revolver_period: 11,
+            pipeline_depth: 14,
+            dma_startup_cycles: 88,
+            dma_cycles_per_byte: 0.5,
+            rf_hazard_penalty: 1,
+            rf_hazard_rate: 0.08,
+            mutex_backoff_cycles: 44,
+            non_blocking_dma: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// What-if (§6.4 recommendation): intra-thread forwarding for
+    /// independent instructions shortens the revolver dispatch gap, as
+    /// proposed by the PIMulator study the paper cites.
+    pub fn with_forwarding(mut self, period: u32) -> Self {
+        self.revolver_period = period.max(1);
+        self
+    }
+
+    /// What-if (§6.4 recommendation): enables the non-blocking DMA model.
+    pub fn with_non_blocking_dma(mut self) -> Self {
+        self.non_blocking_dma = true;
+        self
+    }
+}
+
+impl PipelineConfig {
+    /// Cycles consumed by one blocking DMA of `bytes` bytes.
+    pub fn dma_cycles(&self, bytes: u32) -> u64 {
+        self.dma_startup_cycles as u64 + (bytes as f64 * self.dma_cycles_per_byte).ceil() as u64
+    }
+}
+
+/// CPU↔DPU transfer model (§2.3.1; UPMEM SDK parallel transfers).
+///
+/// The host writes each DPU's MRAM through the memory bus; parallel
+/// transfers overlap across ranks but share bus bandwidth, so the effective
+/// rate grows with the number of active DPUs until it saturates at
+/// [`TransferConfig::peak_bandwidth`]. There is no hardware multicast:
+/// broadcasting `b` bytes to `d` DPUs moves `b·d` bytes — which is exactly
+/// why 1D row-wise partitioning pays so dearly for full-vector loads
+/// (Fig 2) and why 2,048 DPUs can be load-bound (Fig 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferConfig {
+    /// Fixed per-batch overhead in seconds (driver + rank setup).
+    pub batch_overhead_s: f64,
+    /// Saturated aggregate bandwidth in bytes/second (PrIM measures
+    /// ≈ 16.9 GB/s for parallel transfers across thousands of DPUs).
+    pub peak_bandwidth: f64,
+    /// Per-DPU contribution to aggregate bandwidth before saturation.
+    pub per_dpu_bandwidth: f64,
+    /// What-if (§6.4 recommendation): a direct inter-DPU interconnect that
+    /// exchanges vectors without a host round-trip. `None` models the real
+    /// machine (host-mediated only).
+    #[serde(default)]
+    pub inter_dpu: Option<InterDpuConfig>,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            batch_overhead_s: 20e-6,
+            peak_bandwidth: 16.9e9,
+            per_dpu_bandwidth: 0.30e9,
+            inter_dpu: None,
+        }
+    }
+}
+
+/// Parameters of a hypothetical direct DPU-to-DPU interconnect (§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterDpuConfig {
+    /// Per-DPU link bandwidth in bytes/second.
+    pub link_bandwidth: f64,
+    /// Per-exchange startup latency in seconds.
+    pub latency_s: f64,
+}
+
+impl Default for InterDpuConfig {
+    fn default() -> Self {
+        // A modest serial link per PIM chip, far below the DDR4 bus but
+        // fully parallel across DPUs.
+        InterDpuConfig { link_bandwidth: 1.0e9, latency_s: 2e-6 }
+    }
+}
+
+/// Host CPU model for the Merge phase (parallel OpenMP-style merge on the
+/// Xeon host, §4.1.1) and per-iteration convergence checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// Merge throughput per host thread, bytes/second.
+    pub merge_bytes_per_s_per_thread: f64,
+    /// Host threads participating in merge (2× Xeon Silver 4110 ⇒ 16).
+    pub threads: u32,
+    /// Fixed overhead per host-side reduction in seconds.
+    pub reduce_overhead_s: f64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            merge_bytes_per_s_per_thread: 1.2e9,
+            threads: 16,
+            reduce_overhead_s: 5e-6,
+        }
+    }
+}
+
+/// Trade-off between simulation accuracy and speed at the system level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimFidelity {
+    /// Discrete-event-simulate every DPU.
+    Full,
+    /// Discrete-event-simulate a stride sample of this many DPUs (always
+    /// including the most heavily loaded one); estimate the rest
+    /// analytically, self-calibrated against the sampled ratio.
+    /// Instruction mixes are exact in both modes.
+    Sampled(u32),
+}
+
+impl Default for SimFidelity {
+    fn default() -> Self {
+        SimFidelity::Sampled(128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_hardware() {
+        let cfg = PimConfig::default();
+        assert_eq!(cfg.num_dpus, 2048);
+        assert_eq!(cfg.pipeline.revolver_period, 11);
+        assert_eq!(cfg.mram_bytes, 64 << 20);
+        assert_eq!(cfg.wram_bytes, 64 << 10);
+        assert_eq!(cfg.iram_bytes, 24 << 10);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        assert!(PimConfig { num_dpus: 0, ..Default::default() }.validate().is_err());
+        assert!(PimConfig { tasklets_per_dpu: 25, ..Default::default() }.validate().is_err());
+        assert!(PimConfig { tasklets_per_dpu: 0, ..Default::default() }.validate().is_err());
+        assert!(PimConfig { dpu_frequency_hz: 0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn dma_cycles_scale_with_size() {
+        let p = PipelineConfig::default();
+        assert_eq!(p.dma_cycles(0), 88);
+        assert_eq!(p.dma_cycles(8), 92);
+        assert!(p.dma_cycles(2048) > p.dma_cycles(64));
+    }
+
+    #[test]
+    fn cycle_seconds_inverts_frequency() {
+        let cfg = PimConfig::default();
+        assert!((cfg.cycle_seconds() - 1.0 / 350e6).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,74 @@
+//! Host-CPU model for the Merge phase and convergence checks.
+//!
+//! Column-wise and 2D partitionings leave partial results that the host
+//! merges with an OpenMP-style parallel reduction (§4.1.1); iterative apps
+//! additionally check convergence on the host every iteration (§6.3.1,
+//! which the paper folds into Merge time). Both are bandwidth-bound
+//! streaming reductions, modeled as bytes over aggregate host throughput.
+
+use crate::config::HostConfig;
+
+/// Seconds for the host to merge partial output vectors.
+///
+/// `elements` is the output vector length, `fan_in` the number of partial
+/// results per element (e.g. the tile-grid column count for 2D
+/// partitioning), and `bytes_per_element` the element size.
+pub fn merge_time(cfg: &HostConfig, elements: u64, fan_in: u32, bytes_per_element: u32) -> f64 {
+    if elements == 0 || fan_in == 0 {
+        return 0.0;
+    }
+    let bytes = elements * fan_in as u64 * bytes_per_element as u64;
+    cfg.reduce_overhead_s + bytes as f64 / aggregate_bandwidth(cfg)
+}
+
+/// Seconds for the host to scan a vector of `elements` entries once (the
+/// per-iteration convergence / frontier-emptiness check).
+pub fn scan_time(cfg: &HostConfig, elements: u64, bytes_per_element: u32) -> f64 {
+    if elements == 0 {
+        return 0.0;
+    }
+    cfg.reduce_overhead_s + (elements * bytes_per_element as u64) as f64 / aggregate_bandwidth(cfg)
+}
+
+/// The host's aggregate merge throughput in bytes/second.
+pub fn aggregate_bandwidth(cfg: &HostConfig) -> f64 {
+    cfg.merge_bytes_per_s_per_thread * cfg.threads as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HostConfig {
+        HostConfig::default()
+    }
+
+    #[test]
+    fn merge_scales_with_fan_in() {
+        let c = cfg();
+        let one = merge_time(&c, 1 << 20, 1, 4);
+        let thirty_two = merge_time(&c, 1 << 20, 32, 4);
+        assert!(thirty_two > 20.0 * one, "one={one} thirty_two={thirty_two}");
+    }
+
+    #[test]
+    fn empty_merge_is_free() {
+        let c = cfg();
+        assert_eq!(merge_time(&c, 0, 8, 4), 0.0);
+        assert_eq!(merge_time(&c, 100, 0, 4), 0.0);
+        assert_eq!(scan_time(&c, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn more_threads_merge_faster() {
+        let slow = HostConfig { threads: 1, ..cfg() };
+        let fast = HostConfig { threads: 16, ..cfg() };
+        assert!(merge_time(&fast, 1 << 22, 8, 4) < merge_time(&slow, 1 << 22, 8, 4));
+    }
+
+    #[test]
+    fn scan_is_cheaper_than_merge_with_fan_in() {
+        let c = cfg();
+        assert!(scan_time(&c, 1 << 20, 4) < merge_time(&c, 1 << 20, 16, 4));
+    }
+}

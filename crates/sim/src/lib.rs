@@ -1,0 +1,66 @@
+//! Cycle-level simulator of the UPMEM processing-in-memory system.
+//!
+//! The ALPHA-PIM paper runs its kernels on physical UPMEM DIMMs; this crate
+//! is the substitute substrate: a discrete-event model of the UPMEM
+//! architecture (§2.3 of the paper) detailed enough to reproduce the
+//! paper's microarchitectural analysis (Figs 9–11) and phase breakdowns
+//! (Figs 2, 5–8):
+//!
+//! * [`pipeline`] — one DPU's revolver pipeline: single-issue dispatch,
+//!   the 11-cycle same-tasklet spacing constraint, blocking DMA through a
+//!   serialized engine, mutexes, barriers, and even/odd register-file bank
+//!   conflicts, with idle cycles attributed to memory / revolver / RF
+//!   causes;
+//! * [`trace`] — the per-tasklet event traces kernels record while
+//!   executing functionally in Rust;
+//! * [`transfer`] — the CPU↔DPU scatter/broadcast/gather timing model;
+//! * [`host`] — host-side merge and convergence-check timing;
+//! * [`energy`] — average-power energy accounting for Table 4;
+//! * [`system`] — the [`PimSystem`] facade and capacity checks;
+//! * [`report`] — per-DPU and kernel-level reports plus the
+//!   Load/Kernel/Retrieve/Merge [`PhaseBreakdown`].
+//!
+//! # Example
+//!
+//! ```
+//! use alpha_pim_sim::{PimConfig, PimSystem};
+//! use alpha_pim_sim::instr::InstrClass;
+//! use alpha_pim_sim::trace::TaskletTrace;
+//!
+//! # fn main() -> Result<(), String> {
+//! let system = PimSystem::new(PimConfig::with_dpus(8))?;
+//! let mut acc = system.accumulator();
+//! for dpu in 0..8 {
+//!     let traces: Vec<TaskletTrace> = (0..16)
+//!         .map(|_| {
+//!             let mut t = TaskletTrace::new();
+//!             t.dma_stream(4096, 512, 2);
+//!             t.compute(InstrClass::Arith, 256);
+//!             t
+//!         })
+//!         .collect();
+//!     acc.add(dpu, &traces);
+//! }
+//! let kernel = acc.finish();
+//! assert!(kernel.seconds > 0.0);
+//! assert!(kernel.breakdown.total() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod energy;
+pub mod host;
+pub mod instr;
+pub mod pipeline;
+pub mod report;
+pub mod system;
+pub mod trace;
+pub mod transfer;
+
+pub use config::{HostConfig, InterDpuConfig, PimConfig, PipelineConfig, SimFidelity, TransferConfig};
+pub use energy::EnergyModel;
+pub use instr::{InstrClass, InstrMix};
+pub use report::{CycleBreakdown, DpuReport, KernelAccumulator, KernelReport, PhaseBreakdown};
+pub use system::PimSystem;
+pub use trace::{TaskletTrace, TraceEvent};

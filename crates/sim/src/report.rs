@@ -1,0 +1,367 @@
+//! Simulation reports: per-DPU cycle breakdowns, kernel-level aggregates,
+//! and the Load/Kernel/Retrieve/Merge phase decomposition the paper's
+//! figures are built from.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{PimConfig, SimFidelity};
+use crate::instr::InstrMix;
+use crate::pipeline::{estimate_cycles, simulate_dpu};
+use crate::trace::TaskletTrace;
+
+/// Cycle-level result of simulating one DPU (the Fig 9–11 metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpuReport {
+    /// Makespan in cycles, including pipeline drain.
+    pub total_cycles: u64,
+    /// Instructions issued.
+    pub issued_instructions: u64,
+    /// Cycles in which an instruction was dispatched (== issued).
+    pub active_cycles: u64,
+    /// Idle cycles attributed to tasklets waiting on DMA (gray in Fig 9).
+    pub idle_memory_cycles: u64,
+    /// Idle cycles attributed to the revolver dispatch constraint,
+    /// including sync-induced underutilization (light blue in Fig 9).
+    pub idle_revolver_cycles: u64,
+    /// Idle cycles attributed to even/odd register-file bank conflicts
+    /// (dark blue in Fig 9).
+    pub idle_rf_cycles: u64,
+    /// Instruction histogram (Fig 11).
+    pub instr_mix: InstrMix,
+    /// Average number of unblocked tasklets per cycle (Fig 10).
+    pub avg_active_threads: f64,
+    /// Extra `Sync` instructions issued retrying contended mutexes.
+    pub spin_retries: u64,
+}
+
+impl DpuReport {
+    /// Fraction of cycles in which an instruction issued, in `[0, 1]`.
+    pub fn issue_utilization(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.active_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// Aggregated cycle breakdown across the DPUs that received detailed
+/// simulation. All quantities are sums of per-DPU cycles, so fractions are
+/// meaningful machine-wide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Issue-active cycles.
+    pub active: u64,
+    /// Memory-stall idle cycles.
+    pub memory: u64,
+    /// Revolver-constraint idle cycles.
+    pub revolver: u64,
+    /// Register-file hazard idle cycles.
+    pub rf: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles across all categories.
+    pub fn total(&self) -> u64 {
+        self.active + self.memory + self.revolver + self.rf
+    }
+
+    /// `(active, memory, revolver, rf)` as fractions of the total.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.active as f64 / t,
+            self.memory as f64 / t,
+            self.revolver as f64 / t,
+            self.rf as f64 / t,
+        )
+    }
+}
+
+/// Aggregate result of simulating one kernel launch across every DPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// DPUs that participated.
+    pub num_dpus: u32,
+    /// DPUs that received full discrete-event simulation.
+    pub detailed_dpus: u32,
+    /// Makespan: the slowest DPU's cycles (kernel time = max over DPUs,
+    /// since the host waits for all of them).
+    pub max_cycles: u64,
+    /// Kernel wall-clock seconds (`max_cycles / frequency`).
+    pub seconds: f64,
+    /// Mean cycles per DPU.
+    pub mean_cycles: f64,
+    /// Sum of per-DPU cycle breakdowns over the detailed sample.
+    pub breakdown: CycleBreakdown,
+    /// Exact instruction mix summed over every DPU.
+    pub instr_mix: InstrMix,
+    /// Mean of per-DPU average-active-thread counts (detailed sample).
+    pub avg_active_threads: f64,
+    /// Total instructions issued across every DPU.
+    pub total_instructions: u64,
+}
+
+impl KernelReport {
+    /// Achieved operations per second across the whole PIM system, taking
+    /// `useful_ops` as the operation count of the kernel (used for the
+    /// compute-utilization comparison of Table 4).
+    pub fn achieved_ops_per_s(&self, useful_ops: u64) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            useful_ops as f64 / self.seconds
+        }
+    }
+}
+
+/// Incremental builder for a [`KernelReport`]: feed it one DPU's tasklet
+/// traces at a time; it decides (per the configured fidelity) whether to
+/// run the discrete-event pipeline model or the analytic estimate, and
+/// self-calibrates the estimates against the detailed sample.
+#[derive(Debug)]
+pub struct KernelAccumulator {
+    cfg: PimConfig,
+    stride: u32,
+    added: u32,
+    detailed: u32,
+    des_max: u64,
+    des_sum: u128,
+    est_max: u64,
+    est_sum: u128,
+    /// Sum of (des_cycles, est_cycles) pairs on detailed DPUs, for
+    /// calibrating the estimate scale.
+    calib_des: u128,
+    calib_est: u128,
+    breakdown: CycleBreakdown,
+    mix: InstrMix,
+    active_threads_sum: f64,
+    total_instructions: u64,
+    spin_retries: u64,
+}
+
+impl KernelAccumulator {
+    /// Creates an accumulator for a launch over `cfg.num_dpus` DPUs.
+    pub fn new(cfg: &PimConfig) -> Self {
+        let stride = match cfg.fidelity {
+            SimFidelity::Full => 1,
+            SimFidelity::Sampled(k) => (cfg.num_dpus / k.max(1)).max(1),
+        };
+        KernelAccumulator {
+            cfg: cfg.clone(),
+            stride,
+            added: 0,
+            detailed: 0,
+            des_max: 0,
+            des_sum: 0,
+            est_max: 0,
+            est_sum: 0,
+            calib_des: 0,
+            calib_est: 0,
+            breakdown: CycleBreakdown::default(),
+            mix: InstrMix::new(),
+            active_threads_sum: 0.0,
+            total_instructions: 0,
+            spin_retries: 0,
+        }
+    }
+
+    /// Adds one DPU's tasklet traces.
+    pub fn add(&mut self, dpu_id: u32, traces: &[TaskletTrace]) {
+        self.added += 1;
+        for t in traces {
+            self.mix.merge(&t.instr_mix());
+            self.total_instructions += t.instructions();
+        }
+        let est = estimate_cycles(traces, &self.cfg.pipeline);
+        self.est_sum += est as u128;
+        self.est_max = self.est_max.max(est);
+        if dpu_id % self.stride == 0 {
+            let report = simulate_dpu(traces, &self.cfg.pipeline);
+            self.detailed += 1;
+            self.des_max = self.des_max.max(report.total_cycles);
+            self.des_sum += report.total_cycles as u128;
+            self.calib_des += report.total_cycles as u128;
+            self.calib_est += est as u128;
+            self.breakdown.active += report.active_cycles;
+            self.breakdown.memory += report.idle_memory_cycles;
+            self.breakdown.revolver += report.idle_revolver_cycles;
+            self.breakdown.rf += report.idle_rf_cycles;
+            self.active_threads_sum += report.avg_active_threads;
+            self.spin_retries += report.spin_retries;
+        }
+    }
+
+    /// Finishes the launch, producing the aggregate report.
+    pub fn finish(self) -> KernelReport {
+        let calibration = if self.calib_est == 0 {
+            1.0
+        } else {
+            self.calib_des as f64 / self.calib_est as f64
+        };
+        let max_cycles = self.des_max.max((self.est_max as f64 * calibration) as u64);
+        let mean_cycles = if self.added == 0 {
+            0.0
+        } else {
+            self.est_sum as f64 * calibration / self.added as f64
+        };
+        // Contended-mutex retries are observed only on detailed DPUs; scale
+        // them to the full machine so Fig 11's sync share stays unbiased.
+        let mut mix = self.mix;
+        if self.detailed > 0 && self.spin_retries > 0 {
+            let scaled =
+                (self.spin_retries as f64 * self.added as f64 / self.detailed as f64) as u64;
+            mix.add(crate::instr::InstrClass::Sync, scaled);
+        }
+        KernelReport {
+            num_dpus: self.added,
+            detailed_dpus: self.detailed,
+            max_cycles,
+            seconds: max_cycles as f64 * self.cfg.cycle_seconds(),
+            mean_cycles,
+            breakdown: self.breakdown,
+            instr_mix: mix,
+            avg_active_threads: if self.detailed == 0 {
+                0.0
+            } else {
+                self.active_threads_sum / self.detailed as f64
+            },
+            total_instructions: self.total_instructions,
+        }
+    }
+}
+
+/// Wall-clock seconds of one matrix–vector iteration, split into the four
+/// phases of §4.1: load the input vector, run the kernel, retrieve
+/// results, and merge on the host.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// CPU→DPU input-vector transfer seconds.
+    pub load: f64,
+    /// DPU kernel seconds (max over DPUs).
+    pub kernel: f64,
+    /// DPU→CPU output transfer seconds.
+    pub retrieve: f64,
+    /// Host-side merge (and convergence-check) seconds.
+    pub merge: f64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all four phases.
+    pub fn total(&self) -> f64 {
+        self.load + self.kernel + self.retrieve + self.merge
+    }
+
+    /// Element-wise accumulation (e.g. summing iterations of an app).
+    pub fn accumulate(&mut self, other: &PhaseBreakdown) {
+        self.load += other.load;
+        self.kernel += other.kernel;
+        self.retrieve += other.retrieve;
+        self.merge += other.merge;
+    }
+
+    /// Element-wise division by `other`'s total, for normalized plots.
+    pub fn normalized_to(&self, reference_total: f64) -> PhaseBreakdown {
+        if reference_total == 0.0 {
+            return *self;
+        }
+        PhaseBreakdown {
+            load: self.load / reference_total,
+            kernel: self.kernel / reference_total,
+            retrieve: self.retrieve / reference_total,
+            merge: self.merge / reference_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::InstrClass;
+
+    fn traces(work: u32) -> Vec<TaskletTrace> {
+        (0..4)
+            .map(|i| {
+                let mut t = TaskletTrace::new();
+                t.dma(256);
+                t.compute(InstrClass::Arith, work + i * 3);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_fidelity_details_every_dpu() {
+        let cfg = PimConfig { num_dpus: 8, fidelity: SimFidelity::Full, ..Default::default() };
+        let mut acc = KernelAccumulator::new(&cfg);
+        for d in 0..8 {
+            acc.add(d, &traces(50));
+        }
+        let r = acc.finish();
+        assert_eq!(r.num_dpus, 8);
+        assert_eq!(r.detailed_dpus, 8);
+        assert!(r.max_cycles > 0);
+        assert!(r.seconds > 0.0);
+    }
+
+    #[test]
+    fn sampled_fidelity_details_a_subset_but_keeps_exact_mix() {
+        let full_cfg = PimConfig { num_dpus: 32, fidelity: SimFidelity::Full, ..Default::default() };
+        let sampled_cfg =
+            PimConfig { num_dpus: 32, fidelity: SimFidelity::Sampled(4), ..Default::default() };
+        let mut full = KernelAccumulator::new(&full_cfg);
+        let mut sampled = KernelAccumulator::new(&sampled_cfg);
+        for d in 0..32 {
+            let t = traces(40 + d);
+            full.add(d, &t);
+            sampled.add(d, &t);
+        }
+        let rf = full.finish();
+        let rs = sampled.finish();
+        assert!(rs.detailed_dpus < rf.detailed_dpus);
+        assert_eq!(rs.instr_mix, rf.instr_mix);
+        assert_eq!(rs.total_instructions, rf.total_instructions);
+        // Calibrated makespan should track the full simulation closely.
+        let ratio = rs.max_cycles as f64 / rf.max_cycles as f64;
+        assert!(ratio > 0.7 && ratio < 1.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let b = CycleBreakdown { active: 50, memory: 30, revolver: 15, rf: 5 };
+        let (a, m, r, f) = b.fractions();
+        assert!((a + m + r + f - 1.0).abs() < 1e-12);
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_breakdown_accumulates_and_normalizes() {
+        let mut p = PhaseBreakdown { load: 1.0, kernel: 2.0, retrieve: 0.5, merge: 0.5 };
+        p.accumulate(&PhaseBreakdown { load: 1.0, kernel: 0.0, retrieve: 0.0, merge: 0.0 });
+        assert!((p.total() - 5.0).abs() < 1e-12);
+        let n = p.normalized_to(10.0);
+        assert!((n.total() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_cleanly() {
+        let cfg = PimConfig::default();
+        let r = KernelAccumulator::new(&cfg).finish();
+        assert_eq!(r.num_dpus, 0);
+        assert_eq!(r.max_cycles, 0);
+        assert_eq!(r.avg_active_threads, 0.0);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let cfg = PimConfig { num_dpus: 1, fidelity: SimFidelity::Full, ..Default::default() };
+        let mut acc = KernelAccumulator::new(&cfg);
+        acc.add(0, &traces(100));
+        let r = acc.finish();
+        let util = r.breakdown.fractions().0;
+        assert!(util > 0.0 && util <= 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-tasklet event traces — the interface between kernels and the
+//! pipeline simulator.
+//!
+//! Kernels in the core crate execute *functionally* in Rust while recording
+//! what the equivalent DPU tasklet would do: blocks of instructions by
+//! class, blocking DMA transfers, and synchronization operations. The
+//! pipeline model (see [`crate::pipeline`]) then replays these traces to
+//! produce cycle-accurate timing without re-deriving the computation.
+
+use crate::instr::{InstrClass, InstrMix};
+
+/// One event in a tasklet's execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `count` back-to-back instructions of the same class.
+    Compute {
+        /// Instruction class.
+        class: InstrClass,
+        /// Number of instructions (> 0).
+        count: u32,
+    },
+    /// A blocking MRAM↔WRAM DMA of `bytes` bytes. Issues one `Dma`
+    /// instruction, then stalls the tasklet until the (shared, serialized)
+    /// DMA engine finishes the transfer.
+    Dma {
+        /// Transfer size in bytes.
+        bytes: u32,
+    },
+    /// Acquire the mutex `id` (one `Sync` instruction; blocks if held).
+    MutexLock {
+        /// Mutex identifier, local to the DPU.
+        id: u16,
+    },
+    /// Release the mutex `id` (one `Sync` instruction).
+    MutexUnlock {
+        /// Mutex identifier, local to the DPU.
+        id: u16,
+    },
+    /// Arrive at the all-tasklet barrier (one `Sync` instruction; blocks
+    /// until every live tasklet arrives).
+    Barrier,
+}
+
+/// The recorded execution of one tasklet.
+///
+/// Built through the recording methods, which coalesce consecutive compute
+/// events of the same class to keep traces compact.
+///
+/// # Example
+///
+/// ```
+/// use alpha_pim_sim::trace::TaskletTrace;
+/// use alpha_pim_sim::instr::InstrClass;
+///
+/// let mut t = TaskletTrace::new();
+/// t.dma(256);
+/// t.compute(InstrClass::Arith, 8);
+/// t.compute(InstrClass::Arith, 4); // coalesced with the previous block
+/// t.barrier();
+/// assert_eq!(t.events().len(), 3);
+/// assert_eq!(t.instructions(), 1 + 12 + 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskletTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl TaskletTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        TaskletTrace::default()
+    }
+
+    /// Records `count` instructions of `class`. Zero counts are ignored.
+    pub fn compute(&mut self, class: InstrClass, count: u32) {
+        if count == 0 {
+            return;
+        }
+        if let Some(TraceEvent::Compute { class: last, count: n }) = self.events.last_mut() {
+            if *last == class {
+                *n = n.saturating_add(count);
+                return;
+            }
+        }
+        self.events.push(TraceEvent::Compute { class, count });
+    }
+
+    /// Records a blocking DMA transfer. Zero-byte transfers are ignored.
+    pub fn dma(&mut self, bytes: u32) {
+        if bytes > 0 {
+            self.events.push(TraceEvent::Dma { bytes });
+        }
+    }
+
+    /// Records a streaming read of `total_bytes` performed in WRAM chunks
+    /// of `chunk_bytes`, with `per_chunk_overhead` bookkeeping instructions
+    /// per chunk — the coarse-grained DMA pattern of §4.1.3.
+    pub fn dma_stream(&mut self, total_bytes: u64, chunk_bytes: u32, per_chunk_overhead: u32) {
+        assert!(chunk_bytes > 0, "chunk_bytes must be positive");
+        let mut remaining = total_bytes;
+        while remaining > 0 {
+            let this = remaining.min(chunk_bytes as u64) as u32;
+            self.dma(this);
+            self.compute(InstrClass::Control, per_chunk_overhead);
+            remaining -= this as u64;
+        }
+    }
+
+    /// Records a mutex acquisition.
+    pub fn mutex_lock(&mut self, id: u16) {
+        self.events.push(TraceEvent::MutexLock { id });
+    }
+
+    /// Records a mutex release.
+    pub fn mutex_unlock(&mut self, id: u16) {
+        self.events.push(TraceEvent::MutexUnlock { id });
+    }
+
+    /// Records arrival at the all-tasklet barrier.
+    pub fn barrier(&mut self) {
+        self.events.push(TraceEvent::Barrier);
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total instructions this trace will issue (compute + one per DMA,
+    /// mutex op, and barrier).
+    pub fn instructions(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Compute { count, .. } => *count as u64,
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Total bytes moved by DMA events.
+    pub fn dma_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| if let TraceEvent::Dma { bytes } = e { *bytes as u64 } else { 0 })
+            .sum()
+    }
+
+    /// Instruction-mix histogram of this trace (exact, no simulation).
+    pub fn instr_mix(&self) -> InstrMix {
+        let mut mix = InstrMix::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Compute { class, count } => mix.add(*class, *count as u64),
+                TraceEvent::Dma { .. } => mix.add(InstrClass::Dma, 1),
+                TraceEvent::MutexLock { .. }
+                | TraceEvent::MutexUnlock { .. }
+                | TraceEvent::Barrier => mix.add(InstrClass::Sync, 1),
+            }
+        }
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_coalesces_same_class() {
+        let mut t = TaskletTrace::new();
+        t.compute(InstrClass::Arith, 3);
+        t.compute(InstrClass::Arith, 5);
+        t.compute(InstrClass::Control, 1);
+        t.compute(InstrClass::Arith, 2);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.instructions(), 11);
+    }
+
+    #[test]
+    fn zero_counts_and_bytes_are_ignored() {
+        let mut t = TaskletTrace::new();
+        t.compute(InstrClass::Arith, 0);
+        t.dma(0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn dma_stream_splits_into_chunks() {
+        let mut t = TaskletTrace::new();
+        t.dma_stream(1000, 256, 2);
+        let dmas: Vec<u32> = t
+            .events()
+            .iter()
+            .filter_map(|e| if let TraceEvent::Dma { bytes } = e { Some(*bytes) } else { None })
+            .collect();
+        assert_eq!(dmas, vec![256, 256, 256, 232]);
+        assert_eq!(t.dma_bytes(), 1000);
+    }
+
+    #[test]
+    fn instr_mix_counts_every_event_kind() {
+        let mut t = TaskletTrace::new();
+        t.compute(InstrClass::Arith, 4);
+        t.dma(64);
+        t.mutex_lock(0);
+        t.mutex_unlock(0);
+        t.barrier();
+        let mix = t.instr_mix();
+        assert_eq!(mix.count(InstrClass::Arith), 4);
+        assert_eq!(mix.count(InstrClass::Dma), 1);
+        assert_eq!(mix.count(InstrClass::Sync), 3);
+        assert_eq!(mix.total(), t.instructions());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_bytes")]
+    fn dma_stream_rejects_zero_chunk() {
+        TaskletTrace::new().dma_stream(10, 0, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! CPU↔DPU transfer timing model (§2.3.1).
+//!
+//! The UPMEM SDK moves data between host memory and DPU MRAM banks through
+//! the DDR4 bus via a transposition library; parallel transfers overlap
+//! across ranks but share bus bandwidth. Three primitives cover what the
+//! kernels need:
+//!
+//! * [`scatter`] — different payloads to different DPUs (parallel transfer;
+//!   the SDK pads each DPU's slot to the largest payload in the batch);
+//! * [`broadcast`] — the same payload to every DPU (no hardware multicast,
+//!   so the bus carries `bytes × num_dpus`);
+//! * [`gather`] — payloads from DPUs back to the host.
+
+use crate::config::TransferConfig;
+
+/// Effective aggregate bandwidth with `active_dpus` DPUs participating:
+/// grows linearly until it saturates at the bus peak.
+pub fn effective_bandwidth(cfg: &TransferConfig, active_dpus: u32) -> f64 {
+    (cfg.per_dpu_bandwidth * active_dpus as f64).min(cfg.peak_bandwidth)
+}
+
+/// Seconds to scatter distinct per-DPU payloads in one parallel batch.
+///
+/// The SDK's parallel transfer moves the same number of bytes to every DPU
+/// in a batch, so the batch is padded to the largest payload.
+pub fn scatter(cfg: &TransferConfig, per_dpu_bytes: &[u64]) -> f64 {
+    let active = per_dpu_bytes.iter().filter(|&&b| b > 0).count() as u32;
+    if active == 0 {
+        return 0.0;
+    }
+    let max = *per_dpu_bytes.iter().max().expect("non-empty payload list");
+    let total = max * per_dpu_bytes.len() as u64;
+    cfg.batch_overhead_s + total as f64 / effective_bandwidth(cfg, per_dpu_bytes.len() as u32)
+}
+
+/// Seconds to broadcast the same `bytes` to `num_dpus` DPUs.
+pub fn broadcast(cfg: &TransferConfig, bytes: u64, num_dpus: u32) -> f64 {
+    if bytes == 0 || num_dpus == 0 {
+        return 0.0;
+    }
+    let total = bytes * num_dpus as u64;
+    cfg.batch_overhead_s + total as f64 / effective_bandwidth(cfg, num_dpus)
+}
+
+/// Seconds to gather distinct per-DPU payloads back to the host in one
+/// parallel batch (padded like [`scatter`]).
+pub fn gather(cfg: &TransferConfig, per_dpu_bytes: &[u64]) -> f64 {
+    scatter(cfg, per_dpu_bytes)
+}
+
+/// Seconds for a direct DPU-to-DPU vector exchange over the hypothetical
+/// interconnect of §6.4's recommendations: every DPU ships its partial
+/// vector to the peers that need it, links operating in parallel.
+///
+/// Returns `None` when the configuration has no interconnect (the real
+/// machine), in which case exchanges must round-trip through the host.
+pub fn inter_dpu_exchange(cfg: &TransferConfig, per_dpu_bytes: &[u64]) -> Option<f64> {
+    let link = cfg.inter_dpu?;
+    let max = per_dpu_bytes.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return Some(0.0);
+    }
+    Some(link.latency_s + max as f64 / link.link_bandwidth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TransferConfig {
+        TransferConfig::default()
+    }
+
+    #[test]
+    fn bandwidth_saturates_at_peak() {
+        let c = cfg();
+        assert!(effective_bandwidth(&c, 1) < c.peak_bandwidth);
+        assert_eq!(effective_bandwidth(&c, 10_000), c.peak_bandwidth);
+        assert!(effective_bandwidth(&c, 8) > effective_bandwidth(&c, 4));
+    }
+
+    #[test]
+    fn broadcast_cost_scales_with_dpu_count() {
+        let c = cfg();
+        // Past saturation, doubling DPUs doubles bus traffic at fixed rate.
+        let t1k = broadcast(&c, 1 << 20, 1024);
+        let t2k = broadcast(&c, 1 << 20, 2048);
+        assert!(t2k > 1.8 * t1k, "t1k={t1k} t2k={t2k}");
+    }
+
+    #[test]
+    fn scatter_pads_to_largest_payload() {
+        let c = cfg();
+        let balanced = scatter(&c, &vec![1024u64; 64]);
+        let mut skewed = vec![1024u64; 64];
+        skewed[0] = 64 * 1024;
+        let imbalanced = scatter(&c, &skewed);
+        assert!(imbalanced > balanced);
+    }
+
+    #[test]
+    fn empty_transfers_are_free() {
+        let c = cfg();
+        assert_eq!(scatter(&c, &[]), 0.0);
+        assert_eq!(scatter(&c, &[0, 0, 0]), 0.0);
+        assert_eq!(broadcast(&c, 0, 2048), 0.0);
+        assert_eq!(broadcast(&c, 100, 0), 0.0);
+    }
+
+    #[test]
+    fn gather_matches_scatter_model() {
+        let c = cfg();
+        let bytes = vec![4096u64; 128];
+        assert_eq!(gather(&c, &bytes), scatter(&c, &bytes));
+    }
+
+    #[test]
+    fn broadcast_to_all_dpus_is_costlier_than_segment_scatter() {
+        // The Fig 2 effect: loading a full vector to every DPU (1D) vs
+        // scattering 1/D-th segments (2D).
+        let c = cfg();
+        let n_bytes = 1u64 << 20; // 1 MiB vector
+        let dpus = 2048u32;
+        let full = broadcast(&c, n_bytes, dpus);
+        let seg = scatter(&c, &vec![n_bytes / dpus as u64; dpus as usize]);
+        assert!(full > 50.0 * seg, "full={full} seg={seg}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Coordinate-list (COO) sparse matrix format.
+//!
+//! COO stores each non-zero as an `(row, col, value)` triple (§2.1 of the
+//! paper). It is the canonical interchange format in this crate: generators
+//! produce COO, partitioners slice COO, and [`Csr`]/[`Csc`] are built from it.
+
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// A sparse matrix in coordinate-list format.
+///
+/// Entries are stored structure-of-arrays style. Duplicate coordinates are
+/// permitted by the representation (graph multi-edges); [`Coo::coalesce`]
+/// merges them.
+///
+/// # Example
+///
+/// ```
+/// use alpha_pim_sparse::Coo;
+///
+/// # fn main() -> Result<(), alpha_pim_sparse::SparseError> {
+/// let m = Coo::from_entries(2, 3, vec![(0, 1, 5u32), (1, 2, 7)])?;
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.to_csr().row(0), (&[1u32][..], &[5u32][..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coo<V> {
+    n_rows: u32,
+    n_cols: u32,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<V>,
+}
+
+impl<V: Copy> Coo<V> {
+    /// Creates an empty matrix of the given dimensions.
+    pub fn new(n_rows: u32, n_cols: u32) -> Self {
+        Coo { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates a matrix from `(row, col, value)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if any triple lies outside
+    /// the `n_rows x n_cols` bounds.
+    pub fn from_entries(
+        n_rows: u32,
+        n_cols: u32,
+        entries: impl IntoIterator<Item = (u32, u32, V)>,
+    ) -> Result<Self> {
+        let mut m = Coo::new(n_rows, n_cols);
+        for (r, c, v) in entries {
+            m.push(r, c, v)?;
+        }
+        Ok(m)
+    }
+
+    /// Creates a matrix directly from parallel arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::LengthMismatch`] if the arrays disagree in
+    /// length, or [`SparseError::IndexOutOfBounds`] for out-of-range indices.
+    pub fn from_parts(
+        n_rows: u32,
+        n_cols: u32,
+        rows: Vec<u32>,
+        cols: Vec<u32>,
+        vals: Vec<V>,
+    ) -> Result<Self> {
+        if rows.len() != cols.len() {
+            return Err(SparseError::LengthMismatch {
+                what: "rows vs cols",
+                left: rows.len(),
+                right: cols.len(),
+            });
+        }
+        if rows.len() != vals.len() {
+            return Err(SparseError::LengthMismatch {
+                what: "rows vs vals",
+                left: rows.len(),
+                right: vals.len(),
+            });
+        }
+        for (&r, &c) in rows.iter().zip(&cols) {
+            if r >= n_rows || c >= n_cols {
+                return Err(SparseError::IndexOutOfBounds { row: r, col: c, n_rows, n_cols });
+            }
+        }
+        Ok(Coo { n_rows, n_cols, rows, cols, vals })
+    }
+
+    /// Appends one non-zero entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the coordinate is outside
+    /// the matrix.
+    pub fn push(&mut self, row: u32, col: u32, val: V) -> Result<()> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> u32 {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> u32 {
+        self.n_cols
+    }
+
+    /// Number of stored entries (including any duplicates).
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Row indices of the stored entries.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Column indices of the stored entries.
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Values of the stored entries.
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Iterates over `(row, col, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, V)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Fraction of non-zero cells: `nnz / (n_rows * n_cols)`.
+    ///
+    /// This is the "Sparsity" column of Table 2 in the paper.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.n_rows == 0 || self.n_cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.n_rows as f64 * self.n_cols as f64)
+    }
+
+    /// Sorts entries row-major (by row, then column). Stable.
+    pub fn sort_row_major(&mut self) {
+        let mut order: Vec<u32> = (0..self.nnz() as u32).collect();
+        order.sort_by_key(|&i| (self.rows[i as usize], self.cols[i as usize]));
+        self.apply_permutation(&order);
+    }
+
+    /// Sorts entries column-major (by column, then row). Stable.
+    pub fn sort_col_major(&mut self) {
+        let mut order: Vec<u32> = (0..self.nnz() as u32).collect();
+        order.sort_by_key(|&i| (self.cols[i as usize], self.rows[i as usize]));
+        self.apply_permutation(&order);
+    }
+
+    fn apply_permutation(&mut self, order: &[u32]) {
+        self.rows = order.iter().map(|&i| self.rows[i as usize]).collect();
+        self.cols = order.iter().map(|&i| self.cols[i as usize]).collect();
+        self.vals = order.iter().map(|&i| self.vals[i as usize]).collect();
+    }
+
+    /// Returns the transpose (rows and columns swapped).
+    pub fn transpose(&self) -> Coo<V> {
+        Coo {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Converts to compressed sparse row format.
+    pub fn to_csr(&self) -> Csr<V> {
+        Csr::from_coo(self)
+    }
+
+    /// Converts to compressed sparse column format.
+    pub fn to_csc(&self) -> Csc<V> {
+        Csc::from_coo(self)
+    }
+
+    /// Per-row entry counts (out-degrees when the matrix is an adjacency
+    /// matrix).
+    pub fn row_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_rows as usize];
+        for &r in &self.rows {
+            counts[r as usize] += 1;
+        }
+        counts
+    }
+
+    /// Per-column entry counts (in-degrees for an adjacency matrix).
+    pub fn col_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_cols as usize];
+        for &c in &self.cols {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl<V: Copy> Coo<V> {
+    /// Merges duplicate coordinates, combining values with `combine`.
+    ///
+    /// The result is sorted row-major.
+    pub fn coalesce(&self, combine: impl Fn(V, V) -> V) -> Coo<V> {
+        let mut sorted = self.clone();
+        sorted.sort_row_major();
+        let mut rows = Vec::with_capacity(sorted.nnz());
+        let mut cols = Vec::with_capacity(sorted.nnz());
+        let mut vals: Vec<V> = Vec::with_capacity(sorted.nnz());
+        for (r, c, v) in sorted.iter() {
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    let last = vals.last_mut().expect("vals parallel to rows");
+                    *last = combine(*last, v);
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        Coo { n_rows: self.n_rows, n_cols: self.n_cols, rows, cols, vals }
+    }
+
+    /// Maps every stored value through `f`, preserving structure.
+    pub fn map<U: Copy>(&self, f: impl Fn(V) -> U) -> Coo<U> {
+        Coo {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            rows: self.rows.clone(),
+            cols: self.cols.clone(),
+            vals: self.vals.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl<V: Copy> FromIterator<(u32, u32, V)> for Coo<V> {
+    /// Builds a matrix sized to fit the maximum indices seen.
+    fn from_iter<I: IntoIterator<Item = (u32, u32, V)>>(iter: I) -> Self {
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        let mut n_rows = 0;
+        let mut n_cols = 0;
+        for (r, c, v) in iter {
+            n_rows = n_rows.max(r + 1);
+            n_cols = n_cols.max(c + 1);
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        Coo { n_rows, n_cols, rows, cols, vals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo<u32> {
+        Coo::from_entries(3, 3, vec![(2, 0, 1u32), (0, 1, 2), (1, 2, 3), (0, 0, 4)]).unwrap()
+    }
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut m = Coo::<u32>::new(2, 2);
+        assert!(matches!(m.push(2, 0, 1), Err(SparseError::IndexOutOfBounds { .. })));
+        assert!(matches!(m.push(0, 2, 1), Err(SparseError::IndexOutOfBounds { .. })));
+        assert!(m.push(1, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        let e = Coo::from_parts(2, 2, vec![0], vec![0, 1], vec![1u32]);
+        assert!(matches!(e, Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn sort_row_major_orders_entries() {
+        let mut m = sample();
+        m.sort_row_major();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples, vec![(0, 0, 4), (0, 1, 2), (1, 2, 3), (2, 0, 1)]);
+    }
+
+    #[test]
+    fn sort_col_major_orders_entries() {
+        let mut m = sample();
+        m.sort_col_major();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples, vec![(0, 0, 4), (2, 0, 1), (0, 1, 2), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let t = sample().transpose();
+        assert_eq!(t.n_rows(), 3);
+        let mut t2 = t.transpose();
+        t2.sort_row_major();
+        let mut orig = sample();
+        orig.sort_row_major();
+        assert_eq!(t2, orig);
+    }
+
+    #[test]
+    fn coalesce_merges_duplicates() {
+        let m = Coo::from_entries(2, 2, vec![(0, 0, 1u32), (0, 0, 2), (1, 1, 3)]).unwrap();
+        let c = m.coalesce(|a, b| a + b);
+        assert_eq!(c.nnz(), 2);
+        let triples: Vec<_> = c.iter().collect();
+        assert_eq!(triples, vec![(0, 0, 3), (1, 1, 3)]);
+    }
+
+    #[test]
+    fn counts_match_structure() {
+        let m = sample();
+        assert_eq!(m.row_counts(), vec![2, 1, 1]);
+        assert_eq!(m.col_counts(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn fill_ratio_of_empty_matrix_is_zero() {
+        assert_eq!(Coo::<u32>::new(0, 0).fill_ratio(), 0.0);
+        let m = sample();
+        assert!((m.fill_ratio() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_fit() {
+        let m: Coo<u32> = vec![(0, 0, 1u32), (4, 2, 2)].into_iter().collect();
+        assert_eq!((m.n_rows(), m.n_cols()), (5, 3));
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let m = sample().map(|v| v as f32 * 2.0);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.vals()[0], 2.0);
+    }
+}

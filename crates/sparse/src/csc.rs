@@ -1,0 +1,205 @@
+//! Compressed sparse column (CSC) format.
+//!
+//! CSC compresses column indices into a `col_ptr` array and supports
+//! efficient column-wise operations (§2.1). The paper finds CSC to be the
+//! best format for SpMSpV on UPMEM — only columns matching non-zero input
+//! vector entries are touched (§4.1) — so the CSC-R, CSC-C, and CSC-2D
+//! kernels all consume this type.
+
+use crate::coo::Coo;
+
+/// A sparse matrix in compressed sparse column format.
+///
+/// Within each column, row indices are sorted ascending.
+///
+/// # Example
+///
+/// ```
+/// use alpha_pim_sparse::Coo;
+///
+/// # fn main() -> Result<(), alpha_pim_sparse::SparseError> {
+/// let coo = Coo::from_entries(3, 2, vec![(0, 1, 10u32), (2, 1, 20), (1, 0, 30)])?;
+/// let csc = coo.to_csc();
+/// assert_eq!(csc.col(1), (&[0u32, 2][..], &[10u32, 20][..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csc<V> {
+    n_rows: u32,
+    n_cols: u32,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    vals: Vec<V>,
+}
+
+impl<V: Copy> Csc<V> {
+    /// Builds a CSC matrix from a COO matrix via counting sort.
+    pub fn from_coo(coo: &Coo<V>) -> Self {
+        let n_cols = coo.n_cols();
+        let mut col_ptr = vec![0usize; n_cols as usize + 1];
+        for &c in coo.cols() {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for i in 1..col_ptr.len() {
+            col_ptr[i] += col_ptr[i - 1];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0u32; coo.nnz()];
+        let mut vals: Vec<V> = Vec::with_capacity(coo.nnz());
+        if coo.nnz() > 0 {
+            vals.resize(coo.nnz(), coo.vals()[0]);
+        }
+        for (r, c, v) in coo.iter() {
+            let slot = cursor[c as usize];
+            row_idx[slot] = r;
+            vals[slot] = v;
+            cursor[c as usize] += 1;
+        }
+        for c in 0..n_cols as usize {
+            let (lo, hi) = (col_ptr[c], col_ptr[c + 1]);
+            let mut order: Vec<usize> = (lo..hi).collect();
+            order.sort_by_key(|&i| row_idx[i]);
+            let sorted_rows: Vec<u32> = order.iter().map(|&i| row_idx[i]).collect();
+            let sorted_vals: Vec<V> = order.iter().map(|&i| vals[i]).collect();
+            row_idx[lo..hi].copy_from_slice(&sorted_rows);
+            vals[lo..hi].copy_from_slice(&sorted_vals);
+        }
+        Csc { n_rows: coo.n_rows(), n_cols, col_ptr, row_idx, vals }
+    }
+
+    /// Builds a CSC matrix directly from its constituent arrays.
+    ///
+    /// Intended for format-level conversions (e.g. interpreting a CSR of `A`
+    /// as a CSC of `Aᵀ`); callers must guarantee that `col_ptr` is monotone,
+    /// spans `row_idx`, and that row indices are in bounds and sorted within
+    /// each column.
+    pub(crate) fn from_raw_parts(
+        n_rows: u32,
+        n_cols: u32,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        vals: Vec<V>,
+    ) -> Self {
+        debug_assert_eq!(col_ptr.len(), n_cols as usize + 1);
+        debug_assert_eq!(*col_ptr.last().unwrap_or(&0), row_idx.len());
+        Csc { n_rows, n_cols, col_ptr, row_idx, vals }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> u32 {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> u32 {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The column-pointer array (length `n_cols + 1`).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row-index array.
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// The value array.
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Row indices and values of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= n_cols`.
+    pub fn col(&self, c: u32) -> (&[u32], &[V]) {
+        let lo = self.col_ptr[c as usize];
+        let hi = self.col_ptr[c as usize + 1];
+        (&self.row_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of entries in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= n_cols`.
+    pub fn col_nnz(&self, c: u32) -> usize {
+        self.col_ptr[c as usize + 1] - self.col_ptr[c as usize]
+    }
+
+    /// Iterates over `(row, col, value)` triples in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, V)> + '_ {
+        (0..self.n_cols).flat_map(move |c| {
+            let (rows, vals) = self.col(c);
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, c, v))
+        })
+    }
+
+    /// Converts back to COO (column-major sorted).
+    pub fn to_coo(&self) -> Coo<V> {
+        self.iter().collect::<Vec<_>>().into_iter().fold(
+            Coo::new(self.n_rows, self.n_cols),
+            |mut m, (r, c, v)| {
+                m.push(r, c, v).expect("indices validated by construction");
+                m
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csc<u32> {
+        Coo::from_entries(4, 3, vec![(0, 2, 1u32), (3, 0, 2), (1, 0, 3), (2, 2, 4)])
+            .unwrap()
+            .to_csc()
+    }
+
+    #[test]
+    fn cols_are_sorted_by_row() {
+        let m = sample();
+        assert_eq!(m.col(0), (&[1u32, 3][..], &[3u32, 2][..]));
+        assert_eq!(m.col(1), (&[][..], &[][..]));
+        assert_eq!(m.col(2), (&[0u32, 2][..], &[1u32, 4][..]));
+    }
+
+    #[test]
+    fn col_ptr_is_monotone_and_spans_nnz() {
+        let m = sample();
+        assert_eq!(*m.col_ptr().last().unwrap(), m.nnz());
+        assert!(m.col_ptr().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn roundtrip_through_coo_preserves_entries() {
+        let m = sample();
+        assert_eq!(m, m.to_coo().to_csc());
+    }
+
+    #[test]
+    fn col_nnz_counts_entries() {
+        let m = sample();
+        assert_eq!((m.col_nnz(0), m.col_nnz(1), m.col_nnz(2)), (2, 0, 2));
+    }
+
+    #[test]
+    fn csc_and_csr_agree_through_transpose() {
+        let coo = Coo::from_entries(3, 3, vec![(0, 1, 7u32), (2, 2, 8), (1, 0, 9)]).unwrap();
+        let csc = coo.to_csc();
+        let csr_t = coo.transpose().to_csr();
+        for i in 0..3u32 {
+            assert_eq!(csc.col(i), csr_t.row(i));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Compressed sparse row (CSR) format.
+//!
+//! CSR compresses row indices into a `row_ptr` array and supports efficient
+//! row-wise traversal (§2.1). The paper's row-oriented SpMSpV variant and the
+//! CPU baseline both stream rows through this format.
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Within each row, column indices are sorted ascending.
+///
+/// # Example
+///
+/// ```
+/// use alpha_pim_sparse::{Coo, Csr};
+///
+/// # fn main() -> Result<(), alpha_pim_sparse::SparseError> {
+/// let coo = Coo::from_entries(2, 2, vec![(0, 0, 1u32), (0, 1, 2), (1, 0, 3)])?;
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.row(0), (&[0u32, 1][..], &[1u32, 2][..]));
+/// assert_eq!(csr.row_nnz(1), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr<V> {
+    n_rows: u32,
+    n_cols: u32,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<V>,
+}
+
+impl<V: Copy> Csr<V> {
+    /// Builds a CSR matrix from a COO matrix via counting sort.
+    pub fn from_coo(coo: &Coo<V>) -> Self {
+        let n_rows = coo.n_rows();
+        let mut row_ptr = vec![0usize; n_rows as usize + 1];
+        for &r in coo.rows() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 1..row_ptr.len() {
+            row_ptr[i] += row_ptr[i - 1];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0u32; coo.nnz()];
+        let mut vals: Vec<V> = Vec::with_capacity(coo.nnz());
+        // SAFETY-free scatter: fill with placeholder by cloning first value when
+        // available, then overwrite every slot exactly once.
+        if coo.nnz() > 0 {
+            vals.resize(coo.nnz(), coo.vals()[0]);
+        }
+        for (r, c, v) in coo.iter() {
+            let slot = cursor[r as usize];
+            col_idx[slot] = c;
+            vals[slot] = v;
+            cursor[r as usize] += 1;
+        }
+        // Sort columns within each row.
+        for r in 0..n_rows as usize {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            let mut order: Vec<usize> = (lo..hi).collect();
+            order.sort_by_key(|&i| col_idx[i]);
+            let sorted_cols: Vec<u32> = order.iter().map(|&i| col_idx[i]).collect();
+            let sorted_vals: Vec<V> = order.iter().map(|&i| vals[i]).collect();
+            col_idx[lo..hi].copy_from_slice(&sorted_cols);
+            vals[lo..hi].copy_from_slice(&sorted_vals);
+        }
+        Csr { n_rows, n_cols: coo.n_cols(), row_ptr, col_idx, vals }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> u32 {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> u32 {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row-pointer array (length `n_rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The value array.
+    pub fn vals(&self) -> &[V] {
+        &self.vals
+    }
+
+    /// Column indices and values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= n_rows`.
+    pub fn row(&self, r: u32) -> (&[u32], &[V]) {
+        let lo = self.row_ptr[r as usize];
+        let hi = self.row_ptr[r as usize + 1];
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of entries in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= n_rows`.
+    pub fn row_nnz(&self, r: u32) -> usize {
+        self.row_ptr[r as usize + 1] - self.row_ptr[r as usize]
+    }
+
+    /// Iterates over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, V)> + '_ {
+        (0..self.n_rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Converts back to COO (row-major sorted).
+    pub fn to_coo(&self) -> Coo<V> {
+        self.iter().collect::<Vec<_>>().into_iter().fold(
+            Coo::new(self.n_rows, self.n_cols),
+            |mut m, (r, c, v)| {
+                m.push(r, c, v).expect("indices validated by construction");
+                m
+            },
+        )
+    }
+
+    /// Transpose, expressed as a CSC matrix sharing the same arrays'
+    /// interpretation (a CSR of `A` is a CSC of `Aᵀ`).
+    pub fn transpose_as_csc(&self) -> Csc<V> {
+        Csc::from_raw_parts(
+            self.n_cols,
+            self.n_rows,
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+            self.vals.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<u32> {
+        Coo::from_entries(3, 4, vec![(2, 0, 1u32), (0, 3, 2), (0, 1, 3), (2, 2, 4)])
+            .unwrap()
+            .to_csr()
+    }
+
+    #[test]
+    fn rows_are_sorted_by_column() {
+        let m = sample();
+        assert_eq!(m.row(0), (&[1u32, 3][..], &[3u32, 2][..]));
+        assert_eq!(m.row(1), (&[][..], &[][..]));
+        assert_eq!(m.row(2), (&[0u32, 2][..], &[1u32, 4][..]));
+    }
+
+    #[test]
+    fn row_ptr_is_monotone_and_spans_nnz() {
+        let m = sample();
+        assert_eq!(*m.row_ptr().last().unwrap(), m.nnz());
+        assert!(m.row_ptr().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn roundtrip_through_coo_preserves_entries() {
+        let m = sample();
+        let back = m.to_coo().to_csr();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn transpose_as_csc_flips_dims() {
+        let t = sample().transpose_as_csc();
+        assert_eq!((t.n_rows(), t.n_cols()), (4, 3));
+        // Column c of the CSC transpose equals row c of the CSR original.
+        assert_eq!(t.col(0), (&[1u32, 3][..], &[3u32, 2][..]));
+    }
+
+    #[test]
+    fn empty_matrix_has_empty_rows() {
+        let m = Coo::<u32>::new(2, 2).to_csr();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row(1), (&[][..], &[][..]));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for sparse data structures and IO.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting, or parsing sparse
+/// matrices and vectors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// An entry referenced a row or column outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: u32,
+        /// Column index of the offending entry.
+        col: u32,
+        /// Number of rows in the matrix.
+        n_rows: u32,
+        /// Number of columns in the matrix.
+        n_cols: u32,
+    },
+    /// Two containers that must agree in length did not.
+    LengthMismatch {
+        /// What was being compared (e.g. `"cols vs vals"`).
+        what: &'static str,
+        /// Length of the first container.
+        left: usize,
+        /// Length of the second container.
+        right: usize,
+    },
+    /// Dimensions of two operands are incompatible.
+    DimensionMismatch {
+        /// Description of the operation.
+        op: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A generator or partitioner was asked for an impossible configuration.
+    InvalidArgument(String),
+    /// A MatrixMarket file failed to parse.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An underlying IO error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => write!(
+                f,
+                "entry ({row}, {col}) is outside a {n_rows}x{n_cols} matrix"
+            ),
+            SparseError::LengthMismatch { what, left, right } => {
+                write!(f, "length mismatch in {what}: {left} vs {right}")
+            }
+            SparseError::DimensionMismatch { op, expected, actual } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, got {actual}")
+            }
+            SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, n_rows: 4, n_cols: 4 };
+        assert_eq!(e.to_string(), "entry (5, 7) is outside a 4x4 matrix");
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = SparseError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,115 @@
+//! Uniform random (Erdős–Rényi) and exactly-regular graph generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::finalize_edges;
+use crate::coo::Coo;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Generates a directed Erdős–Rényi `G(n, m)` graph: `m` distinct directed
+/// edges drawn uniformly at random, no self-loops.
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidArgument`] if `n < 2` or `m` exceeds the
+/// number of possible edges `n·(n−1)`.
+pub fn erdos_renyi(n: u32, m: usize, seed: u64) -> Result<Coo<u32>> {
+    if n < 2 {
+        return Err(SparseError::InvalidArgument("erdos_renyi needs at least 2 nodes".into()));
+    }
+    let possible = n as u64 * (n as u64 - 1);
+    if m as u64 > possible {
+        return Err(SparseError::InvalidArgument(format!(
+            "cannot place {m} distinct edges in a {n}-node graph ({possible} possible)"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m + m / 8);
+    // Oversample to absorb duplicate/self-loop rejection, then top up.
+    while edges.len() < m {
+        let need = m - edges.len();
+        for _ in 0..need + need / 4 + 4 {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+    }
+    edges.truncate(m);
+    Ok(finalize_edges(n, edges))
+}
+
+/// Generates a graph in which every vertex has out-degree exactly `k`
+/// (degree standard deviation 0 — the extreme "regular" class).
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidArgument`] if `k >= n`.
+pub fn k_regular(n: u32, k: u32, seed: u64) -> Result<Coo<u32>> {
+    if k >= n {
+        return Err(SparseError::InvalidArgument(format!(
+            "k_regular requires k < n (got k={k}, n={n})"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n as usize * k as usize);
+    for u in 0..n {
+        // Sample k distinct targets != u by partial Fisher–Yates over a
+        // rolling window; for small k relative to n rejection is cheap.
+        let mut targets = Vec::with_capacity(k as usize);
+        while targets.len() < k as usize {
+            let v = rng.random_range(0..n);
+            if v != u && !targets.contains(&v) {
+                targets.push(v);
+            }
+        }
+        for v in targets {
+            edges.push((u, v));
+        }
+    }
+    Ok(finalize_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_hits_exact_edge_count() {
+        let g = erdos_renyi(100, 500, 7).unwrap();
+        assert_eq!(g.nnz(), 500);
+        assert_eq!(g.n_rows(), 100);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = erdos_renyi(50, 200, 3).unwrap();
+        let b = erdos_renyi(50, 200, 3).unwrap();
+        assert_eq!(a, b);
+        let c = erdos_renyi(50, 200, 4).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_impossible_requests() {
+        assert!(erdos_renyi(1, 0, 0).is_err());
+        assert!(erdos_renyi(3, 7, 0).is_err());
+    }
+
+    #[test]
+    fn k_regular_has_uniform_out_degree() {
+        let g = k_regular(64, 5, 11).unwrap();
+        assert!(g.row_counts().iter().all(|&d| d == 5));
+        assert_eq!(g.nnz(), 64 * 5);
+    }
+
+    #[test]
+    fn k_regular_rejects_k_at_least_n() {
+        assert!(k_regular(4, 4, 0).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on 65 GraphChallenge/SNAP datasets. Those files are
+//! not redistributable here, so this module provides generators that
+//! reproduce the *structural features the paper's analysis depends on* —
+//! node count, edge count, average degree, and degree dispersion — from a
+//! fixed seed:
+//!
+//! * [`erdos_renyi`] — uniform random graphs;
+//! * [`rmat`] — recursive-matrix (Graph500-style) power-law graphs;
+//! * [`chung_lu`] — graphs matching an arbitrary expected-degree sequence,
+//!   with [`lognormal_degrees`] to hit a target mean/std exactly the way
+//!   the Table 2 catalog needs;
+//! * [`road_network`] — low-degree, low-variance lattices with shortcut
+//!   edges (the paper's "regular" class, e.g. roadNet-TX);
+//! * [`k_regular`] — exactly-k out-degree graphs (degree std = 0).
+//!
+//! All generators return a square [`Coo<u32>`] adjacency matrix with unit
+//! weights and no self-loops, deterministic in `(parameters, seed)`.
+
+mod chung_lu;
+mod erdos_renyi;
+mod models;
+mod rmat;
+mod road;
+
+pub use chung_lu::{chung_lu, lognormal_degrees};
+pub use erdos_renyi::{erdos_renyi, k_regular};
+pub use models::{barabasi_albert, kronecker_power, watts_strogatz};
+pub use rmat::{rmat, RmatParams};
+pub use road::road_network;
+
+use crate::coo::Coo;
+
+/// Deduplicates edges and drops self-loops, returning a clean adjacency
+/// matrix with unit weights.
+pub(crate) fn finalize_edges(n: u32, mut edges: Vec<(u32, u32)>) -> Coo<u32> {
+    edges.retain(|&(u, v)| u != v);
+    edges.sort_unstable();
+    edges.dedup();
+    let mut coo = Coo::new(n, n);
+    for (u, v) in edges {
+        coo.push(u, v, 1).expect("generator produced in-bounds edge");
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_drops_loops_and_duplicates() {
+        let coo = finalize_edges(4, vec![(0, 1), (0, 1), (2, 2), (3, 0)]);
+        assert_eq!(coo.nnz(), 2);
+        assert!(coo.iter().all(|(r, c, _)| r != c));
+    }
+}

@@ -1,0 +1,244 @@
+//! Graph layer: an adjacency matrix plus the structural statistics the
+//! paper's adaptive kernel selection keys on.
+//!
+//! Table 2 of the paper characterizes every dataset by node count, edge
+//! count, average degree, degree standard deviation, and sparsity; §4.2.1
+//! feeds average degree and degree std into a decision tree that classifies
+//! graphs as *regular* or *scale-free*. [`GraphStats`] computes exactly
+//! those features.
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::csr::Csr;
+
+/// Structural statistics of a graph (the Table 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub nodes: u32,
+    /// Number of directed edges (stored non-zeros).
+    pub edges: usize,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Population standard deviation of out-degrees.
+    pub degree_std: f64,
+    /// `edges / nodes²` — the "Sparsity" column of Table 2.
+    pub sparsity: f64,
+    /// Maximum out-degree.
+    pub max_degree: u32,
+}
+
+impl GraphStats {
+    /// Coefficient of variation of the degree distribution
+    /// (`degree_std / avg_degree`); >1 indicates a skewed, scale-free-like
+    /// distribution.
+    pub fn degree_cv(&self) -> f64 {
+        if self.avg_degree == 0.0 {
+            0.0
+        } else {
+            self.degree_std / self.avg_degree
+        }
+    }
+}
+
+/// A directed graph represented by its square adjacency matrix.
+///
+/// Edge weights are `u32`; unweighted graphs store weight 1. Linear-algebraic
+/// traversals operate on `Aᵀ` (e.g. BFS as `v = Aᵀ v`, §2.1), so the
+/// transposed compressed forms are exposed alongside the direct ones and
+/// cached lazily by the framework layer.
+///
+/// # Example
+///
+/// ```
+/// use alpha_pim_sparse::{Coo, Graph};
+///
+/// # fn main() -> Result<(), alpha_pim_sparse::SparseError> {
+/// let coo = Coo::from_entries(3, 3, vec![(0, 1, 1u32), (1, 2, 1), (0, 2, 1)])?;
+/// let g = Graph::from_coo(coo);
+/// assert_eq!(g.nodes(), 3);
+/// assert_eq!(g.edges(), 3);
+/// assert!(g.stats().avg_degree > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adjacency: Coo<u32>,
+    stats: GraphStats,
+}
+
+impl Graph {
+    /// Wraps an adjacency matrix. Non-square matrices are padded to square
+    /// by taking `max(n_rows, n_cols)` as the node count.
+    pub fn from_coo(adjacency: Coo<u32>) -> Self {
+        let n = adjacency.n_rows().max(adjacency.n_cols());
+        let adjacency = if adjacency.n_rows() == n && adjacency.n_cols() == n {
+            adjacency
+        } else {
+            let mut padded = Coo::new(n, n);
+            for (r, c, v) in adjacency.iter() {
+                padded.push(r, c, v).expect("entries within padded bounds");
+            }
+            padded
+        };
+        let stats = compute_stats(&adjacency);
+        Graph { adjacency, stats }
+    }
+
+    /// Number of vertices.
+    pub fn nodes(&self) -> u32 {
+        self.stats.nodes
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.stats.edges
+    }
+
+    /// The cached structural statistics.
+    pub fn stats(&self) -> GraphStats {
+        self.stats
+    }
+
+    /// The adjacency matrix in COO form.
+    pub fn adjacency(&self) -> &Coo<u32> {
+        &self.adjacency
+    }
+
+    /// The adjacency matrix in CSR form (computed on demand).
+    pub fn to_csr(&self) -> Csr<u32> {
+        self.adjacency.to_csr()
+    }
+
+    /// The adjacency matrix in CSC form (computed on demand).
+    pub fn to_csc(&self) -> Csc<u32> {
+        self.adjacency.to_csc()
+    }
+
+    /// The transposed adjacency matrix in COO form.
+    ///
+    /// Linear-algebraic traversals multiply by `Aᵀ`, so kernels usually
+    /// consume this.
+    pub fn transposed(&self) -> Coo<u32> {
+        self.adjacency.transpose()
+    }
+
+    /// Out-degrees of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        self.adjacency.row_counts()
+    }
+
+    /// In-degrees of every vertex.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        self.adjacency.col_counts()
+    }
+
+    /// Replaces every edge weight with a deterministic pseudo-random weight
+    /// in `[1, max_weight]`, keyed by the edge endpoints.
+    ///
+    /// SSSP needs weighted edges; SNAP graphs are unweighted, and the paper
+    /// (like most SSSP-on-SNAP evaluations) assigns synthetic weights.
+    pub fn with_random_weights(&self, max_weight: u32) -> Graph {
+        assert!(max_weight >= 1, "max_weight must be at least 1");
+        let reweighted = self.adjacency.map_indexed(max_weight);
+        Graph::from_coo(reweighted)
+    }
+}
+
+impl Coo<u32> {
+    /// Deterministic per-edge weight in `[1, max_weight]` derived by hashing
+    /// the endpoints (SplitMix64 finalizer).
+    fn map_indexed(&self, max_weight: u32) -> Coo<u32> {
+        let mut out = Coo::new(self.n_rows(), self.n_cols());
+        for (r, c, _) in self.iter() {
+            let mut z = ((r as u64) << 32 | c as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let w = 1 + (z % max_weight as u64) as u32;
+            out.push(r, c, w).expect("same coordinates as source");
+        }
+        out
+    }
+}
+
+fn compute_stats(adj: &Coo<u32>) -> GraphStats {
+    let nodes = adj.n_rows();
+    let degrees = adj.row_counts();
+    let edges = adj.nnz();
+    let n = nodes as f64;
+    let avg = if nodes == 0 { 0.0 } else { edges as f64 / n };
+    let var = if nodes == 0 {
+        0.0
+    } else {
+        degrees.iter().map(|&d| (d as f64 - avg).powi(2)).sum::<f64>() / n
+    };
+    GraphStats {
+        nodes,
+        edges,
+        avg_degree: avg,
+        degree_std: var.sqrt(),
+        sparsity: if nodes == 0 { 0.0 } else { edges as f64 / (n * n) },
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let coo =
+            Coo::from_entries(3, 3, vec![(0, 1, 1u32), (1, 2, 1), (2, 0, 1), (0, 2, 1)]).unwrap();
+        Graph::from_coo(coo)
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let g = triangle();
+        let s = g.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 4);
+        assert!((s.avg_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.sparsity - 4.0 / 9.0).abs() < 1e-12);
+        // degrees are [2,1,1]; variance = ((2-4/3)² + 2(1-4/3)²)/3
+        let var: f64 = ((2.0 - 4.0 / 3.0_f64).powi(2) + 2.0 * (1.0 - 4.0 / 3.0_f64).powi(2)) / 3.0;
+        assert!((s.degree_std - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_matrices_are_padded() {
+        let coo = Coo::from_entries(2, 5, vec![(1, 4, 1u32)]).unwrap();
+        let g = Graph::from_coo(coo);
+        assert_eq!(g.nodes(), 5);
+        assert_eq!(g.adjacency().n_rows(), 5);
+    }
+
+    #[test]
+    fn degrees_are_consistent_with_adjacency() {
+        let g = triangle();
+        assert_eq!(g.out_degrees(), vec![2, 1, 1]);
+        assert_eq!(g.in_degrees(), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn random_weights_are_deterministic_and_bounded() {
+        let g = triangle();
+        let w1 = g.with_random_weights(10);
+        let w2 = g.with_random_weights(10);
+        assert_eq!(w1.adjacency().vals(), w2.adjacency().vals());
+        assert!(w1.adjacency().vals().iter().all(|&w| (1..=10).contains(&w)));
+        assert_eq!(w1.edges(), g.edges());
+    }
+
+    #[test]
+    fn degree_cv_flags_skew() {
+        let g = triangle();
+        assert!(g.stats().degree_cv() > 0.0);
+        let regular =
+            Graph::from_coo(Coo::from_entries(2, 2, vec![(0, 1, 1u32), (1, 0, 1)]).unwrap());
+        assert_eq!(regular.stats().degree_cv(), 0.0);
+    }
+}

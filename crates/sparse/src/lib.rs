@@ -1,0 +1,54 @@
+//! Sparse matrix formats, vectors, partitioning strategies, and synthetic
+//! graph generators for the ALPHA-PIM graph-processing framework.
+//!
+//! This crate provides every data-structure substrate the ALPHA-PIM paper
+//! relies on:
+//!
+//! * the three compressed matrix formats the paper evaluates —
+//!   [`Coo`], [`Csr`], and [`Csc`] (§2.1 of the paper);
+//! * dense and compressed input/output vectors with density tracking
+//!   ([`DenseVector`], [`SparseVector`], §3);
+//! * the three partitioning strategies of Fig. 3 — row-wise, column-wise,
+//!   and 2D grid tiling ([`partition`]);
+//! * synthetic graph generators and a catalog of the paper's 13
+//!   representative datasets ([`gen`], [`datasets`], Table 2);
+//! * MatrixMarket IO so real SNAP/GraphChallenge files can be substituted
+//!   for the synthetic equivalents ([`mtx`]).
+//!
+//! # Example
+//!
+//! ```
+//! use alpha_pim_sparse::{gen, Graph};
+//!
+//! # fn main() -> Result<(), alpha_pim_sparse::SparseError> {
+//! let coo = gen::erdos_renyi(1_000, 8_000, 42)?;
+//! let graph = Graph::from_coo(coo);
+//! assert_eq!(graph.nodes(), 1_000);
+//! assert!(graph.stats().avg_degree > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod datasets;
+pub mod error;
+pub mod gen;
+pub mod graph;
+pub mod mtx;
+pub mod partition;
+pub mod reorder;
+pub mod vector;
+
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use datasets::{DatasetSpec, GraphClass};
+pub use error::SparseError;
+pub use graph::{Graph, GraphStats};
+pub use partition::{ColPartition, GridPartition, RowPartition, Tile};
+pub use vector::{DenseVector, SparseVector};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,216 @@
+//! MatrixMarket coordinate-format IO.
+//!
+//! SNAP/GraphChallenge graphs are distributed as `.mtx` files; this module
+//! reads and writes the coordinate subset of the format (`pattern`,
+//! `integer`, and `real` fields; `general` and `symmetric` symmetry) so
+//! real datasets can replace the synthetic catalog when present.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::coo::Coo;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Reads a MatrixMarket coordinate matrix with `u32` values.
+///
+/// `pattern` entries get value 1; `real` values are rounded and clamped to
+/// `u32`. Symmetric matrices are expanded (both triangles stored).
+///
+/// A `mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Parse`] on malformed input and propagates IO
+/// errors.
+pub fn read_coo<R: Read>(reader: R) -> Result<Coo<u32>> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    let (first_no, first) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))?
+        .into_parsed()?;
+    let header: Vec<&str> = first.split_whitespace().collect();
+    if header.len() < 4 || !header[0].starts_with("%%MatrixMarket") {
+        return Err(parse_err(first_no + 1, "missing %%MatrixMarket header"));
+    }
+    if header[1] != "matrix" || header[2] != "coordinate" {
+        return Err(parse_err(first_no + 1, "only coordinate matrices are supported"));
+    }
+    let field = header[3];
+    if !matches!(field, "pattern" | "integer" | "real") {
+        return Err(parse_err(first_no + 1, format!("unsupported field type {field}")));
+    }
+    let symmetric = header.get(4).is_some_and(|&s| s == "symmetric");
+    if let Some(&sym) = header.get(4) {
+        if !matches!(sym, "general" | "symmetric") {
+            return Err(parse_err(first_no + 1, format!("unsupported symmetry {sym}")));
+        }
+    }
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for item in &mut lines {
+        let (no, line) = item.into_parsed()?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some((no, line));
+        break;
+    }
+    let (size_no, size_line) = size_line.ok_or_else(|| parse_err(0, "missing size line"))?;
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(parse_err(size_no + 1, "size line must have 3 fields"));
+    }
+    let n_rows: u32 = parse_num(dims[0], size_no)?;
+    let n_cols: u32 = parse_num(dims[1], size_no)?;
+    let nnz: usize = parse_num(dims[2], size_no)?;
+
+    let mut coo = Coo::new(n_rows, n_cols);
+    let mut seen = 0usize;
+    for item in lines {
+        let (no, line) = item.into_parsed()?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 2 {
+            return Err(parse_err(no + 1, "entry line must have at least 2 fields"));
+        }
+        let r: u32 = parse_num(fields[0], no)?;
+        let c: u32 = parse_num(fields[1], no)?;
+        if r == 0 || c == 0 {
+            return Err(parse_err(no + 1, "MatrixMarket indices are 1-based"));
+        }
+        let v = match field {
+            "pattern" => 1u32,
+            "integer" => parse_num::<i64>(fields.get(2).copied().unwrap_or("1"), no)?
+                .clamp(0, u32::MAX as i64) as u32,
+            _ => fields
+                .get(2)
+                .copied()
+                .unwrap_or("1")
+                .parse::<f64>()
+                .map_err(|e| parse_err(no + 1, e.to_string()))?
+                .round()
+                .clamp(0.0, u32::MAX as f64) as u32,
+        };
+        coo.push(r - 1, c - 1, v).map_err(|e| parse_err(no + 1, e.to_string()))?;
+        if symmetric && r != c {
+            coo.push(c - 1, r - 1, v).map_err(|e| parse_err(no + 1, e.to_string()))?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(0, format!("size line promised {nnz} entries, found {seen}")));
+    }
+    Ok(coo)
+}
+
+/// Writes a COO matrix in MatrixMarket `coordinate integer general` format.
+///
+/// A `mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates IO errors from the writer.
+pub fn write_coo<W: Write>(mut writer: W, coo: &Coo<u32>) -> Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate integer general")?;
+    writeln!(writer, "{} {} {}", coo.n_rows(), coo.n_cols(), coo.nnz())?;
+    for (r, c, v) in coo.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> SparseError {
+    SparseError::Parse { line, msg: msg.into() }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line0: usize) -> Result<T>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse::<T>().map_err(|e| parse_err(line0 + 1, format!("{e} (token {s:?})")))
+}
+
+/// Helper to pair line numbers with IO results.
+trait IntoParsed {
+    fn into_parsed(self) -> Result<(usize, String)>;
+}
+
+impl IntoParsed for (usize, std::io::Result<String>) {
+    fn into_parsed(self) -> Result<(usize, String)> {
+        let (no, res) = self;
+        Ok((no, res?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "%%MatrixMarket matrix coordinate integer general\n\
+                          % a comment\n\
+                          3 3 3\n\
+                          1 2 5\n\
+                          2 3 7\n\
+                          3 1 9\n";
+
+    #[test]
+    fn reads_integer_general() {
+        let coo = read_coo(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 3);
+        let triples: Vec<_> = coo.iter().collect();
+        assert_eq!(triples, vec![(0, 1, 5), (1, 2, 7), (2, 0, 9)]);
+    }
+
+    #[test]
+    fn reads_pattern_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n";
+        let coo = read_coo(text.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 2);
+        let triples: Vec<_> = coo.iter().collect();
+        assert_eq!(triples, vec![(1, 0, 1), (0, 1, 1)]);
+    }
+
+    #[test]
+    fn reads_real_values_rounded() {
+        let text = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.6\n";
+        let coo = read_coo(text.as_bytes()).unwrap();
+        assert_eq!(coo.vals(), &[3]);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(read_coo("hello\n".as_bytes()).is_err());
+        assert!(read_coo("%%MatrixMarket matrix array real general\n1 1\n".as_bytes()).is_err());
+        assert!(read_coo(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(matches!(read_coo(text.as_bytes()), Err(SparseError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n";
+        assert!(read_coo(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let coo = read_coo(SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_coo(&mut buf, &coo).unwrap();
+        let back = read_coo(buf.as_slice()).unwrap();
+        assert_eq!(coo, back);
+    }
+}

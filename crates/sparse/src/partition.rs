@@ -1,0 +1,444 @@
+//! Matrix partitioning strategies across DPUs (Fig. 3 of the paper).
+//!
+//! Three strategies are implemented, matching §4.1.1:
+//!
+//! * **Row-wise** — `D` contiguous row bands; every DPU receives the full
+//!   input vector, no merge step is needed.
+//! * **Column-wise** — `D` contiguous column bands; every DPU receives only
+//!   its input-vector segment but emits a full-length partial output that
+//!   the host must merge.
+//! * **2D grid** — a `pr × pc` grid of tiles; input and output vectors are
+//!   both partitioned, and tiles sharing a row band produce partial results
+//!   merged on the host.
+//!
+//! Bands can be split by **equal index ranges** (the paper's "static,
+//! equal-sized" tiles used by DCOO/CSC-2D) or **nnz-balanced** (SparseP's
+//! `COO.nnz`), see [`Balance`].
+
+use std::ops::Range;
+
+use crate::coo::Coo;
+use crate::error::SparseError;
+use crate::Result;
+
+/// How to split an index space into contiguous bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Balance {
+    /// Equal-width index ranges (static tiling).
+    EqualRange,
+    /// Ranges chosen so each band holds roughly the same number of
+    /// non-zeros (SparseP's `.nnz` load balancing).
+    Nnz,
+}
+
+/// One row band of a row-wise partitioning.
+///
+/// The contained matrix uses **local row indices** (`0..row_range.len()`)
+/// and **global column indices** (the full input vector is present on the
+/// DPU).
+#[derive(Debug, Clone)]
+pub struct RowPartition<V> {
+    /// Index of this partition among its siblings.
+    pub part: u32,
+    /// Global rows covered by this band.
+    pub row_range: Range<u32>,
+    /// The band's entries, rows re-based to the band start.
+    pub matrix: Coo<V>,
+}
+
+/// One column band of a column-wise partitioning.
+///
+/// The contained matrix uses **global row indices** (each DPU emits a
+/// full-length partial output vector) and **local column indices**.
+#[derive(Debug, Clone)]
+pub struct ColPartition<V> {
+    /// Index of this partition among its siblings.
+    pub part: u32,
+    /// Global columns covered by this band.
+    pub col_range: Range<u32>,
+    /// The band's entries, columns re-based to the band start.
+    pub matrix: Coo<V>,
+}
+
+/// One tile of a 2D grid partitioning, with both indices localized.
+#[derive(Debug, Clone)]
+pub struct Tile<V> {
+    /// Flat tile index (`grid_row * grid_cols + grid_col`).
+    pub part: u32,
+    /// Row position in the tile grid.
+    pub grid_row: u32,
+    /// Column position in the tile grid.
+    pub grid_col: u32,
+    /// Global rows covered.
+    pub row_range: Range<u32>,
+    /// Global columns covered.
+    pub col_range: Range<u32>,
+    /// The tile's entries with both coordinates re-based.
+    pub matrix: Coo<V>,
+}
+
+/// A complete 2D tiling: `grid_rows × grid_cols` tiles in row-major order.
+#[derive(Debug, Clone)]
+pub struct GridPartition<V> {
+    /// Number of tile rows.
+    pub grid_rows: u32,
+    /// Number of tile columns.
+    pub grid_cols: u32,
+    /// Tiles in row-major order; length `grid_rows * grid_cols`.
+    pub tiles: Vec<Tile<V>>,
+}
+
+impl<V> GridPartition<V> {
+    /// Number of tiles that contribute partial results to each output row
+    /// band (the host-merge fan-in).
+    pub fn merge_fan_in(&self) -> u32 {
+        self.grid_cols
+    }
+}
+
+/// Splits `0..n` into `parts` equal-width contiguous ranges.
+///
+/// Earlier ranges are one longer when `n` is not divisible by `parts`.
+pub fn equal_ranges(n: u32, parts: u32) -> Vec<Range<u32>> {
+    assert!(parts > 0, "parts must be positive");
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + u32::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits `0..counts.len()` into `parts` contiguous ranges whose summed
+/// counts are as even as possible (greedy prefix walk toward the ideal
+/// per-part share).
+pub fn nnz_balanced_ranges(counts: &[u32], parts: u32) -> Vec<Range<u32>> {
+    assert!(parts > 0, "parts must be positive");
+    let n = counts.len() as u32;
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = 0u32;
+    let mut consumed = 0u64;
+    for p in 0..parts {
+        let remaining_parts = (parts - p) as u64;
+        let target = (total - consumed).div_ceil(remaining_parts);
+        let mut end = start;
+        let mut acc = 0u64;
+        // Leave at least one index per remaining part when possible.
+        let max_end = n.saturating_sub(parts - p - 1).max(start);
+        while end < max_end && (acc < target || end == start) {
+            acc += counts[end as usize] as u64;
+            end += 1;
+            if acc >= target && end > start {
+                break;
+            }
+        }
+        if p == parts - 1 {
+            end = n;
+            acc = counts[start as usize..].iter().map(|&c| c as u64).sum();
+        }
+        consumed += acc;
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+fn ranges_for<V: Copy>(coo: &Coo<V>, parts: u32, balance: Balance, by_rows: bool) -> Vec<Range<u32>> {
+    let n = if by_rows { coo.n_rows() } else { coo.n_cols() };
+    match balance {
+        Balance::EqualRange => equal_ranges(n, parts),
+        Balance::Nnz => {
+            let counts = if by_rows { coo.row_counts() } else { coo.col_counts() };
+            nnz_balanced_ranges(&counts, parts)
+        }
+    }
+}
+
+/// Partitions a matrix into `parts` row bands.
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidArgument`] if `parts` is zero.
+pub fn partition_rows<V: Copy>(
+    coo: &Coo<V>,
+    parts: u32,
+    balance: Balance,
+) -> Result<Vec<RowPartition<V>>> {
+    if parts == 0 {
+        return Err(SparseError::InvalidArgument("cannot partition into 0 parts".into()));
+    }
+    let ranges = ranges_for(coo, parts, balance, true);
+    // Bucket entries by partition in one pass.
+    let mut part_of_row = vec![0u32; coo.n_rows() as usize];
+    for (p, range) in ranges.iter().enumerate() {
+        for r in range.clone() {
+            part_of_row[r as usize] = p as u32;
+        }
+    }
+    let mut parts_out: Vec<RowPartition<V>> = ranges
+        .iter()
+        .enumerate()
+        .map(|(p, range)| RowPartition {
+            part: p as u32,
+            row_range: range.clone(),
+            matrix: Coo::new(range.end - range.start, coo.n_cols()),
+        })
+        .collect();
+    for (r, c, v) in coo.iter() {
+        let p = part_of_row[r as usize] as usize;
+        let local_r = r - parts_out[p].row_range.start;
+        parts_out[p].matrix.push(local_r, c, v).expect("local row within band");
+    }
+    Ok(parts_out)
+}
+
+/// Partitions a matrix into `parts` column bands.
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidArgument`] if `parts` is zero.
+pub fn partition_cols<V: Copy>(
+    coo: &Coo<V>,
+    parts: u32,
+    balance: Balance,
+) -> Result<Vec<ColPartition<V>>> {
+    if parts == 0 {
+        return Err(SparseError::InvalidArgument("cannot partition into 0 parts".into()));
+    }
+    let ranges = ranges_for(coo, parts, balance, false);
+    let mut part_of_col = vec![0u32; coo.n_cols() as usize];
+    for (p, range) in ranges.iter().enumerate() {
+        for c in range.clone() {
+            part_of_col[c as usize] = p as u32;
+        }
+    }
+    let mut parts_out: Vec<ColPartition<V>> = ranges
+        .iter()
+        .enumerate()
+        .map(|(p, range)| ColPartition {
+            part: p as u32,
+            col_range: range.clone(),
+            matrix: Coo::new(coo.n_rows(), range.end - range.start),
+        })
+        .collect();
+    for (r, c, v) in coo.iter() {
+        let p = part_of_col[c as usize] as usize;
+        let local_c = c - parts_out[p].col_range.start;
+        parts_out[p].matrix.push(r, local_c, v).expect("local col within band");
+    }
+    Ok(parts_out)
+}
+
+/// Chooses a near-square `(grid_rows, grid_cols)` factorization of
+/// `num_parts`, preferring more columns than rows when they differ.
+pub fn near_square_grid(num_parts: u32) -> (u32, u32) {
+    assert!(num_parts > 0, "num_parts must be positive");
+    let mut best = (1, num_parts);
+    let mut r = 1;
+    while r * r <= num_parts {
+        if num_parts % r == 0 {
+            best = (r, num_parts / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+/// Partitions a matrix into a `grid_rows × grid_cols` tile grid with
+/// static equal-size tiles (the paper's DCOO / CSC-2D layout).
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidArgument`] if either grid dimension is
+/// zero.
+pub fn partition_grid<V: Copy>(
+    coo: &Coo<V>,
+    grid_rows: u32,
+    grid_cols: u32,
+) -> Result<GridPartition<V>> {
+    if grid_rows == 0 || grid_cols == 0 {
+        return Err(SparseError::InvalidArgument("grid dimensions must be positive".into()));
+    }
+    let row_ranges = equal_ranges(coo.n_rows(), grid_rows);
+    let col_ranges = equal_ranges(coo.n_cols(), grid_cols);
+    let mut row_of = vec![0u32; coo.n_rows() as usize];
+    for (i, range) in row_ranges.iter().enumerate() {
+        for r in range.clone() {
+            row_of[r as usize] = i as u32;
+        }
+    }
+    let mut col_of = vec![0u32; coo.n_cols() as usize];
+    for (i, range) in col_ranges.iter().enumerate() {
+        for c in range.clone() {
+            col_of[c as usize] = i as u32;
+        }
+    }
+    let mut tiles: Vec<Tile<V>> = Vec::with_capacity((grid_rows * grid_cols) as usize);
+    for gr in 0..grid_rows {
+        for gc in 0..grid_cols {
+            let rr = row_ranges[gr as usize].clone();
+            let cr = col_ranges[gc as usize].clone();
+            tiles.push(Tile {
+                part: gr * grid_cols + gc,
+                grid_row: gr,
+                grid_col: gc,
+                row_range: rr.clone(),
+                col_range: cr.clone(),
+                matrix: Coo::new(rr.end - rr.start, cr.end - cr.start),
+            });
+        }
+    }
+    for (r, c, v) in coo.iter() {
+        let gr = row_of[r as usize];
+        let gc = col_of[c as usize];
+        let tile = &mut tiles[(gr * grid_cols + gc) as usize];
+        tile.matrix
+            .push(r - tile.row_range.start, c - tile.col_range.start, v)
+            .expect("local coordinates within tile");
+    }
+    Ok(GridPartition { grid_rows, grid_cols, tiles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo<u32> {
+        // 6x6 with a dense-ish top-left and a heavy last row.
+        Coo::from_entries(
+            6,
+            6,
+            vec![
+                (0, 0, 1u32),
+                (0, 1, 1),
+                (1, 1, 1),
+                (2, 3, 1),
+                (5, 0, 1),
+                (5, 2, 1),
+                (5, 4, 1),
+                (5, 5, 1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_ranges_cover_everything() {
+        let rs = equal_ranges(10, 3);
+        assert_eq!(rs, vec![0..4, 4..7, 7..10]);
+        let rs = equal_ranges(2, 4);
+        assert_eq!(rs.iter().map(|r| r.end - r.start).sum::<u32>(), 2);
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn nnz_balanced_ranges_balance_counts() {
+        let counts = vec![10, 1, 1, 1, 1, 10];
+        let rs = nnz_balanced_ranges(&counts, 2);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].start, 0);
+        assert_eq!(rs[1].end, 6);
+        let sum0: u32 = rs[0].clone().map(|i| counts[i as usize]).sum();
+        let sum1: u32 = rs[1].clone().map(|i| counts[i as usize]).sum();
+        assert!(sum0.abs_diff(sum1) <= 10, "sums {sum0} vs {sum1}");
+    }
+
+    #[test]
+    fn nnz_balanced_ranges_are_contiguous_and_total() {
+        let counts = vec![3, 0, 0, 7, 2, 2, 9, 0];
+        let rs = nnz_balanced_ranges(&counts, 3);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].start, 0);
+        assert_eq!(rs.last().unwrap().end, 8);
+        for w in rs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn row_partitions_localize_rows_and_preserve_nnz() {
+        let coo = sample();
+        let parts = partition_rows(&coo, 3, Balance::EqualRange).unwrap();
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|p| p.matrix.nnz()).sum();
+        assert_eq!(total, coo.nnz());
+        for p in &parts {
+            assert_eq!(p.matrix.n_rows(), p.row_range.end - p.row_range.start);
+            assert_eq!(p.matrix.n_cols(), coo.n_cols());
+        }
+    }
+
+    #[test]
+    fn nnz_balanced_rows_tame_the_heavy_row() {
+        let coo = sample();
+        let eq = partition_rows(&coo, 3, Balance::EqualRange).unwrap();
+        let bal = partition_rows(&coo, 3, Balance::Nnz).unwrap();
+        let max_eq = eq.iter().map(|p| p.matrix.nnz()).max().unwrap();
+        let max_bal = bal.iter().map(|p| p.matrix.nnz()).max().unwrap();
+        assert!(max_bal <= max_eq, "balanced {max_bal} vs equal {max_eq}");
+    }
+
+    #[test]
+    fn col_partitions_localize_cols_and_preserve_nnz() {
+        let coo = sample();
+        let parts = partition_cols(&coo, 2, Balance::Nnz).unwrap();
+        let total: usize = parts.iter().map(|p| p.matrix.nnz()).sum();
+        assert_eq!(total, coo.nnz());
+        for p in &parts {
+            assert_eq!(p.matrix.n_rows(), coo.n_rows());
+            for &c in p.matrix.cols() {
+                assert!(c < p.col_range.end - p.col_range.start);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_partition_reassembles_to_original() {
+        let coo = sample();
+        let grid = partition_grid(&coo, 2, 3).unwrap();
+        assert_eq!(grid.tiles.len(), 6);
+        assert_eq!(grid.merge_fan_in(), 3);
+        let mut reassembled = Coo::new(6, 6);
+        for t in &grid.tiles {
+            for (r, c, v) in t.matrix.iter() {
+                reassembled
+                    .push(r + t.row_range.start, c + t.col_range.start, v)
+                    .unwrap();
+            }
+        }
+        let mut a = coo.clone();
+        a.sort_row_major();
+        reassembled.sort_row_major();
+        assert_eq!(a, reassembled);
+    }
+
+    #[test]
+    fn near_square_grid_factorizes() {
+        assert_eq!(near_square_grid(2048), (32, 64));
+        assert_eq!(near_square_grid(1), (1, 1));
+        assert_eq!(near_square_grid(12), (3, 4));
+        assert_eq!(near_square_grid(7), (1, 7));
+    }
+
+    #[test]
+    fn zero_parts_is_an_error() {
+        let coo = sample();
+        assert!(partition_rows(&coo, 0, Balance::Nnz).is_err());
+        assert!(partition_cols(&coo, 0, Balance::Nnz).is_err());
+        assert!(partition_grid(&coo, 0, 2).is_err());
+    }
+
+    #[test]
+    fn more_parts_than_rows_yields_empty_bands() {
+        let coo = Coo::from_entries(2, 2, vec![(0, 0, 1u32), (1, 1, 1)]).unwrap();
+        let parts = partition_rows(&coo, 5, Balance::EqualRange).unwrap();
+        assert_eq!(parts.len(), 5);
+        let total: usize = parts.iter().map(|p| p.matrix.nnz()).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! Dense and compressed (sparse) vectors.
+//!
+//! Traversal-based graph algorithms iterate matrix–vector products whose
+//! input vector density changes every iteration (§3, §4.2 of the paper):
+//! BFS frontiers start with one non-zero and grow; SSSP relaxation sets
+//! shrink as distances settle. [`DenseVector`] is the SpMV operand;
+//! [`SparseVector`] is the compressed SpMSpV operand. Density — the ratio of
+//! non-zeros to length, the paper's switching signal — is a first-class
+//! query on both.
+
+use crate::error::SparseError;
+use crate::Result;
+
+/// A dense vector of length `n` with every element materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseVector<V> {
+    values: Vec<V>,
+}
+
+impl<V: Copy> DenseVector<V> {
+    /// Creates a vector of `len` copies of `fill`.
+    pub fn filled(len: usize, fill: V) -> Self {
+        DenseVector { values: vec![fill; len] }
+    }
+
+    /// Wraps an existing value buffer.
+    pub fn from_values(values: Vec<V>) -> Self {
+        DenseVector { values }
+    }
+
+    /// Length of the vector.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Immutable view of the values.
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Mutable view of the values.
+    pub fn values_mut(&mut self) -> &mut [V] {
+        &mut self.values
+    }
+
+    /// Consumes the vector, returning the underlying buffer.
+    pub fn into_values(self) -> Vec<V> {
+        self.values
+    }
+
+    /// Number of elements for which `is_nonzero` returns true.
+    pub fn nnz(&self, is_nonzero: impl Fn(&V) -> bool) -> usize {
+        self.values.iter().filter(|v| is_nonzero(v)).count()
+    }
+
+    /// Fraction of non-zero elements, in `[0, 1]`.
+    ///
+    /// The paper expresses this as a percentage; multiply by 100 to match.
+    pub fn density(&self, is_nonzero: impl Fn(&V) -> bool) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.nnz(is_nonzero) as f64 / self.values.len() as f64
+    }
+
+    /// Compresses to a [`SparseVector`], keeping elements where `is_nonzero`.
+    pub fn to_sparse(&self, is_nonzero: impl Fn(&V) -> bool) -> SparseVector<V> {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, v) in self.values.iter().enumerate() {
+            if is_nonzero(v) {
+                indices.push(i as u32);
+                values.push(*v);
+            }
+        }
+        SparseVector { len: self.values.len(), indices, values }
+    }
+}
+
+impl<V> std::ops::Index<usize> for DenseVector<V> {
+    type Output = V;
+    fn index(&self, i: usize) -> &V {
+        &self.values[i]
+    }
+}
+
+impl<V> std::ops::IndexMut<usize> for DenseVector<V> {
+    fn index_mut(&mut self, i: usize) -> &mut V {
+        &mut self.values[i]
+    }
+}
+
+/// A compressed vector storing only non-zero `(index, value)` pairs.
+///
+/// Indices are kept sorted ascending; this is the format loaded into DPU
+/// DRAM banks by the SpMSpV kernels (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector<V> {
+    len: usize,
+    indices: Vec<u32>,
+    values: Vec<V>,
+}
+
+impl<V: Copy> SparseVector<V> {
+    /// Creates an empty sparse vector of logical length `len`.
+    pub fn new(len: usize) -> Self {
+        SparseVector { len, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates a sparse vector from parallel index/value arrays.
+    ///
+    /// Pairs are sorted by index if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::LengthMismatch`] if the arrays disagree, or
+    /// [`SparseError::InvalidArgument`] if an index is `>= len` or repeated.
+    pub fn from_pairs(len: usize, indices: Vec<u32>, values: Vec<V>) -> Result<Self> {
+        if indices.len() != values.len() {
+            return Err(SparseError::LengthMismatch {
+                what: "indices vs values",
+                left: indices.len(),
+                right: values.len(),
+            });
+        }
+        let mut pairs: Vec<(u32, V)> = indices.into_iter().zip(values).collect();
+        pairs.sort_by_key(|&(i, _)| i);
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(SparseError::InvalidArgument(format!(
+                    "duplicate index {} in sparse vector",
+                    w[0].0
+                )));
+            }
+        }
+        if let Some(&(last, _)) = pairs.last() {
+            if last as usize >= len {
+                return Err(SparseError::InvalidArgument(format!(
+                    "index {last} out of range for sparse vector of length {len}"
+                )));
+            }
+        }
+        let (indices, values) = pairs.into_iter().unzip();
+        Ok(SparseVector { len, indices, values })
+    }
+
+    /// A one-hot vector: a single non-zero `value` at `index`.
+    ///
+    /// This is the BFS/SSSP source frontier and the PPR personalization
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn one_hot(len: usize, index: u32, value: V) -> Self {
+        assert!((index as usize) < len, "one_hot index {index} out of range {len}");
+        SparseVector { len, indices: vec![index], values: vec![value] }
+    }
+
+    /// Logical length of the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Fraction of non-zero elements, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / self.len as f64
+    }
+
+    /// Sorted indices of the non-zeros.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Values parallel to [`SparseVector::indices`].
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Iterates over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, V)> + '_ {
+        self.indices.iter().zip(&self.values).map(|(&i, &v)| (i, v))
+    }
+
+    /// Looks up the value at logical index `i`, if stored.
+    pub fn get(&self, i: u32) -> Option<V> {
+        self.indices.binary_search(&i).ok().map(|slot| self.values[slot])
+    }
+
+    /// Expands to a [`DenseVector`], filling unset positions with `zero`.
+    pub fn to_dense(&self, zero: V) -> DenseVector<V> {
+        let mut dense = DenseVector::filled(self.len, zero);
+        for (i, v) in self.iter() {
+            dense[i as usize] = v;
+        }
+        dense
+    }
+
+    /// Restricts to indices in `[lo, hi)`, re-basing them to start at zero.
+    ///
+    /// Used when loading only a partition's input-vector segment into a DPU
+    /// (column-wise and 2D partitioning, §4.1.1).
+    pub fn slice_range(&self, lo: u32, hi: u32) -> SparseVector<V> {
+        let start = self.indices.partition_point(|&i| i < lo);
+        let end = self.indices.partition_point(|&i| i < hi);
+        SparseVector {
+            len: (hi - lo) as usize,
+            indices: self.indices[start..end].iter().map(|&i| i - lo).collect(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// Bytes occupied by the compressed representation, assuming 4-byte
+    /// indices and `val_bytes`-byte values.
+    ///
+    /// This is the quantity transferred in the Load phase of SpMSpV.
+    pub fn compressed_bytes(&self, val_bytes: usize) -> usize {
+        self.nnz() * (4 + val_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_tracks_nnz() {
+        let d = DenseVector::from_values(vec![0u32, 3, 0, 5]);
+        assert_eq!(d.nnz(|&v| v != 0), 2);
+        assert!((d.density(|&v| v != 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_sparse_roundtrips() {
+        let d = DenseVector::from_values(vec![0u32, 3, 0, 5]);
+        let s = d.to_sparse(|&v| v != 0);
+        assert_eq!(s.indices(), &[1, 3]);
+        assert_eq!(s.to_dense(0), d);
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_validates() {
+        let s = SparseVector::from_pairs(6, vec![4, 1], vec![40u32, 10]).unwrap();
+        assert_eq!(s.indices(), &[1, 4]);
+        assert_eq!(s.get(4), Some(40));
+        assert_eq!(s.get(0), None);
+        assert!(SparseVector::from_pairs(3, vec![5], vec![1u32]).is_err());
+        assert!(SparseVector::from_pairs(3, vec![1, 1], vec![1u32, 2]).is_err());
+    }
+
+    #[test]
+    fn one_hot_has_single_entry() {
+        let s = SparseVector::one_hot(10, 7, 1u32);
+        assert_eq!(s.nnz(), 1);
+        assert!((s.density() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_panics_out_of_range() {
+        let _ = SparseVector::one_hot(4, 4, 1u32);
+    }
+
+    #[test]
+    fn slice_range_rebases_indices() {
+        let s = SparseVector::from_pairs(10, vec![1, 4, 6, 9], vec![1u32, 2, 3, 4]).unwrap();
+        let sub = s.slice_range(4, 8);
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.indices(), &[0, 2]);
+        assert_eq!(sub.values(), &[2, 3]);
+    }
+
+    #[test]
+    fn compressed_bytes_counts_index_and_value() {
+        let s = SparseVector::from_pairs(10, vec![0, 5], vec![1u32, 2]).unwrap();
+        assert_eq!(s.compressed_bytes(4), 16);
+    }
+
+    #[test]
+    fn empty_vectors_have_zero_density() {
+        assert_eq!(DenseVector::<u32>::filled(0, 0).density(|&v| v != 0), 0.0);
+        assert_eq!(SparseVector::<u32>::new(0).density(), 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Design-space exploration: sweep every SpMSpV variant and both SpMV
+//! variants on one graph across input densities, then fit the empirical
+//! cost model (§4, step ②) to locate the SpMSpV→SpMV crossover.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use alpha_pim::cost_model::{probe_kernels, EmpiricalCostModel};
+use alpha_pim::semiring::BoolOrAnd;
+use alpha_pim::{PreparedSpmspv, PreparedSpmv, Semiring, SpmspvVariant, SpmvVariant};
+use alpha_pim_sim::{PimConfig, PimSystem, SimFidelity};
+use alpha_pim_sparse::{gen, Graph, SparseVector};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = PimSystem::new(PimConfig {
+        num_dpus: 1024,
+        fidelity: SimFidelity::Sampled(32),
+        ..Default::default()
+    })?;
+    let degrees = gen::lognormal_degrees(20_000, 12.0, 41.0, 3)?;
+    let graph = Graph::from_coo(gen::chung_lu(&degrees, 3)?);
+    let matrix = graph.transposed().map(BoolOrAnd::from_weight);
+    let n = graph.nodes() as usize;
+    println!(
+        "design space on a {}-node / {}-edge scale-free graph, 1024 DPUs\n",
+        graph.nodes(),
+        graph.edges(),
+    );
+
+    println!("total iteration time (ms) by variant and input density:");
+    println!("{:<12} {:>8} {:>8} {:>8}", "variant", "1%", "10%", "50%");
+    let densities = [0.01, 0.10, 0.50];
+    for variant in SpmspvVariant::ALL {
+        let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&matrix, variant, &sys)?;
+        let mut cells = Vec::new();
+        for d in densities {
+            let x = striped(n, d);
+            cells.push(format!("{:8.3}", prep.run(&x, &sys)?.phases.total() * 1e3));
+        }
+        println!("{:<12} {}", format!("SpMSpV {variant}"), cells.join(" "));
+    }
+    for variant in SpmvVariant::ALL {
+        let prep = PreparedSpmv::<BoolOrAnd>::prepare(&matrix, variant, &sys)?;
+        let mut cells = Vec::new();
+        for d in densities {
+            let x = striped(n, d).to_dense(0);
+            cells.push(format!("{:8.3}", prep.run(&x, &sys)?.phases.total() * 1e3));
+        }
+        println!("{:<12} {}", format!("SpMV {variant}"), cells.join(" "));
+    }
+
+    // Fit the empirical cost model on the best pair.
+    let spmv = PreparedSpmv::<BoolOrAnd>::prepare(&matrix, SpmvVariant::Dcoo2d, &sys)?;
+    let spmspv = PreparedSpmspv::<BoolOrAnd>::prepare(&matrix, SpmspvVariant::Csc2d, &sys)?;
+    let probes = probe_kernels(&spmv, &spmspv, &[0.02, 0.1, 0.2, 0.35, 0.5, 0.7], &sys)?;
+    let model = EmpiricalCostModel::fit(&probes);
+    println!(
+        "\nempirical cost model: SpMSpV(d) = {:.3} + {:.3}·d ms, SpMV = {:.3} ms",
+        model.spmspv_intercept * 1e3,
+        model.spmspv_slope * 1e3,
+        model.spmv_flat * 1e3,
+    );
+    match model.crossover_density() {
+        Some(d) => println!(
+            "predicted SpMSpV→SpMV crossover at {:.0}% density \
+             (paper: ~50% for scale-free graphs)",
+            d * 100.0
+        ),
+        None => println!("SpMSpV wins at every density on this configuration"),
+    }
+    Ok(())
+}
+
+fn striped(n: usize, density: f64) -> SparseVector<u32> {
+    let stride = (1.0 / density).round().max(1.0) as u32;
+    let idx: Vec<u32> = (0..n as u32).filter(|i| i % stride == 0).collect();
+    let vals = vec![1u32; idx.len()];
+    SparseVector::from_pairs(n, idx, vals).expect("striped indices are unique")
+}

@@ -1,0 +1,121 @@
+//! Smoke tests for the experiment harness: every regenerator must run at
+//! tiny scale and its report must carry the paper's qualitative signals.
+
+use alpha_pim_bench::experiments::{
+    ablation, fig2, fig4, fig5, fig6, fig7, profile, sensitivity, table1, table2, whatif,
+};
+use alpha_pim_bench::HarnessConfig;
+
+fn tiny() -> HarnessConfig {
+    HarnessConfig { scale: 0.01, num_dpus: 128, detail: 8, ..Default::default() }
+}
+
+#[test]
+fn table1_lists_all_three_semirings() {
+    let out = table1::run(&tiny());
+    for needle in ["BFS", "SSSP", "PPR", "min", "bool-or-and"] {
+        assert!(out.contains(needle), "missing {needle} in:\n{out}");
+    }
+}
+
+#[test]
+fn table2_covers_all_thirteen_datasets() {
+    let out = table2::run(&tiny());
+    for spec in alpha_pim_sparse::datasets::table2() {
+        assert!(out.contains(spec.abbrev), "missing {}", spec.abbrev);
+    }
+}
+
+#[test]
+fn fig2_shows_2d_beating_1d() {
+    let out = fig2::run(&tiny());
+    let line = out.lines().find(|l| l.contains("geomean 2D/1D")).expect("geomean line");
+    let ratio: f64 = line
+        .split(':')
+        .nth(1)
+        .and_then(|s| s.trim().split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .expect("parsable ratio");
+    assert!(ratio < 1.0, "2D should beat 1D, got ratio {ratio}");
+}
+
+#[test]
+fn fig4_reports_both_kernels_per_iteration() {
+    let out = fig4::run(&tiny());
+    assert!(out.contains("BFS on A302"));
+    assert!(out.contains("SSSP on r-TX"));
+    assert!(out.contains("SpMSpV"));
+}
+
+#[test]
+fn fig5_excludes_csr_for_being_slowest() {
+    let out = fig5::run(&tiny());
+    let line = out.lines().find(|l| l.contains("CSR slowdown")).expect("csr line");
+    // All three factors should exceed 1 (CSR always loses).
+    let factors: Vec<f64> = line
+        .split('x')
+        .filter_map(|chunk| chunk.split_whitespace().last())
+        .filter_map(|tok| tok.trim_start_matches(':').parse::<f64>().ok())
+        .take(3)
+        .collect();
+    assert!(!factors.is_empty());
+    assert!(factors.iter().all(|&f| f > 1.0), "factors {factors:?}");
+}
+
+#[test]
+fn fig6_and_fig7_run() {
+    let out6 = fig6::run(&tiny());
+    assert!(out6.contains("Geomean"));
+    let out7 = fig7::run(&tiny());
+    assert!(out7.contains("geomean speedup"));
+}
+
+#[test]
+fn profile_figures_expose_all_metrics() {
+    let rows = profile::collect(&tiny());
+    assert_eq!(rows.len(), 6, "2 kernels x 3 densities");
+    let f9 = profile::fig9(&rows);
+    assert!(f9.contains("revolver%"));
+    let f10 = profile::fig10(&rows);
+    assert!(f10.contains("avg active threads"));
+    let f11 = profile::fig11(&rows);
+    assert!(f11.contains("sync"));
+    // SpMV rows are density-independent (dense input): identical breakdowns.
+    let spmv: Vec<_> = rows.iter().filter(|r| r.kernel == "SpMV").collect();
+    assert_eq!(spmv.len(), 3);
+}
+
+#[test]
+fn sensitivity_and_ablation_run() {
+    let s = sensitivity::run(&tiny());
+    assert!(s.contains("threshold %"));
+    let a = ablation::run(&tiny());
+    assert!(a.contains("nnz-balanced"));
+    assert!(a.contains("Tasklets per DPU"));
+}
+
+#[test]
+fn whatif_quantifies_all_four_recommendations() {
+    let out = whatif::run(&tiny());
+    for needle in [
+        "Pipeline enhancements",
+        "Forwarding vs tasklet count",
+        "Hardware floating point",
+        "inter-DPU interconnect",
+    ] {
+        assert!(out.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn whatif_hardware_fp_speeds_up_float_kernels() {
+    let out = whatif::run(&tiny());
+    // The hardware-FPU row must report a >1x speedup.
+    let section = out.split("Hardware floating point").nth(1).expect("fp section");
+    let row = section.lines().find(|l| l.contains("hardware FPU")).expect("hw row");
+    let speedup: f64 = row
+        .rsplit_once(' ')
+        .and_then(|(_, s)| s.trim_end_matches('x').parse().ok())
+        .expect("parsable speedup");
+    assert!(speedup > 1.1, "hardware FP speedup {speedup}");
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: generators → partitioners → kernels →
+//! applications → simulator → baselines, end to end.
+
+use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
+use alpha_pim::{AlphaPim, KernelKind, SpmspvVariant, SpmvVariant};
+use alpha_pim_baselines::cpu::GridEngine;
+use alpha_pim_baselines::{compute_utilization_pct, specs};
+use alpha_pim_sim::{EnergyModel, PimConfig, SimFidelity};
+use alpha_pim_sparse::{datasets, mtx, Graph};
+
+fn engine(dpus: u32) -> AlphaPim {
+    AlphaPim::new(PimConfig {
+        num_dpus: dpus,
+        fidelity: SimFidelity::Sampled(16),
+        ..Default::default()
+    })
+    .expect("valid config")
+}
+
+/// A catalog dataset flows through classification, all three apps, and the
+/// CPU baseline, with matching algorithmic results.
+#[test]
+fn catalog_dataset_end_to_end() {
+    let spec = datasets::by_abbrev("ca-Q").expect("catalog entry");
+    let graph = spec.generate_scaled(0.5, 3).expect("generates").with_random_weights(9);
+    let eng = engine(128);
+    assert_eq!(eng.classify(&graph), spec.class);
+
+    let bfs = eng.bfs(&graph, 0, &AppOptions::default()).expect("bfs");
+    let sssp = eng.sssp(&graph, 0, &AppOptions::default()).expect("sssp");
+    let ppr = eng.ppr(&graph, 0, &PprOptions::default()).expect("ppr");
+
+    let cpu = GridEngine::new(&graph, 8, 2);
+    assert_eq!(bfs.levels, cpu.bfs(0).0);
+    assert_eq!(sssp.distances, cpu.sssp(0).0);
+    let (cpu_ppr, _) = cpu.ppr(0, 0.85, 1e-4, 50);
+    for (a, b) in ppr.scores.iter().zip(&cpu_ppr) {
+        assert!((a - b).abs() < 1e-3);
+    }
+}
+
+/// Adaptive switching really changes kernels mid-run when density crosses
+/// the class threshold.
+#[test]
+fn adaptive_policy_switches_kernels() {
+    let spec = datasets::by_abbrev("e-En").expect("catalog entry");
+    let graph = spec.generate_scaled(0.15, 5).expect("generates");
+    let eng = engine(128);
+    // Force a low threshold so BFS's densest frontier crosses it.
+    let options = AppOptions {
+        policy: KernelPolicy::FixedThreshold(0.05),
+        ..Default::default()
+    };
+    let r = eng.bfs(&graph, 1, &options).expect("bfs");
+    let spmspv_iters = r
+        .report
+        .iterations
+        .iter()
+        .filter(|s| matches!(s.kernel, KernelKind::Spmspv(_)))
+        .count();
+    let spmv_iters = r
+        .report
+        .iterations
+        .iter()
+        .filter(|s| matches!(s.kernel, KernelKind::Spmv(_)))
+        .count();
+    assert!(spmspv_iters > 0, "early sparse iterations use SpMSpV");
+    assert!(spmv_iters > 0, "dense iterations switch to SpMV");
+    // The switch direction matches the density trajectory: the first
+    // iteration is sparse.
+    assert!(matches!(r.report.iterations[0].kernel, KernelKind::Spmspv(_)));
+}
+
+/// Results are identical across kernel policies AND across DPU counts —
+/// partitioning must never change the computed function.
+#[test]
+fn results_invariant_to_partitioning_and_scale() {
+    let graph = Graph::from_coo(
+        alpha_pim_sparse::gen::rmat(9, 6, Default::default(), 11).expect("rmat"),
+    )
+    .with_random_weights(7);
+    let reference = engine(16).sssp(&graph, 2, &AppOptions::default()).expect("sssp");
+    for dpus in [64, 512] {
+        let r = engine(dpus).sssp(&graph, 2, &AppOptions::default()).expect("sssp");
+        assert_eq!(r.distances, reference.distances, "dpus {dpus}");
+    }
+    for variant in [SpmspvVariant::Coo, SpmspvVariant::CscC, SpmspvVariant::CscR] {
+        let options = AppOptions {
+            policy: KernelPolicy::SpmspvOnly(variant),
+            ..Default::default()
+        };
+        let r = engine(64).sssp(&graph, 2, &options).expect("sssp");
+        assert_eq!(r.distances, reference.distances, "variant {variant}");
+    }
+    let options = AppOptions {
+        policy: KernelPolicy::SpmvOnly(SpmvVariant::Coo1d),
+        ..Default::default()
+    };
+    let r = engine(64).sssp(&graph, 2, &options).expect("sssp");
+    assert_eq!(r.distances, reference.distances);
+}
+
+/// A graph round-tripped through MatrixMarket IO gives identical BFS.
+#[test]
+fn mtx_roundtrip_preserves_results() {
+    let graph = Graph::from_coo(alpha_pim_sparse::gen::erdos_renyi(300, 2400, 9).expect("er"));
+    let mut buf = Vec::new();
+    mtx::write_coo(&mut buf, graph.adjacency()).expect("writes");
+    let back = Graph::from_coo(mtx::read_coo(buf.as_slice()).expect("parses"));
+    let eng = engine(32);
+    let a = eng.bfs(&graph, 0, &AppOptions::default()).expect("bfs");
+    let b = eng.bfs(&back, 0, &AppOptions::default()).expect("bfs");
+    assert_eq!(a.levels, b.levels);
+}
+
+/// The Table 4 accounting chain hangs together: ops, utilization, and
+/// energy are consistent and in paper-plausible ranges.
+#[test]
+fn system_comparison_accounting_is_consistent() {
+    let spec = datasets::by_abbrev("face").expect("catalog entry");
+    let graph = spec.generate_scaled(0.6, 21).expect("generates");
+    let eng = engine(256);
+    let r = eng.bfs(&graph, 0, &AppOptions::default()).expect("bfs");
+    let kernel_s = r.report.kernel_seconds();
+    let total_s = r.report.total_seconds();
+    assert!(kernel_s > 0.0 && kernel_s < total_s);
+
+    let peak = specs::UPMEM.peak_flops_for(256);
+    let util_kernel = compute_utilization_pct(r.report.useful_ops, kernel_s, peak);
+    let util_total = compute_utilization_pct(r.report.useful_ops, total_s, peak);
+    assert!(util_kernel > util_total);
+    assert!(util_total > 0.0);
+
+    let energy = EnergyModel::default();
+    let e_kernel = energy.upmem_kernel_energy(kernel_s, 256);
+    let e_total = energy.upmem_energy(&r.report.total, 256);
+    assert!(e_total > e_kernel);
+
+    // CPU/GPU baselines keep the paper's ordering: GPU fastest, CPU slowest.
+    let iters = r.report.num_iterations();
+    let cpu = alpha_pim_baselines::cpu::CpuModel::for_algorithm(alpha_pim_baselines::Algorithm::Bfs)
+        .predict_seconds(graph.edges() as u64, graph.nodes() as u64, iters);
+    let gpu = alpha_pim_baselines::gpu::GpuModel::for_algorithm(alpha_pim_baselines::Algorithm::Bfs)
+        .predict_seconds(graph.edges() as u64, graph.nodes() as u64, iters);
+    // At this reduced scale GPU launch overhead can exceed the UPMEM kernel
+    // time, so assert the orderings that are scale-invariant: the GPU beats
+    // the CPU by a wide margin, and the CPU trails the PIM system.
+    assert!(cpu > 10.0 * gpu, "GPU should be far faster than CPU: {gpu} vs {cpu}");
+    assert!(cpu > total_s, "CPU should be slowest: {cpu} vs {total_s}");
+}
+
+/// Road-class graphs pick the 20% threshold, scale-free the 50% one, and
+/// both thresholds produce correct BFS.
+#[test]
+fn classifier_thresholds_by_class() {
+    let eng = engine(64);
+    let road = datasets::by_abbrev("r-TX").unwrap().generate_scaled(0.005, 1).unwrap();
+    assert_eq!(eng.switch_threshold(&road), 0.20);
+    let social = datasets::by_abbrev("s-S11").unwrap().generate_scaled(0.05, 1).unwrap();
+    assert_eq!(eng.switch_threshold(&social), 0.50);
+    let cpu = GridEngine::new(&road, 4, 2);
+    let pim = eng.bfs(&road, 0, &AppOptions::default()).expect("bfs");
+    assert_eq!(pim.levels, cpu.bfs(0).0);
+}
