@@ -8,9 +8,9 @@
 //! GridGraph's central trick.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use alpha_pim_sim::par::par_fold_mut;
 use alpha_pim_sparse::partition::equal_ranges;
 use alpha_pim_sparse::Graph;
 
@@ -97,23 +97,26 @@ impl GridEngine {
             tasks.push((j as u32, head));
             rest = tail;
         }
-        let edges = AtomicU64::new(0);
+        // Group the column tasks exactly as before (`self.threads` contiguous
+        // chunks) and hand the groups to the shared scoped pool; effective
+        // parallelism is min(self.threads, ALPHA_PIM_THREADS).
         let chunk = tasks.len().div_ceil(self.threads as usize).max(1);
-        crossbeam::thread::scope(|scope| {
-            for group in tasks.chunks_mut(chunk) {
-                let fold = &fold;
-                let edges = &edges;
-                scope.spawn(move |_| {
-                    let mut local = 0u64;
-                    for (j, slice) in group.iter_mut() {
-                        local += fold(*j, slice);
-                    }
-                    edges.fetch_add(local, Ordering::Relaxed);
-                });
+        let mut groups: Vec<Vec<(u32, &mut [T])>> = Vec::new();
+        let mut tasks = tasks.into_iter();
+        loop {
+            let group: Vec<_> = tasks.by_ref().take(chunk).collect();
+            if group.is_empty() {
+                break;
             }
+            groups.push(group);
+        }
+        par_fold_mut(&mut groups, |group| {
+            let mut local = 0u64;
+            for (j, slice) in group.iter_mut() {
+                local += fold(*j, slice);
+            }
+            local
         })
-        .expect("baseline worker panicked");
-        edges.into_inner()
     }
 
     /// Edge blocks feeding destination range `j`.

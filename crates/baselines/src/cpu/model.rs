@@ -10,12 +10,12 @@
 //! Table 4 datasets. The *real* runnable engine lives in
 //! [`crate::cpu::GridEngine`] and is used for correctness parity.
 
-use serde::{Deserialize, Serialize};
 
 use crate::Algorithm;
 
 /// Per-algorithm CPU timing constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpuModel {
     /// Fixed seconds per iteration (scheduling, frontier management).
     pub per_iteration_s: f64,

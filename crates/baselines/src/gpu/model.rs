@@ -7,12 +7,12 @@
 //! memory-bandwidth term, with constants fitted to the paper's Table 4 GPU
 //! rows.
 
-use serde::{Deserialize, Serialize};
 
 use crate::Algorithm;
 
 /// Per-algorithm GPU timing constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuModel {
     /// Fixed seconds per iteration (kernel launches + sync).
     pub per_iteration_s: f64,

@@ -1,10 +1,10 @@
 //! Baseline machine specifications (Table 3) and peak-performance
 //! constants (§6.3.2).
 
-use serde::{Deserialize, Serialize};
 
 /// Micro-architectural specification of one comparison system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemSpec {
     /// Marketing name.
     pub name: &'static str,

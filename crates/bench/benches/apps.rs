@@ -1,14 +1,13 @@
-//! Criterion bench: full BFS/SSSP/PPR runs with adaptive switching
+//! Std-only bench: full BFS/SSSP/PPR runs with adaptive switching
 //! (Fig 7 regression).
-
-use criterion::{criterion_group, criterion_main, Criterion};
 
 use alpha_pim::apps::{AppOptions, PprOptions};
 use alpha_pim::AlphaPim;
+use alpha_pim_bench::stopwatch::bench;
 use alpha_pim_sim::{PimConfig, SimFidelity};
 use alpha_pim_sparse::{gen, Graph};
 
-fn bench_apps(c: &mut Criterion) {
+fn main() {
     let graph = Graph::from_coo(gen::erdos_renyi(3_000, 24_000, 3).expect("valid"))
         .with_random_weights(9);
     let engine = AlphaPim::new(PimConfig {
@@ -17,19 +16,7 @@ fn bench_apps(c: &mut Criterion) {
         ..Default::default()
     })
     .expect("valid");
-    let mut group = c.benchmark_group("apps");
-    group.sample_size(10);
-    group.bench_function("bfs", |b| {
-        b.iter(|| engine.bfs(&graph, 0, &AppOptions::default()).expect("runs"));
-    });
-    group.bench_function("sssp", |b| {
-        b.iter(|| engine.sssp(&graph, 0, &AppOptions::default()).expect("runs"));
-    });
-    group.bench_function("ppr", |b| {
-        b.iter(|| engine.ppr(&graph, 0, &PprOptions::default()).expect("runs"));
-    });
-    group.finish();
+    bench("apps/bfs", 10, || engine.bfs(&graph, 0, &AppOptions::default()).expect("runs"));
+    bench("apps/sssp", 10, || engine.sssp(&graph, 0, &AppOptions::default()).expect("runs"));
+    bench("apps/ppr", 10, || engine.ppr(&graph, 0, &PprOptions::default()).expect("runs"));
 }
-
-criterion_group!(benches, bench_apps);
-criterion_main!(benches);

@@ -1,21 +1,14 @@
-//! Criterion bench: the CPU GridGraph-style baseline engine.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Std-only bench: the CPU GridGraph-style baseline engine.
 
 use alpha_pim_baselines::cpu::GridEngine;
+use alpha_pim_bench::stopwatch::bench;
 use alpha_pim_sparse::{gen, Graph};
 
-fn bench_baseline(c: &mut Criterion) {
+fn main() {
     let graph = Graph::from_coo(gen::erdos_renyi(10_000, 80_000, 5).expect("valid"))
         .with_random_weights(9);
     let engine = GridEngine::new(&graph, 8, 2);
-    let mut group = c.benchmark_group("cpu-baseline");
-    group.sample_size(10);
-    group.bench_function("bfs", |b| b.iter(|| engine.bfs(0)));
-    group.bench_function("sssp", |b| b.iter(|| engine.sssp(0)));
-    group.bench_function("ppr", |b| b.iter(|| engine.ppr(0, 0.85, 1e-4, 20)));
-    group.finish();
+    bench("cpu-baseline/bfs", 10, || engine.bfs(0));
+    bench("cpu-baseline/sssp", 10, || engine.sssp(0));
+    bench("cpu-baseline/ppr", 10, || engine.ppr(0, 0.85, 1e-4, 20));
 }
-
-criterion_group!(benches, bench_baseline);
-criterion_main!(benches);

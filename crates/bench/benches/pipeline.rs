@@ -1,8 +1,7 @@
-//! Criterion bench: the revolver-pipeline discrete-event simulator itself
+//! Std-only bench: the revolver-pipeline discrete-event simulator itself
 //! (throughput of the substrate, Fig 9–11 cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use alpha_pim_bench::stopwatch::bench;
 use alpha_pim_sim::instr::InstrClass;
 use alpha_pim_sim::pipeline::simulate_dpu;
 use alpha_pim_sim::trace::TaskletTrace;
@@ -26,17 +25,10 @@ fn traces(tasklets: u32, work: u32) -> Vec<TaskletTrace> {
         .collect()
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let cfg = PipelineConfig::default();
-    let mut group = c.benchmark_group("pipeline");
     for tasklets in [1u32, 8, 16, 24] {
         let t = traces(tasklets, 512);
-        group.bench_with_input(BenchmarkId::from_parameter(tasklets), &t, |b, t| {
-            b.iter(|| simulate_dpu(t, &cfg));
-        });
+        bench(&format!("pipeline/{tasklets}"), 20, || simulate_dpu(&t, &cfg));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

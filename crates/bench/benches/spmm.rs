@@ -1,13 +1,12 @@
-//! Criterion bench: SpMM column-batching amortization (k = 1, 4, 16).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Std-only bench: SpMM column-batching amortization (k = 1, 4, 16).
 
 use alpha_pim::kernel::spmm::{MultiVector, PreparedSpmm};
 use alpha_pim::semiring::BoolOrAnd;
+use alpha_pim_bench::stopwatch::bench;
 use alpha_pim_sim::{PimConfig, PimSystem, SimFidelity};
 use alpha_pim_sparse::{gen, Graph};
 
-fn bench_spmm(c: &mut Criterion) {
+fn main() {
     let graph = Graph::from_coo(gen::erdos_renyi(3_000, 24_000, 7).expect("valid"));
     let m = graph.transposed();
     let sys = PimSystem::new(PimConfig {
@@ -17,16 +16,8 @@ fn bench_spmm(c: &mut Criterion) {
     })
     .expect("valid");
     let prep = PreparedSpmm::<BoolOrAnd>::prepare(&m, 16, &sys).expect("fits");
-    let mut group = c.benchmark_group("spmm");
-    group.sample_size(10);
     for k in [1usize, 4, 16] {
         let x = MultiVector::filled(graph.nodes() as usize, k, 1u32);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &x, |b, x| {
-            b.iter(|| prep.run(x, &sys).expect("dims"));
-        });
+        bench(&format!("spmm/{k}"), 10, || prep.run(&x, &sys).expect("dims"));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_spmm);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
-//! Criterion bench: one SpMSpV iteration per variant and density
+//! Std-only bench: one SpMSpV iteration per variant and density
 //! (Figs 5–6 regression).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{PreparedSpmspv, SpmspvVariant};
 use alpha_pim_bench::harness::striped_vector;
+use alpha_pim_bench::stopwatch::bench;
 use alpha_pim_sim::{PimConfig, PimSystem, SimFidelity};
 use alpha_pim_sparse::{gen, Graph};
 
-fn bench_spmspv(c: &mut Criterion) {
+fn main() {
     let graph = Graph::from_coo(gen::erdos_renyi(4_000, 32_000, 7).expect("valid"));
     let m = graph.transposed();
     let sys = PimSystem::new(PimConfig {
@@ -18,20 +17,12 @@ fn bench_spmspv(c: &mut Criterion) {
         ..Default::default()
     })
     .expect("valid");
-    let mut group = c.benchmark_group("spmspv");
-    group.sample_size(10);
     for variant in SpmspvVariant::ALL {
         let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&m, variant, &sys).expect("fits");
         for density in [0.01, 0.50] {
             let x = striped_vector(graph.nodes() as usize, density);
-            let id = format!("{variant}/{:.0}%", density * 100.0);
-            group.bench_with_input(BenchmarkId::from_parameter(id), &prep, |b, prep| {
-                b.iter(|| prep.run(&x, &sys).expect("dims"));
-            });
+            let name = format!("spmspv/{variant}/{:.0}%", density * 100.0);
+            bench(&name, 10, || prep.run(&x, &sys).expect("dims"));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_spmspv);
-criterion_main!(benches);

@@ -1,13 +1,12 @@
-//! Criterion bench: one SpMV iteration per variant (Fig 2 regression).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Std-only bench: one SpMV iteration per variant (Fig 2 regression).
 
 use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{PreparedSpmv, SpmvVariant};
+use alpha_pim_bench::stopwatch::bench;
 use alpha_pim_sim::{PimConfig, PimSystem, SimFidelity};
 use alpha_pim_sparse::{gen, DenseVector, Graph};
 
-fn bench_spmv(c: &mut Criterion) {
+fn main() {
     let graph = Graph::from_coo(gen::erdos_renyi(4_000, 32_000, 7).expect("valid"));
     let m = graph.transposed();
     let sys = PimSystem::new(PimConfig {
@@ -17,16 +16,8 @@ fn bench_spmv(c: &mut Criterion) {
     })
     .expect("valid");
     let x = DenseVector::filled(graph.nodes() as usize, 1u32);
-    let mut group = c.benchmark_group("spmv");
-    group.sample_size(10);
     for variant in SpmvVariant::ALL {
         let prep = PreparedSpmv::<BoolOrAnd>::prepare(&m, variant, &sys).expect("fits");
-        group.bench_with_input(BenchmarkId::from_parameter(variant), &prep, |b, prep| {
-            b.iter(|| prep.run(&x, &sys).expect("dims"));
-        });
+        bench(&format!("spmv/{variant}"), 10, || prep.run(&x, &sys).expect("dims"));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_spmv);
-criterion_main!(benches);

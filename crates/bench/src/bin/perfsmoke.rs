@@ -1,0 +1,84 @@
+//! Performance smoke test for the parallel replay engine.
+//!
+//! Replays one SpMV launch across 2048 simulated DPUs with the host-side
+//! pool pinned to 1 thread and then to N threads, asserting that the
+//! resulting `KernelReport` (including every floating-point field) is
+//! bit-identical, and — when the machine actually has ≥4 cores — that the
+//! parallel replay is at least 2× faster. Emits `BENCH_parallel_sim.json`
+//! in the working directory.
+
+use std::time::Instant;
+
+use alpha_pim::semiring::BoolOrAnd;
+use alpha_pim::{PreparedSpmv, SpmvVariant};
+use alpha_pim_sim::{set_sim_threads, KernelReport, PimConfig, PimSystem, SimFidelity};
+use alpha_pim_sparse::{gen, DenseVector, Graph};
+
+const DPUS: u32 = 2048;
+const ITERS: u32 = 5;
+
+fn replay(prep: &PreparedSpmv<BoolOrAnd>, x: &DenseVector<u32>, sys: &PimSystem) -> KernelReport {
+    prep.run(x, sys).expect("dims match").kernel
+}
+
+fn main() {
+    let graph = Graph::from_coo(gen::erdos_renyi(60_000, 600_000, 7).expect("valid args"));
+    let m = graph.transposed();
+    let sys = PimSystem::new(PimConfig {
+        num_dpus: DPUS,
+        fidelity: SimFidelity::Sampled(64),
+        ..Default::default()
+    })
+    .expect("valid config");
+    let x = DenseVector::filled(graph.nodes() as usize, 1u32);
+    let prep = PreparedSpmv::<BoolOrAnd>::prepare(&m, SpmvVariant::Coo1d, &sys).expect("fits");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    set_sim_threads(1);
+    let seq_report = replay(&prep, &x, &sys);
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(replay(&prep, &x, &sys));
+    }
+    let secs_seq = start.elapsed().as_secs_f64() / f64::from(ITERS);
+
+    set_sim_threads(cores);
+    let par_report = replay(&prep, &x, &sys);
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(replay(&prep, &x, &sys));
+    }
+    let secs_par = start.elapsed().as_secs_f64() / f64::from(ITERS);
+
+    // The determinism guarantee holds unconditionally: identical reports,
+    // down to the bits of the floating-point time.
+    assert_eq!(seq_report, par_report, "KernelReport diverged between 1 and {cores} threads");
+    assert_eq!(
+        seq_report.seconds.to_bits(),
+        par_report.seconds.to_bits(),
+        "simulated seconds not bit-identical"
+    );
+
+    let speedup = secs_seq / secs_par;
+    println!(
+        "perfsmoke: dpus {DPUS} threads {cores} seq {secs_seq:.4}s par {secs_par:.4}s \
+         speedup {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\"threads\": {cores}, \"dpus\": {DPUS}, \"secs_seq\": {secs_seq:.6}, \
+         \"secs_par\": {secs_par:.6}, \"speedup\": {speedup:.3}}}\n"
+    );
+    std::fs::write("BENCH_parallel_sim.json", json).expect("write BENCH_parallel_sim.json");
+
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x speedup on {cores} cores, measured {speedup:.2}x"
+        );
+    } else {
+        println!("perfsmoke: only {cores} core(s) available, skipping the 2x speedup gate");
+    }
+    println!("perfsmoke: reports bit-identical across thread counts — OK");
+}

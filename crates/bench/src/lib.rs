@@ -16,5 +16,6 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod stopwatch;
 
 pub use harness::HarnessConfig;

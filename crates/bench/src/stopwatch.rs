@@ -1,0 +1,29 @@
+//! Minimal std-only timing harness for the `benches/` regression benches.
+//!
+//! Replaces the former criterion dependency: each bench target is a plain
+//! `harness = false` program that calls [`bench`] per case and prints one
+//! line of statistics. Wall-clock numbers are indicative (no outlier
+//! rejection); the benches exist to catch order-of-magnitude regressions
+//! and to exercise the hot paths under `cargo bench` without any external
+//! crates.
+
+use std::time::Instant;
+
+/// Times `iters` calls of `f` after one untimed warm-up call and prints
+/// `name: mean <s> min <s> (iters)`. Returns the mean seconds per call.
+pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    assert!(iters > 0, "iters must be positive");
+    std::hint::black_box(f());
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let secs = start.elapsed().as_secs_f64();
+        total += secs;
+        min = min.min(secs);
+    }
+    let mean = total / f64::from(iters);
+    println!("{name}: mean {mean:.6e}s min {min:.6e}s ({iters} iters)");
+    mean
+}

@@ -156,7 +156,7 @@ fn best_split(
                 indices.iter().partition(|&&i| samples[i].0.get(feature) <= threshold);
             let score = gini(samples, &l) * l.len() as f64 + gini(samples, &r) * r.len() as f64;
             if score < parent - 1e-12
-                && best.map_or(true, |(_, _, s)| score < s)
+                && best.is_none_or(|(_, _, s)| score < s)
             {
                 best = Some((feature, threshold, score));
             }

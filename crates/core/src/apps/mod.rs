@@ -30,7 +30,7 @@ use crate::kernel::{KernelKind, PreparedSpmspv, PreparedSpmv, SpmspvVariant, Spm
 use crate::semiring::Semiring;
 
 /// Which kernel(s) an application may use, and when to switch (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum KernelPolicy {
     /// SpMV for every iteration (the SparseP baseline of Fig 7).
     SpmvOnly(SpmvVariant),
@@ -41,13 +41,8 @@ pub enum KernelPolicy {
     FixedThreshold(f64),
     /// Threshold chosen by the framework's decision tree from the graph's
     /// degree statistics (20 % for regular graphs, 50 % for scale-free).
+    #[default]
     Adaptive,
-}
-
-impl Default for KernelPolicy {
-    fn default() -> Self {
-        KernelPolicy::Adaptive
-    }
 }
 
 /// Options shared by all applications.

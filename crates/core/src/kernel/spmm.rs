@@ -8,6 +8,7 @@
 //! layout is the paper's best SpMV partitioning (DCOO-style 2D tiles).
 
 use alpha_pim_sim::instr::InstrClass;
+use alpha_pim_sim::par::par_map_indexed;
 use alpha_pim_sim::report::PhaseBreakdown;
 use alpha_pim_sim::trace::TaskletTrace;
 use alpha_pim_sim::PimSystem;
@@ -125,9 +126,8 @@ impl<S: Semiring> PreparedSpmm<S> {
         let mut load = vec![0u64; self.grid.tiles.len()];
         let mut retrieve = vec![0u64; self.grid.tiles.len()];
         let mut ops = 0u64;
-        for t in &self.grid.tiles {
+        let evals = par_map_indexed(&self.grid.tiles, |_, t| {
             let rows = (t.row_range.end - t.row_range.start) as usize;
-            let cols = (t.col_range.end - t.col_range.start) as usize;
             let mut local = MultiVector::filled(rows, k, S::zero());
             let traces = spmm_tile_traces::<S>(
                 &t.matrix,
@@ -137,8 +137,15 @@ impl<S: Semiring> PreparedSpmm<S> {
                 tasklets,
                 sys.config().wram_bytes,
             );
-            acc.add(t.part, &traces);
+            (acc.evaluate(t.part, &traces), local)
+        });
+        // Tiles in one grid row overlap in `y`: reduce in tile order so the
+        // result matches a sequential run exactly.
+        for (t, (eval, local)) in self.grid.tiles.iter().zip(evals) {
+            acc.merge(eval);
             ops += 2 * t.matrix.nnz() as u64 * k as u64;
+            let rows = (t.row_range.end - t.row_range.start) as usize;
+            let cols = (t.col_range.end - t.col_range.start) as usize;
             for i in 0..rows {
                 let g = t.row_range.start as usize + i;
                 for j in 0..k {

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use alpha_pim_sim::instr::InstrClass;
+use alpha_pim_sim::par::par_map_indexed;
 use alpha_pim_sim::report::PhaseBreakdown;
 use alpha_pim_sim::trace::TaskletTrace;
 use alpha_pim_sim::PimSystem;
@@ -224,27 +225,35 @@ impl<S: Semiring> PreparedSpmspv<S> {
         let mut ops = 0u64;
         let num_parts = kind.len();
         let mut retrieve = vec![0u64; num_parts];
-        for part in 0..num_parts {
-            let (rows_range, nnz) = kind.band(part);
+        let part_ids: Vec<u32> = (0..num_parts as u32).collect();
+        let evals = par_map_indexed(&part_ids, |_, &part| {
+            let (rows_range, _) = kind.band(part as usize);
             let band = (rows_range.end - rows_range.start) as usize;
             let mut local = vec![S::zero(); band];
+            let mut part_ops = 0u64;
             let traces = match &kind {
                 MatchedKind::Coo(parts) => coo_matched_traces::<S>(
-                    &parts[part].matrix,
+                    &parts[part as usize].matrix,
                     x,
                     &mut local,
                     tasklets,
-                    &mut ops,
+                    &mut part_ops,
                 ),
                 MatchedKind::Csr(bands) => csr_matched_traces::<S>(
-                    &bands[part].matrix,
+                    &bands[part as usize].matrix,
                     x,
                     &mut local,
                     tasklets,
-                    &mut ops,
+                    &mut part_ops,
                 ),
             };
-            acc.add(part as u32, &traces);
+            (acc.evaluate(part, &traces), local, part_ops)
+        });
+        for (part, (eval, local, part_ops)) in evals.into_iter().enumerate() {
+            acc.merge(eval);
+            ops += part_ops;
+            let (rows_range, nnz) = kind.band(part);
+            let band = local.len() as u64;
             let mut nnz_out = 0u64;
             for (i, v) in local.into_iter().enumerate() {
                 if !S::is_zero(&v) {
@@ -252,7 +261,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
                 }
                 y[rows_range.start as usize + i] = v;
             }
-            retrieve[part] = (nnz_out * ventry).min(band as u64 * eb as u64).max(u64::from(nnz > 0) * ventry);
+            retrieve[part] = (nnz_out * ventry).min(band * eb as u64).max(u64::from(nnz > 0) * ventry);
         }
         let kernel = acc.finish();
         let phases = PhaseBreakdown {
@@ -280,9 +289,10 @@ impl<S: Semiring> PreparedSpmspv<S> {
         let mut ops = 0u64;
         let mut retrieve = vec![0u64; bands.len()];
         let entries: Vec<(u32, S::Elem)> = x.iter().collect();
-        for (part, b) in bands.iter().enumerate() {
+        let evals = par_map_indexed(bands, |part, b| {
             let band = (b.rows.end - b.rows.start) as usize;
             let mut local = vec![S::zero(); band];
+            let mut part_ops = 0u64;
             let traces = csc_active_traces::<S>(
                 &b.matrix,
                 &entries,
@@ -292,9 +302,14 @@ impl<S: Semiring> PreparedSpmspv<S> {
                 &mut |r, contrib| {
                     local[r as usize] = S::add(local[r as usize], contrib);
                 },
-                &mut ops,
+                &mut part_ops,
             );
-            acc.add(part as u32, &traces);
+            (acc.evaluate(part as u32, &traces), local, part_ops)
+        });
+        for (part, (b, (eval, local, part_ops))) in bands.iter().zip(evals).enumerate() {
+            acc.merge(eval);
+            ops += part_ops;
+            let band = local.len() as u64;
             let mut nnz_out = 0u64;
             for (i, v) in local.into_iter().enumerate() {
                 if !S::is_zero(&v) {
@@ -302,7 +317,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
                 }
                 y[b.rows.start as usize + i] = v;
             }
-            retrieve[part] = (nnz_out * ventry).min(band as u64 * eb as u64);
+            retrieve[part] = (nnz_out * ventry).min(band * eb as u64);
         }
         let kernel = acc.finish();
         let phases = PhaseBreakdown {
@@ -331,11 +346,12 @@ impl<S: Semiring> PreparedSpmspv<S> {
         let mut load = vec![0u64; bands.len()];
         let mut retrieve = vec![0u64; bands.len()];
         let mut merged_elems = 0u64;
-        for (part, b) in bands.iter().enumerate() {
+        let evals = par_map_indexed(bands, |part, b| {
             let seg = x.slice_range(b.cols.start, b.cols.end);
             let entries: Vec<(u32, S::Elem)> = seg.iter().collect();
-            load[part] = seg.compressed_bytes(eb as usize) as u64;
+            let seg_bytes = seg.compressed_bytes(eb as usize) as u64;
             let mut partial: HashMap<u32, S::Elem> = HashMap::new();
+            let mut part_ops = 0u64;
             let traces = csc_active_traces::<S>(
                 &b.matrix,
                 &entries,
@@ -347,11 +363,18 @@ impl<S: Semiring> PreparedSpmspv<S> {
                     let slot = partial.entry(r).or_insert_with(S::zero);
                     *slot = S::add(*slot, contrib);
                 },
-                &mut ops,
+                &mut part_ops,
             );
-            acc.add(part as u32, &traces);
+            (acc.evaluate(part as u32, &traces), partial, seg_bytes, part_ops)
+        });
+        for (part, (eval, partial, seg_bytes, part_ops)) in evals.into_iter().enumerate() {
+            acc.merge(eval);
+            ops += part_ops;
+            load[part] = seg_bytes;
             retrieve[part] = (partial.len() as u64 * ventry).min(self.n as u64 * eb as u64);
             merged_elems += partial.len() as u64;
+            // Distinct keys touch distinct `y` slots, so the map's
+            // iteration order cannot affect the result.
             for (r, v) in partial {
                 y[r as usize] = S::add(y[r as usize], v);
             }
@@ -384,12 +407,13 @@ impl<S: Semiring> PreparedSpmspv<S> {
         let mut load = vec![0u64; tiles.len()];
         let mut retrieve = vec![0u64; tiles.len()];
         let mut merged_elems = 0u64;
-        for (part, t) in tiles.iter().enumerate() {
+        let evals = par_map_indexed(tiles, |part, t| {
             let band = (t.rows.end - t.rows.start) as usize;
             let seg = x.slice_range(t.cols.start, t.cols.end);
             let entries: Vec<(u32, S::Elem)> = seg.iter().collect();
-            load[part] = seg.compressed_bytes(eb as usize) as u64;
+            let seg_bytes = seg.compressed_bytes(eb as usize) as u64;
             let mut local = vec![S::zero(); band];
+            let mut part_ops = 0u64;
             let traces = csc_active_traces::<S>(
                 &t.matrix,
                 &entries,
@@ -399,9 +423,19 @@ impl<S: Semiring> PreparedSpmspv<S> {
                 &mut |r, contrib| {
                     local[r as usize] = S::add(local[r as usize], contrib);
                 },
-                &mut ops,
+                &mut part_ops,
             );
-            acc.add(part as u32, &traces);
+            (acc.evaluate(part as u32, &traces), local, seg_bytes, part_ops)
+        });
+        // Tiles sharing a grid row overlap in `y`; merge in tile order to
+        // keep the cross-tile reduction identical to a sequential run.
+        for (part, (t, (eval, local, seg_bytes, part_ops))) in
+            tiles.iter().zip(evals).enumerate()
+        {
+            acc.merge(eval);
+            ops += part_ops;
+            load[part] = seg_bytes;
+            let band = local.len() as u64;
             let mut nnz_out = 0u64;
             for (i, v) in local.into_iter().enumerate() {
                 if !S::is_zero(&v) {
@@ -410,7 +444,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
                     y[g] = S::add(y[g], v);
                 }
             }
-            retrieve[part] = (nnz_out * ventry).min(band as u64 * eb as u64);
+            retrieve[part] = (nnz_out * ventry).min(band * eb as u64);
             merged_elems += nnz_out;
         }
         let kernel = acc.finish();

@@ -16,6 +16,7 @@
 //! its per-iteration time stays flat across BFS/SSSP iterations (Fig 4).
 
 use alpha_pim_sim::instr::InstrClass;
+use alpha_pim_sim::par::par_map_indexed;
 use alpha_pim_sim::report::PhaseBreakdown;
 use alpha_pim_sim::trace::TaskletTrace;
 use alpha_pim_sim::PimSystem;
@@ -179,7 +180,10 @@ impl<S: Semiring> PreparedSpmv<S> {
         match &self.data {
             SpmvData::Coo1d(parts) => {
                 let mut retrieve = vec![0u64; parts.len()];
-                for p in parts {
+                // Partitions are independent: evaluate them on the pool
+                // (each with its own output band), then merge in partition
+                // order so the report and `y` match a sequential run.
+                let evals = par_map_indexed(parts, |_, p| {
                     let band = (p.row_range.end - p.row_range.start) as usize;
                     let mut local = vec![S::zero(); band];
                     let traces = coo_band_traces::<S>(
@@ -190,12 +194,16 @@ impl<S: Semiring> PreparedSpmv<S> {
                         XAccess::MramRandom,
                         sys.config().wram_bytes,
                     );
-                    acc.add(p.part, &traces);
+                    (acc.evaluate(p.part, &traces), local)
+                });
+                for (p, (eval, local)) in parts.iter().zip(evals) {
+                    acc.merge(eval);
                     ops += 2 * p.matrix.nnz() as u64;
+                    let band = local.len() as u64;
                     for (i, v) in local.into_iter().enumerate() {
                         y[p.row_range.start as usize + i] = v;
                     }
-                    retrieve[p.part as usize] = band as u64 * eb;
+                    retrieve[p.part as usize] = band * eb;
                 }
                 let kernel = acc.finish();
                 let phases = PhaseBreakdown {
@@ -208,7 +216,7 @@ impl<S: Semiring> PreparedSpmv<S> {
             }
             SpmvData::Csr1d(bands) => {
                 let mut retrieve = vec![0u64; bands.len()];
-                for (part, b) in bands.iter().enumerate() {
+                let evals = par_map_indexed(bands, |part, b| {
                     let band = (b.rows.end - b.rows.start) as usize;
                     let mut local = vec![S::zero(); band];
                     let traces = csr_band_traces::<S>(
@@ -218,12 +226,15 @@ impl<S: Semiring> PreparedSpmv<S> {
                         tasklets,
                         sys.config().wram_bytes,
                     );
-                    acc.add(part as u32, &traces);
+                    (acc.evaluate(part as u32, &traces), local)
+                });
+                for (part, (b, (eval, local))) in bands.iter().zip(evals).enumerate() {
+                    acc.merge(eval);
                     ops += 2 * b.matrix.nnz() as u64;
+                    retrieve[part] = local.len() as u64 * eb;
                     for (i, v) in local.into_iter().enumerate() {
                         y[b.rows.start as usize + i] = v;
                     }
-                    retrieve[part] = band as u64 * eb;
                 }
                 let kernel = acc.finish();
                 let phases = PhaseBreakdown {
@@ -244,7 +255,7 @@ impl<S: Semiring> PreparedSpmv<S> {
                 // irregular pattern the paper attributes SpMV's memory
                 // stalls to (§6.4.1).
                 let cache_budget = (sys.config().wram_bytes / 4) as u64;
-                for t in &grid.tiles {
+                let evals = par_map_indexed(&grid.tiles, |_, t| {
                     let rows = (t.row_range.end - t.row_range.start) as usize;
                     let seg = &x.values()[t.col_range.start as usize..t.col_range.end as usize];
                     let seg_bytes = seg.len() as u64 * eb;
@@ -262,14 +273,20 @@ impl<S: Semiring> PreparedSpmv<S> {
                         access,
                         sys.config().wram_bytes,
                     );
-                    acc.add(t.part, &traces);
+                    (acc.evaluate(t.part, &traces), local, seg_bytes)
+                });
+                // Tiles in the same grid row overlap in `y`, so the
+                // cross-tile reduction must stay in tile order (semiring
+                // `add` is not assumed commutative-exact over f32).
+                for (t, (eval, local, seg_bytes)) in grid.tiles.iter().zip(evals) {
+                    acc.merge(eval);
                     ops += 2 * t.matrix.nnz() as u64;
+                    retrieve[t.part as usize] = local.len() as u64 * eb;
                     for (i, v) in local.into_iter().enumerate() {
                         let g = t.row_range.start as usize + i;
                         y[g] = S::add(y[g], v);
                     }
                     load[t.part as usize] = seg_bytes;
-                    retrieve[t.part as usize] = rows as u64 * eb;
                 }
                 let kernel = acc.finish();
                 let phases = PhaseBreakdown {

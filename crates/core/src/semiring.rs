@@ -405,9 +405,9 @@ mod tests {
 
     #[test]
     fn idempotence_flags_match_algebra() {
-        assert!(BoolOrAnd::IDEMPOTENT_ADD);
-        assert!(MinPlus::IDEMPOTENT_ADD);
-        assert!(!PlusTimes::IDEMPOTENT_ADD);
+        const { assert!(BoolOrAnd::IDEMPOTENT_ADD) };
+        const { assert!(MinPlus::IDEMPOTENT_ADD) };
+        const { assert!(!PlusTimes::IDEMPOTENT_ADD) };
         assert_eq!(BoolOrAnd::add(1, 1), 1);
         assert_eq!(MinPlus::add(7, 7), 7);
     }

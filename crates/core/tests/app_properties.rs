@@ -1,12 +1,19 @@
-//! Property-based tests of application-level invariants that must hold on
+//! Property-style tests of application-level invariants that must hold on
 //! every graph and configuration.
+//!
+//! Cases come from the in-tree seeded [`SplitMix64`] generator (≥64 per
+//! property), so every run replays the same frozen graph set.
+
+use std::collections::BTreeSet;
 
 use alpha_pim::apps::{AppOptions, KernelPolicy};
 use alpha_pim::semiring::INF;
 use alpha_pim::{AlphaPim, SpmspvVariant, SpmvVariant};
 use alpha_pim_sim::{PimConfig, SimFidelity};
+use alpha_pim_sparse::gen::rng::SplitMix64;
 use alpha_pim_sparse::{Coo, Graph};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 fn engine(dpus: u32) -> AlphaPim {
     AlphaPim::new(PimConfig {
@@ -17,37 +24,41 @@ fn engine(dpus: u32) -> AlphaPim {
     .expect("valid config")
 }
 
-fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (5u32..50).prop_flat_map(|n| {
-        let max_edges = (n as usize * (n as usize - 1)).min(200);
-        proptest::collection::btree_set(
-            (0..n, 0..n).prop_filter("no self loops", |(u, v)| u != v),
-            0..max_edges,
+/// Random digraph without self-loops: `n` in `5..50`, up to
+/// `min(n * (n - 1), 200)` unique edges with weights 1..=9.
+fn random_graph(rng: &mut SplitMix64) -> Graph {
+    let n = 5 + rng.u32_below(45);
+    let max_edges = (n as usize * (n as usize - 1)).min(200);
+    let target = rng.usize_below(max_edges);
+    let mut edges = BTreeSet::new();
+    for _ in 0..target {
+        let u = rng.u32_below(n);
+        let v = rng.u32_below(n);
+        if u != v {
+            edges.insert((u, v));
+        }
+    }
+    Graph::from_coo(
+        Coo::from_entries(
+            n,
+            n,
+            edges.into_iter().enumerate().map(|(i, (u, v))| (u, v, (i % 9 + 1) as u32)),
         )
-        .prop_map(move |edges| {
-            Graph::from_coo(
-                Coo::from_entries(
-                    n,
-                    n,
-                    edges.into_iter().enumerate().map(|(i, (u, v))| (u, v, (i % 9 + 1) as u32)),
-                )
-                .expect("in range"),
-            )
-        })
-    })
+        .expect("in range"),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// BFS level of every reached vertex is 1 + the level of some
-    /// in-neighbour; the source is 0; unreached vertices stay MAX.
-    #[test]
-    fn bfs_levels_are_locally_consistent(g in graph_strategy()) {
+/// BFS level of every reached vertex is 1 + the level of some in-neighbour;
+/// the source is 0; unreached vertices stay MAX.
+#[test]
+fn bfs_levels_are_locally_consistent() {
+    let mut rng = SplitMix64::new(0xAB01);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng);
         let eng = engine(4);
         let r = eng.bfs(&g, 0, &AppOptions::default()).unwrap();
         let levels = &r.levels;
-        prop_assert_eq!(levels[0], 0);
+        assert_eq!(levels[0], 0);
         let csc = g.to_csc();
         for v in 0..g.nodes() {
             let l = levels[v as usize];
@@ -60,34 +71,44 @@ proptest! {
                 .map(|&u| levels[u as usize])
                 .min()
                 .unwrap_or(u32::MAX);
-            prop_assert_eq!(l, best.saturating_add(1), "vertex {}", v);
+            assert_eq!(l, best.saturating_add(1), "vertex {}", v);
         }
     }
+}
 
-    /// SSSP distances satisfy the triangle inequality over every edge, and
-    /// BFS reachability equals SSSP reachability.
-    #[test]
-    fn sssp_satisfies_edge_relaxation(g in graph_strategy()) {
+/// SSSP distances satisfy the triangle inequality over every edge, and BFS
+/// reachability equals SSSP reachability.
+#[test]
+fn sssp_satisfies_edge_relaxation() {
+    let mut rng = SplitMix64::new(0xAB02);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng);
         let eng = engine(4);
         let dist = eng.sssp(&g, 0, &AppOptions::default()).unwrap().distances;
-        prop_assert_eq!(dist[0], 0);
+        assert_eq!(dist[0], 0);
         for (u, v, w) in g.adjacency().iter() {
             if dist[u as usize] != INF {
-                prop_assert!(
+                assert!(
                     dist[v as usize] <= dist[u as usize].saturating_add(w),
-                    "edge {}->{} violates relaxation", u, v
+                    "edge {}->{} violates relaxation",
+                    u,
+                    v
                 );
             }
         }
         let bfs = eng.bfs(&g, 0, &AppOptions::default()).unwrap().levels;
         for v in 0..g.nodes() as usize {
-            prop_assert_eq!(bfs[v] == u32::MAX, dist[v] == INF, "vertex {}", v);
+            assert_eq!(bfs[v] == u32::MAX, dist[v] == INF, "vertex {}", v);
         }
     }
+}
 
-    /// All kernel policies agree on BFS results.
-    #[test]
-    fn policies_agree_on_bfs(g in graph_strategy()) {
+/// All kernel policies agree on BFS results.
+#[test]
+fn policies_agree_on_bfs() {
+    let mut rng = SplitMix64::new(0xAB03);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng);
         let eng = engine(3);
         let reference = eng.bfs(&g, 0, &AppOptions::default()).unwrap().levels;
         for policy in [
@@ -98,29 +119,39 @@ proptest! {
         ] {
             let options = AppOptions { policy, ..Default::default() };
             let r = eng.bfs(&g, 0, &options).unwrap();
-            prop_assert_eq!(&r.levels, &reference, "policy {:?}", policy);
+            assert_eq!(&r.levels, &reference, "policy {:?}", policy);
         }
     }
+}
 
-    /// Widest-path capacities are monotone under the bottleneck relation:
-    /// cap[v] >= min(cap[u], w) can never be violated at convergence.
-    #[test]
-    fn widest_path_is_a_fixed_point(g in graph_strategy()) {
+/// Widest-path capacities are monotone under the bottleneck relation:
+/// cap[v] >= min(cap[u], w) can never be violated at convergence.
+#[test]
+fn widest_path_is_a_fixed_point() {
+    let mut rng = SplitMix64::new(0xAB04);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng);
         let eng = engine(3);
         let caps = eng.widest_path(&g, 0, &AppOptions::default()).unwrap().capacities;
-        prop_assert_eq!(caps[0], u32::MAX);
+        assert_eq!(caps[0], u32::MAX);
         for (u, v, w) in g.adjacency().iter() {
-            prop_assert!(
+            assert!(
                 caps[v as usize] >= caps[u as usize].min(w),
-                "edge {}->{} could still improve", u, v
+                "edge {}->{} could still improve",
+                u,
+                v
             );
         }
     }
+}
 
-    /// Connected-component labels are invariant under vertex relabeling
-    /// (up to the relabeling itself).
-    #[test]
-    fn wcc_component_count_is_isomorphism_invariant(g in graph_strategy()) {
+/// Connected-component labels are invariant under vertex relabeling (up to
+/// the relabeling itself).
+#[test]
+fn wcc_component_count_is_isomorphism_invariant() {
+    let mut rng = SplitMix64::new(0xAB05);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng);
         // Symmetrize so components are well-defined.
         let mut sym = g.adjacency().clone();
         for (r, c, v) in g.adjacency().transpose().iter() {
@@ -140,6 +171,6 @@ proptest! {
             .connected_components(&relabeled, &AppOptions::default())
             .unwrap()
             .components;
-        prop_assert_eq!(base, renamed);
+        assert_eq!(base, renamed);
     }
 }

@@ -1,26 +1,37 @@
-//! Property-based tests: every kernel variant computes the same semiring
+//! Property-style tests: every kernel variant computes the same semiring
 //! product as the reference dense algorithm, on arbitrary graphs, vectors,
 //! and system shapes.
+//!
+//! Cases come from the in-tree seeded [`SplitMix64`] generator (≥64 per
+//! property), so each run replays a frozen case set with no external
+//! test-framework dependency.
+
+use std::collections::BTreeSet;
 
 use alpha_pim::semiring::{BoolOrAnd, MaxMin, MinPlus, Semiring};
 use alpha_pim::{PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
 use alpha_pim_sim::{PimConfig, PimSystem, SimFidelity};
+use alpha_pim_sparse::gen::rng::SplitMix64;
 use alpha_pim_sparse::{Coo, SparseVector};
-use proptest::prelude::*;
 
-/// A small random square matrix with weights 1..=9.
-fn matrix_strategy() -> impl Strategy<Value = Coo<u32>> {
-    (4u32..40).prop_flat_map(|n| {
-        let max_nnz = (n as usize * n as usize).min(160);
-        proptest::collection::btree_set((0..n, 0..n), 0..max_nnz).prop_map(move |coords| {
-            Coo::from_entries(
-                n,
-                n,
-                coords.into_iter().enumerate().map(|(i, (r, c))| (r, c, (i % 9 + 1) as u32)),
-            )
-            .expect("coords in range")
-        })
-    })
+const CASES: u64 = 64;
+
+/// A small random square matrix with weights 1..=9: `n` in `4..40`, up to
+/// `min(n * n, 160)` unique coordinates.
+fn random_matrix(rng: &mut SplitMix64) -> Coo<u32> {
+    let n = 4 + rng.u32_below(36);
+    let max_nnz = (n as usize * n as usize).min(160);
+    let target = rng.usize_below(max_nnz);
+    let mut coords = BTreeSet::new();
+    for _ in 0..target {
+        coords.insert((rng.u32_below(n), rng.u32_below(n)));
+    }
+    Coo::from_entries(
+        n,
+        n,
+        coords.into_iter().enumerate().map(|(i, (r, c))| (r, c, (i % 9 + 1) as u32)),
+    )
+    .expect("coords in range")
 }
 
 fn reference<S: Semiring>(m: &Coo<S::Elem>, x: &[S::Elem]) -> Vec<S::Elem> {
@@ -49,16 +60,14 @@ fn sparse_x<S: Semiring>(n: u32, mask: u64) -> SparseVector<S::Elem> {
     SparseVector::from_pairs(n as usize, idx, vals).expect("unique indices")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_spmspv_variant_matches_reference_bool(
-        m in matrix_strategy(),
-        mask in any::<u64>(),
-        dpus in 1u32..9,
-        tasklets in 1u32..20,
-    ) {
+#[test]
+fn every_spmspv_variant_matches_reference_bool() {
+    let mut rng = SplitMix64::new(0xA301);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng);
+        let mask = rng.next_u64();
+        let dpus = 1 + rng.u32_below(8);
+        let tasklets = 1 + rng.u32_below(19);
         let lifted = m.map(BoolOrAnd::from_weight);
         let sys = system(dpus, tasklets);
         let x = sparse_x::<BoolOrAnd>(m.n_rows(), mask);
@@ -66,16 +75,18 @@ proptest! {
         for variant in SpmspvVariant::ALL {
             let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&lifted, variant, &sys).unwrap();
             let out = prep.run(&x, &sys).unwrap();
-            prop_assert_eq!(out.y.values(), expect.as_slice(), "variant {}", variant);
+            assert_eq!(out.y.values(), expect.as_slice(), "variant {}", variant);
         }
     }
+}
 
-    #[test]
-    fn every_spmv_variant_matches_reference_minplus(
-        m in matrix_strategy(),
-        mask in any::<u64>(),
-        dpus in 1u32..9,
-    ) {
+#[test]
+fn every_spmv_variant_matches_reference_minplus() {
+    let mut rng = SplitMix64::new(0xA302);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng);
+        let mask = rng.next_u64();
+        let dpus = 1 + rng.u32_below(8);
         let lifted = m.map(MinPlus::from_weight);
         let sys = system(dpus, 16);
         let x = sparse_x::<MinPlus>(m.n_rows(), mask).to_dense(MinPlus::zero());
@@ -83,15 +94,17 @@ proptest! {
         for variant in SpmvVariant::ALL {
             let prep = PreparedSpmv::<MinPlus>::prepare(&lifted, variant, &sys).unwrap();
             let out = prep.run(&x, &sys).unwrap();
-            prop_assert_eq!(out.y.values(), expect.as_slice(), "variant {}", variant);
+            assert_eq!(out.y.values(), expect.as_slice(), "variant {}", variant);
         }
     }
+}
 
-    #[test]
-    fn maxmin_spmspv_matches_reference(
-        m in matrix_strategy(),
-        mask in any::<u64>(),
-    ) {
+#[test]
+fn maxmin_spmspv_matches_reference() {
+    let mut rng = SplitMix64::new(0xA303);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng);
+        let mask = rng.next_u64();
         let lifted = m.map(MaxMin::from_weight);
         let sys = system(4, 8);
         let x = sparse_x::<MaxMin>(m.n_rows(), mask);
@@ -99,14 +112,16 @@ proptest! {
         let prep =
             PreparedSpmspv::<MaxMin>::prepare(&lifted, SpmspvVariant::Csc2d, &sys).unwrap();
         let out = prep.run(&x, &sys).unwrap();
-        prop_assert_eq!(out.y.values(), expect.as_slice());
+        assert_eq!(out.y.values(), expect.as_slice());
     }
+}
 
-    #[test]
-    fn kernel_timing_is_deterministic(
-        m in matrix_strategy(),
-        mask in any::<u64>(),
-    ) {
+#[test]
+fn kernel_timing_is_deterministic() {
+    let mut rng = SplitMix64::new(0xA304);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng);
+        let mask = rng.next_u64();
         let lifted = m.map(BoolOrAnd::from_weight);
         let sys = system(4, 16);
         let x = sparse_x::<BoolOrAnd>(m.n_rows(), mask);
@@ -114,24 +129,26 @@ proptest! {
             PreparedSpmspv::<BoolOrAnd>::prepare(&lifted, SpmspvVariant::Csc2d, &sys).unwrap();
         let a = prep.run(&x, &sys).unwrap();
         let b = prep.run(&x, &sys).unwrap();
-        prop_assert_eq!(a.phases, b.phases);
-        prop_assert_eq!(a.kernel.max_cycles, b.kernel.max_cycles);
-        prop_assert_eq!(a.kernel.instr_mix, b.kernel.instr_mix);
+        assert_eq!(a.phases, b.phases);
+        assert_eq!(a.kernel.max_cycles, b.kernel.max_cycles);
+        assert_eq!(a.kernel.instr_mix, b.kernel.instr_mix);
     }
+}
 
-    #[test]
-    fn useful_ops_never_exceed_matrix_work(
-        m in matrix_strategy(),
-        mask in any::<u64>(),
-    ) {
+#[test]
+fn useful_ops_never_exceed_matrix_work() {
+    let mut rng = SplitMix64::new(0xA305);
+    for _ in 0..CASES {
+        let m = random_matrix(&mut rng);
+        let mask = rng.next_u64();
         let lifted = m.map(BoolOrAnd::from_weight);
         let sys = system(4, 8);
         let x = sparse_x::<BoolOrAnd>(m.n_rows(), mask);
         for variant in SpmspvVariant::ALL {
             let prep = PreparedSpmspv::<BoolOrAnd>::prepare(&lifted, variant, &sys).unwrap();
             let out = prep.run(&x, &sys).unwrap();
-            prop_assert!(out.useful_ops <= 2 * m.nnz() as u64, "variant {}", variant);
-            prop_assert!(out.output_nnz <= m.n_rows() as usize);
+            assert!(out.useful_ops <= 2 * m.nnz() as u64, "variant {}", variant);
+            assert!(out.output_nnz <= m.n_rows() as usize);
         }
     }
 }

@@ -7,10 +7,10 @@
 //! Timing constants are calibrated to published UPMEM/PrIM/PIMulator
 //! measurements; see `DESIGN.md` for the calibration table.
 
-use serde::{Deserialize, Serialize};
 
 /// Full configuration of a simulated UPMEM PIM system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PimConfig {
     /// Number of DPUs allocated to kernels (paper default: 2,048).
     pub num_dpus: u32,
@@ -85,7 +85,8 @@ impl PimConfig {
 }
 
 /// Revolver pipeline and DMA timing parameters (§2.3.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PipelineConfig {
     /// Minimum cycles between consecutive instructions of one tasklet — the
     /// "revolver" scheduling constraint (11 on UPMEM).
@@ -109,7 +110,7 @@ pub struct PipelineConfig {
     /// What-if (§6.4 recommendation): non-blocking DMA lets the issuing
     /// tasklet keep computing while the transfer is in flight (upper-bound
     /// model — data dependencies are assumed prefetchable).
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     pub non_blocking_dma: bool,
 }
 
@@ -160,7 +161,8 @@ impl PipelineConfig {
 /// broadcasting `b` bytes to `d` DPUs moves `b·d` bytes — which is exactly
 /// why 1D row-wise partitioning pays so dearly for full-vector loads
 /// (Fig 2) and why 2,048 DPUs can be load-bound (Fig 8).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransferConfig {
     /// Fixed per-batch overhead in seconds (driver + rank setup).
     pub batch_overhead_s: f64,
@@ -172,7 +174,7 @@ pub struct TransferConfig {
     /// What-if (§6.4 recommendation): a direct inter-DPU interconnect that
     /// exchanges vectors without a host round-trip. `None` models the real
     /// machine (host-mediated only).
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     pub inter_dpu: Option<InterDpuConfig>,
 }
 
@@ -188,7 +190,8 @@ impl Default for TransferConfig {
 }
 
 /// Parameters of a hypothetical direct DPU-to-DPU interconnect (§6.4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InterDpuConfig {
     /// Per-DPU link bandwidth in bytes/second.
     pub link_bandwidth: f64,
@@ -206,7 +209,8 @@ impl Default for InterDpuConfig {
 
 /// Host CPU model for the Merge phase (parallel OpenMP-style merge on the
 /// Xeon host, §4.1.1) and per-iteration convergence checks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HostConfig {
     /// Merge throughput per host thread, bytes/second.
     pub merge_bytes_per_s_per_thread: f64,
@@ -227,7 +231,8 @@ impl Default for HostConfig {
 }
 
 /// Trade-off between simulation accuracy and speed at the system level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SimFidelity {
     /// Discrete-event-simulate every DPU.
     Full,

@@ -8,12 +8,12 @@
 //! 541.1 ms → 17.3 J for the CPU (≈ 32 W package), 7.08 ms → 0.14 J for
 //! the GPU (≈ 20 W board draw during these short kernels).
 
-use serde::{Deserialize, Serialize};
 
 use crate::report::PhaseBreakdown;
 
 /// Average-power energy model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnergyModel {
     /// Watts per active DPU (PIM chip share of DIMM power).
     pub dpu_power_w: f64,

@@ -8,10 +8,10 @@
 //! kernel layer into the corresponding number of `Arith`/`LoadStore`
 //! instructions before reaching the pipeline.
 
-use serde::{Deserialize, Serialize};
 
 /// Category of one issued DPU instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum InstrClass {
     /// Integer ALU operations (add, sub, shift, compare, logic).
     Arith,
@@ -76,7 +76,8 @@ impl std::fmt::Display for InstrClass {
 }
 
 /// Histogram of issued instructions by class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InstrMix {
     counts: [u64; 6],
 }

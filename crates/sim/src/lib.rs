@@ -18,7 +18,10 @@
 //! * [`energy`] — average-power energy accounting for Table 4;
 //! * [`system`] — the [`PimSystem`] facade and capacity checks;
 //! * [`report`] — per-DPU and kernel-level reports plus the
-//!   Load/Kernel/Retrieve/Merge [`PhaseBreakdown`].
+//!   Load/Kernel/Retrieve/Merge [`PhaseBreakdown`];
+//! * [`par`] — the host-side scoped thread pool that fans independent
+//!   per-DPU replays out over OS threads (`ALPHA_PIM_THREADS`); simulated
+//!   time and every report field are bit-identical at any thread count.
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@ pub mod config;
 pub mod energy;
 pub mod host;
 pub mod instr;
+pub mod par;
 pub mod pipeline;
 pub mod report;
 pub mod system;
@@ -61,6 +65,7 @@ pub mod transfer;
 pub use config::{HostConfig, InterDpuConfig, PimConfig, PipelineConfig, SimFidelity, TransferConfig};
 pub use energy::EnergyModel;
 pub use instr::{InstrClass, InstrMix};
-pub use report::{CycleBreakdown, DpuReport, KernelAccumulator, KernelReport, PhaseBreakdown};
+pub use par::{par_map_indexed, set_sim_threads, sim_threads, SimThreads};
+pub use report::{CycleBreakdown, DpuEval, DpuReport, KernelAccumulator, KernelReport, PhaseBreakdown};
 pub use system::PimSystem;
 pub use trace::{TaskletTrace, TraceEvent};

@@ -2,7 +2,6 @@
 //! and the Load/Kernel/Retrieve/Merge phase decomposition the paper's
 //! figures are built from.
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::{PimConfig, SimFidelity};
 use crate::instr::InstrMix;
@@ -10,7 +9,8 @@ use crate::pipeline::{estimate_cycles, simulate_dpu};
 use crate::trace::TaskletTrace;
 
 /// Cycle-level result of simulating one DPU (the Fig 9–11 metrics).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DpuReport {
     /// Makespan in cycles, including pipeline drain.
     pub total_cycles: u64,
@@ -48,7 +48,8 @@ impl DpuReport {
 /// Aggregated cycle breakdown across the DPUs that received detailed
 /// simulation. All quantities are sums of per-DPU cycles, so fractions are
 /// meaningful machine-wide.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CycleBreakdown {
     /// Issue-active cycles.
     pub active: u64,
@@ -82,7 +83,8 @@ impl CycleBreakdown {
 }
 
 /// Aggregate result of simulating one kernel launch across every DPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelReport {
     /// DPUs that participated.
     pub num_dpus: u32,
@@ -118,10 +120,27 @@ impl KernelReport {
     }
 }
 
+/// One DPU's evaluated contribution to a [`KernelReport`], produced by
+/// [`KernelAccumulator::evaluate`] and consumed by
+/// [`KernelAccumulator::merge`]. Opaque: it exists so that evaluation (the
+/// expensive, embarrassingly parallel part) can run on worker threads while
+/// the order-sensitive reduction stays sequential.
+#[derive(Debug, Clone)]
+pub struct DpuEval {
+    mix: InstrMix,
+    instructions: u64,
+    est_cycles: u64,
+    detailed: Option<DpuReport>,
+}
+
 /// Incremental builder for a [`KernelReport`]: feed it one DPU's tasklet
 /// traces at a time; it decides (per the configured fidelity) whether to
 /// run the discrete-event pipeline model or the analytic estimate, and
 /// self-calibrates the estimates against the detailed sample.
+///
+/// For parallel replay, use [`Self::add_batch`] (whole trace batches) or the
+/// [`Self::evaluate`] / [`Self::merge`] pair (custom fan-out): both produce
+/// reports bit-identical to a sequential [`Self::add`] loop.
 #[derive(Debug)]
 pub struct KernelAccumulator {
     cfg: PimConfig,
@@ -169,29 +188,68 @@ impl KernelAccumulator {
         }
     }
 
-    /// Adds one DPU's tasklet traces.
-    pub fn add(&mut self, dpu_id: u32, traces: &[TaskletTrace]) {
-        self.added += 1;
+    /// Evaluates one DPU's tasklet traces without touching accumulator
+    /// state: instruction accounting, the analytic cycle estimate, and —
+    /// when `dpu_id` falls on the fidelity sampling stride — the full
+    /// discrete-event simulation.
+    ///
+    /// This is the pure (and therefore thread-safe) half of [`Self::add`];
+    /// the returned [`DpuEval`] must be handed to [`Self::merge`] in DPU
+    /// order so floating-point reductions stay bit-identical to a
+    /// sequential run.
+    pub fn evaluate(&self, dpu_id: u32, traces: &[TaskletTrace]) -> DpuEval {
+        let mut mix = InstrMix::new();
+        let mut instructions = 0u64;
         for t in traces {
-            self.mix.merge(&t.instr_mix());
-            self.total_instructions += t.instructions();
+            mix.merge(&t.instr_mix());
+            instructions += t.instructions();
         }
-        let est = estimate_cycles(traces, &self.cfg.pipeline);
-        self.est_sum += est as u128;
-        self.est_max = self.est_max.max(est);
-        if dpu_id % self.stride == 0 {
-            let report = simulate_dpu(traces, &self.cfg.pipeline);
+        let est_cycles = estimate_cycles(traces, &self.cfg.pipeline);
+        let detailed =
+            dpu_id.is_multiple_of(self.stride).then(|| simulate_dpu(traces, &self.cfg.pipeline));
+        DpuEval { mix, instructions, est_cycles, detailed }
+    }
+
+    /// Folds one evaluated DPU into the aggregate. Order-dependent: callers
+    /// replaying DPUs in parallel must merge in ascending DPU index.
+    pub fn merge(&mut self, eval: DpuEval) {
+        self.added += 1;
+        self.mix.merge(&eval.mix);
+        self.total_instructions += eval.instructions;
+        self.est_sum += eval.est_cycles as u128;
+        self.est_max = self.est_max.max(eval.est_cycles);
+        if let Some(report) = eval.detailed {
             self.detailed += 1;
             self.des_max = self.des_max.max(report.total_cycles);
             self.des_sum += report.total_cycles as u128;
             self.calib_des += report.total_cycles as u128;
-            self.calib_est += est as u128;
+            self.calib_est += eval.est_cycles as u128;
             self.breakdown.active += report.active_cycles;
             self.breakdown.memory += report.idle_memory_cycles;
             self.breakdown.revolver += report.idle_revolver_cycles;
             self.breakdown.rf += report.idle_rf_cycles;
             self.active_threads_sum += report.avg_active_threads;
             self.spin_retries += report.spin_retries;
+        }
+    }
+
+    /// Adds one DPU's tasklet traces.
+    pub fn add(&mut self, dpu_id: u32, traces: &[TaskletTrace]) {
+        let eval = self.evaluate(dpu_id, traces);
+        self.merge(eval);
+    }
+
+    /// Adds a batch of consecutive DPUs (`first_dpu`, `first_dpu + 1`, ...),
+    /// evaluating them in parallel on the [`crate::par`] pool and merging in
+    /// DPU order. The resulting report is bit-identical to calling
+    /// [`Self::add`] sequentially for every DPU, at any thread count.
+    pub fn add_batch(&mut self, first_dpu: u32, trace_sets: &[Vec<TaskletTrace>]) {
+        let this: &Self = self;
+        let evals = crate::par::par_map_indexed(trace_sets, |i, traces| {
+            this.evaluate(first_dpu + i as u32, traces)
+        });
+        for eval in evals {
+            self.merge(eval);
         }
     }
 
@@ -237,7 +295,8 @@ impl KernelAccumulator {
 /// Wall-clock seconds of one matrix–vector iteration, split into the four
 /// phases of §4.1: load the input vector, run the kernel, retrieve
 /// results, and merge on the host.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PhaseBreakdown {
     /// CPU→DPU input-vector transfer seconds.
     pub load: f64,

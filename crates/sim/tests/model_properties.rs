@@ -1,85 +1,108 @@
-//! Property-based tests for the transfer, host, and energy models.
+//! Property-style tests for the transfer, host, and energy models.
+//!
+//! Each property runs over ≥64 seeded pseudo-random cases from the in-tree
+//! [`SplitMix64`] generator, so the case set is frozen and needs no external
+//! test framework.
 
 use alpha_pim_sim::report::PhaseBreakdown;
 use alpha_pim_sim::transfer::{broadcast, effective_bandwidth, gather, inter_dpu_exchange, scatter};
 use alpha_pim_sim::{host, EnergyModel, HostConfig, InterDpuConfig, TransferConfig};
-use proptest::prelude::*;
+use alpha_pim_sparse::gen::rng::SplitMix64;
+
+const CASES: u64 = 96;
 
 fn cfg() -> TransferConfig {
     TransferConfig::default()
 }
 
-proptest! {
-    #[test]
-    fn broadcast_is_monotone_in_bytes_and_dpus(
-        bytes in 1u64..1 << 24,
-        dpus in 1u32..4096,
-    ) {
+#[test]
+fn broadcast_is_monotone_in_bytes_and_dpus() {
+    let mut rng = SplitMix64::new(0xB201);
+    for _ in 0..CASES {
+        let bytes = 1 + rng.u64_below((1 << 24) - 1);
+        let dpus = 1 + rng.u32_below(4095);
         let c = cfg();
-        prop_assert!(broadcast(&c, bytes + 1024, dpus) >= broadcast(&c, bytes, dpus));
-        prop_assert!(broadcast(&c, bytes, dpus + 64) >= broadcast(&c, bytes, dpus));
-        prop_assert!(broadcast(&c, bytes, dpus) > 0.0);
+        assert!(broadcast(&c, bytes + 1024, dpus) >= broadcast(&c, bytes, dpus));
+        assert!(broadcast(&c, bytes, dpus + 64) >= broadcast(&c, bytes, dpus));
+        assert!(broadcast(&c, bytes, dpus) > 0.0);
     }
+}
 
-    #[test]
-    fn scatter_is_bounded_by_padded_broadcast(
-        payloads in proptest::collection::vec(1u64..1 << 16, 1..256),
-    ) {
+#[test]
+fn scatter_is_bounded_by_padded_broadcast() {
+    let mut rng = SplitMix64::new(0x5C02);
+    for _ in 0..CASES {
+        let len = 1 + rng.usize_below(255);
+        let payloads: Vec<u64> = (0..len).map(|_| 1 + rng.u64_below((1 << 16) - 1)).collect();
         let c = cfg();
         let max = *payloads.iter().max().unwrap();
         let s = scatter(&c, &payloads);
         // Padding means scattering equals broadcasting max bytes per DPU.
         let b = broadcast(&c, max, payloads.len() as u32);
-        prop_assert!((s - b).abs() < 1e-12, "scatter {s} vs padded broadcast {b}");
-        prop_assert!((gather(&c, &payloads) - s).abs() < 1e-15);
+        assert!((s - b).abs() < 1e-12, "scatter {s} vs padded broadcast {b}");
+        assert!((gather(&c, &payloads) - s).abs() < 1e-15);
     }
+}
 
-    #[test]
-    fn effective_bandwidth_is_monotone_and_capped(d1 in 1u32..8192, d2 in 1u32..8192) {
+#[test]
+fn effective_bandwidth_is_monotone_and_capped() {
+    let mut rng = SplitMix64::new(0xEB03);
+    for _ in 0..CASES {
+        let d1 = 1 + rng.u32_below(8191);
+        let d2 = 1 + rng.u32_below(8191);
         let c = cfg();
         let (lo, hi) = (d1.min(d2), d1.max(d2));
-        prop_assert!(effective_bandwidth(&c, lo) <= effective_bandwidth(&c, hi));
-        prop_assert!(effective_bandwidth(&c, hi) <= c.peak_bandwidth);
+        assert!(effective_bandwidth(&c, lo) <= effective_bandwidth(&c, hi));
+        assert!(effective_bandwidth(&c, hi) <= c.peak_bandwidth);
     }
+}
 
-    #[test]
-    fn inter_dpu_exchange_beats_host_round_trip_for_segments(
-        seg_bytes in 1024u64..1 << 20,
-        dpus in 64u32..4096,
-    ) {
+#[test]
+fn inter_dpu_exchange_beats_host_round_trip_for_segments() {
+    let mut rng = SplitMix64::new(0x1D04);
+    for _ in 0..CASES {
+        let seg_bytes = 1024 + rng.u64_below((1 << 20) - 1024);
+        let dpus = 64 + rng.u32_below(4096 - 64);
         let mut c = cfg();
         c.inter_dpu = Some(InterDpuConfig::default());
         let per_dpu = vec![seg_bytes / dpus as u64 + 1; dpus as usize];
         let direct = inter_dpu_exchange(&c, &per_dpu).unwrap();
         // Host round trip: gather + scatter of the same segments.
         let host_trip = gather(&c, &per_dpu) + scatter(&c, &per_dpu);
-        prop_assert!(direct < host_trip, "direct {direct} vs host {host_trip}");
+        assert!(direct < host_trip, "direct {direct} vs host {host_trip}");
     }
+}
 
-    #[test]
-    fn merge_time_scales_with_work(elems in 1u64..1 << 22, fan_in in 1u32..64) {
+#[test]
+fn merge_time_scales_with_work() {
+    let mut rng = SplitMix64::new(0x3E05);
+    for _ in 0..CASES {
+        let elems = 1 + rng.u64_below((1 << 22) - 1);
+        let fan_in = 1 + rng.u32_below(63);
         let h = HostConfig::default();
         let t = host::merge_time(&h, elems, fan_in, 4);
-        prop_assert!(t > 0.0);
-        prop_assert!(host::merge_time(&h, elems, fan_in + 1, 4) >= t);
-        prop_assert!(host::merge_time(&h, elems * 2, fan_in, 4) >= t);
+        assert!(t > 0.0);
+        assert!(host::merge_time(&h, elems, fan_in + 1, 4) >= t);
+        assert!(host::merge_time(&h, elems * 2, fan_in, 4) >= t);
     }
+}
 
-    #[test]
-    fn energy_is_additive_over_phases(
-        load in 0.0f64..1.0,
-        kernel in 0.0f64..1.0,
-        retrieve in 0.0f64..1.0,
-        merge in 0.0f64..1.0,
-        dpus in 1u32..4096,
-    ) {
+#[test]
+fn energy_is_additive_over_phases() {
+    let mut rng = SplitMix64::new(0xE906);
+    for _ in 0..CASES {
+        let load = rng.f64();
+        let kernel = rng.f64();
+        let retrieve = rng.f64();
+        let merge = rng.f64();
+        let dpus = 1 + rng.u32_below(4095);
         let m = EnergyModel::default();
         let all = PhaseBreakdown { load, kernel, retrieve, merge };
         let only_kernel = PhaseBreakdown { load: 0.0, kernel, retrieve: 0.0, merge: 0.0 };
         let rest = PhaseBreakdown { load, kernel: 0.0, retrieve, merge };
         let sum = m.upmem_energy(&only_kernel, dpus) + m.upmem_energy(&rest, dpus);
-        prop_assert!((m.upmem_energy(&all, dpus) - sum).abs() < 1e-9);
-        prop_assert!(m.upmem_kernel_energy(kernel, dpus) <= m.upmem_energy(&all, dpus) + 1e-12);
+        assert!((m.upmem_energy(&all, dpus) - sum).abs() < 1e-9);
+        assert!(m.upmem_kernel_energy(kernel, dpus) <= m.upmem_energy(&all, dpus) + 1e-12);
     }
 }
 

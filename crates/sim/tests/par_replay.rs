@@ -1,0 +1,107 @@
+//! Integration tests for the host-side parallel replay pool: reuse across
+//! many calls, panic propagation, and the bit-identical-report guarantee.
+
+use alpha_pim_sim::instr::InstrClass;
+use alpha_pim_sim::par::{par_map_indexed, set_sim_threads};
+use alpha_pim_sim::trace::TaskletTrace;
+use alpha_pim_sim::{KernelReport, PimConfig, PimSystem, SimFidelity};
+use alpha_pim_sparse::gen::rng::SplitMix64;
+
+/// Deterministic pseudo-random trace batches for `dpus` DPUs, skewed so
+/// per-DPU replay cost varies (the pool must load-balance it).
+fn trace_sets(dpus: u32, seed: u64) -> Vec<Vec<TaskletTrace>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..dpus)
+        .map(|_| {
+            let tasklets = 1 + rng.usize_below(12);
+            (0..tasklets)
+                .map(|_| {
+                    let mut t = TaskletTrace::new();
+                    for _ in 0..rng.usize_below(8) {
+                        match rng.u32_below(3) {
+                            0 => t.compute(InstrClass::Arith, 1 + rng.u32_below(200)),
+                            1 => t.compute(InstrClass::LoadStore, 1 + rng.u32_below(60)),
+                            _ => t.dma(8 * (1 + rng.u32_below(250))),
+                        }
+                    }
+                    t
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn replay(dpus: u32, sets: &[Vec<TaskletTrace>]) -> KernelReport {
+    let sys = PimSystem::new(PimConfig {
+        num_dpus: dpus,
+        fidelity: SimFidelity::Sampled(16),
+        ..Default::default()
+    })
+    .expect("valid config");
+    let mut acc = sys.accumulator();
+    acc.add_batch(0, sets);
+    acc.finish()
+}
+
+/// The pool is spawned per call, so back-to-back calls (as the iterative
+/// apps issue) must all work and preserve input order every time.
+#[test]
+fn pool_survives_repeated_use() {
+    let items: Vec<u64> = (0..4096).collect();
+    for round in 0..50u64 {
+        let out = par_map_indexed(&items, |_, &x| x * 2 + round);
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2 + round);
+        }
+    }
+}
+
+/// A panicking worker must re-raise on the caller, and the pool must remain
+/// usable afterwards.
+#[test]
+fn worker_panics_propagate_to_caller() {
+    // Force real worker threads so the join-then-resume path is exercised
+    // even on single-core machines. (Every test here is correct at any
+    // thread count, so the global override cannot break concurrent tests.)
+    set_sim_threads(4);
+    let items: Vec<u32> = (0..512).collect();
+    let result = std::panic::catch_unwind(|| {
+        par_map_indexed(&items, |_, &x| {
+            assert!(x != 300, "injected failure");
+            x
+        })
+    });
+    let payload = result.expect_err("panic must propagate");
+    let text = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(text.contains("injected failure"), "unexpected payload: {text}");
+    // The next call starts a fresh scope and must be unaffected.
+    let ok = par_map_indexed(&items, |_, &x| x + 1);
+    assert_eq!(ok[511], 512);
+}
+
+/// The headline determinism guarantee: a `KernelReport` produced with the
+/// parallel batch API is bit-identical at every thread count, including the
+/// floating-point fields that would differ under any reduction reordering.
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    let dpus = 256;
+    let sets = trace_sets(dpus, 0xBEEF);
+    set_sim_threads(1);
+    let sequential = replay(dpus, &sets);
+    for threads in [2, 3, 8, 16] {
+        set_sim_threads(threads);
+        let parallel = replay(dpus, &sets);
+        assert_eq!(sequential, parallel, "report diverged at {threads} threads");
+        assert_eq!(
+            sequential.seconds.to_bits(),
+            parallel.seconds.to_bits(),
+            "seconds not bit-identical at {threads} threads"
+        );
+    }
+    set_sim_threads(1);
+}

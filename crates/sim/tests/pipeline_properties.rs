@@ -1,116 +1,139 @@
-//! Property-based tests of the revolver-pipeline simulator's invariants.
+//! Property-style tests of the revolver-pipeline simulator's invariants.
+//!
+//! Cases come from the in-tree seeded [`SplitMix64`] generator (≥64 per
+//! property), so every run exercises the same frozen trace set.
 
 use alpha_pim_sim::instr::InstrClass;
 use alpha_pim_sim::pipeline::{estimate_cycles, simulate_dpu};
 use alpha_pim_sim::trace::TaskletTrace;
 use alpha_pim_sim::PipelineConfig;
-use proptest::prelude::*;
+use alpha_pim_sparse::gen::rng::SplitMix64;
+
+const CASES: u64 = 64;
 
 /// A random, well-formed trace: compute blocks, DMAs, and balanced mutex
 /// sections (no barriers, which require cross-trace symmetry).
-fn trace_strategy() -> impl Strategy<Value = TaskletTrace> {
-    let step = prop_oneof![
-        (0usize..4, 1u32..64).prop_map(|(c, n)| (0u8, c as u16, n)),
-        (1u32..2048).prop_map(|b| (1u8, 0, b)),
-        (0u16..3, 1u32..8).prop_map(|(id, n)| (2u8, id, n)),
-    ];
-    proptest::collection::vec(step, 0..24).prop_map(|steps| {
-        let classes =
-            [InstrClass::Arith, InstrClass::LoadStore, InstrClass::Control, InstrClass::Move];
-        let mut t = TaskletTrace::new();
-        for (kind, a, b) in steps {
-            match kind {
-                0 => t.compute(classes[a as usize], b),
-                1 => t.dma(b),
-                _ => {
-                    t.mutex_lock(a);
-                    t.compute(InstrClass::LoadStore, b);
-                    t.mutex_unlock(a);
-                }
+fn random_trace(rng: &mut SplitMix64) -> TaskletTrace {
+    let classes =
+        [InstrClass::Arith, InstrClass::LoadStore, InstrClass::Control, InstrClass::Move];
+    let steps = rng.usize_below(24);
+    let mut t = TaskletTrace::new();
+    for _ in 0..steps {
+        match rng.u32_below(3) {
+            0 => t.compute(classes[rng.usize_below(4)], 1 + rng.u32_below(63)),
+            1 => t.dma(1 + rng.u32_below(2047)),
+            _ => {
+                let id = rng.u32_below(3) as u16;
+                t.mutex_lock(id);
+                t.compute(InstrClass::LoadStore, 1 + rng.u32_below(7));
+                t.mutex_unlock(id);
             }
         }
-        t
-    })
+    }
+    t
 }
 
-fn traces_strategy() -> impl Strategy<Value = Vec<TaskletTrace>> {
-    proptest::collection::vec(trace_strategy(), 1..12)
+fn random_traces(rng: &mut SplitMix64) -> Vec<TaskletTrace> {
+    let n = 1 + rng.usize_below(11);
+    (0..n).map(|_| random_trace(rng)).collect()
 }
 
 fn cfg() -> PipelineConfig {
     PipelineConfig::default()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cycles_decompose_exactly(traces in traces_strategy()) {
+#[test]
+fn cycles_decompose_exactly() {
+    let mut rng = SplitMix64::new(0xD801);
+    for _ in 0..CASES {
+        let traces = random_traces(&mut rng);
         let r = simulate_dpu(&traces, &cfg());
-        prop_assert_eq!(
+        assert_eq!(
             r.total_cycles,
             r.active_cycles + r.idle_memory_cycles + r.idle_revolver_cycles + r.idle_rf_cycles,
         );
     }
+}
 
-    #[test]
-    fn every_instruction_is_issued(traces in traces_strategy()) {
+#[test]
+fn every_instruction_is_issued() {
+    let mut rng = SplitMix64::new(0xD802);
+    for _ in 0..CASES {
+        let traces = random_traces(&mut rng);
         let r = simulate_dpu(&traces, &cfg());
         let expected: u64 = traces.iter().map(|t| t.instructions()).sum();
         // Contended mutexes add retry issues on top of the trace's own
         // instructions; both the issue count and the mix reflect them.
-        prop_assert_eq!(r.issued_instructions, expected + r.spin_retries);
-        prop_assert_eq!(r.instr_mix.total(), expected + r.spin_retries);
+        assert_eq!(r.issued_instructions, expected + r.spin_retries);
+        assert_eq!(r.instr_mix.total(), expected + r.spin_retries);
     }
+}
 
-    #[test]
-    fn makespan_bounds_hold(traces in traces_strategy()) {
+#[test]
+fn makespan_bounds_hold() {
+    let mut rng = SplitMix64::new(0xD803);
+    for _ in 0..CASES {
+        let traces = random_traces(&mut rng);
         let c = cfg();
         let r = simulate_dpu(&traces, &c);
         // At most one issue per cycle.
-        prop_assert!(r.active_cycles <= r.total_cycles);
+        assert!(r.active_cycles <= r.total_cycles);
         // The slowest single thread is a lower bound (revolver spacing).
         let per_thread_min: u64 = traces
             .iter()
             .map(|t| t.instructions().saturating_sub(1) * c.revolver_period as u64)
             .max()
             .unwrap_or(0);
-        prop_assert!(r.total_cycles >= per_thread_min);
+        assert!(r.total_cycles >= per_thread_min);
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(traces in traces_strategy()) {
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SplitMix64::new(0xD804);
+    for _ in 0..CASES {
+        let traces = random_traces(&mut rng);
         let a = simulate_dpu(&traces, &cfg());
         let b = simulate_dpu(&traces, &cfg());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn estimate_never_wildly_underestimates(traces in traces_strategy()) {
+#[test]
+fn estimate_never_wildly_underestimates() {
+    let mut rng = SplitMix64::new(0xD805);
+    for _ in 0..CASES {
+        let traces = random_traces(&mut rng);
         let c = cfg();
         let sim = simulate_dpu(&traces, &c).total_cycles;
         let est = estimate_cycles(&traces, &c);
         // The estimate is a structural bound: it must be within a constant
         // factor of the simulated makespan for well-formed traces.
-        prop_assert!(est as f64 >= sim as f64 * 0.2, "est {est} sim {sim}");
-        prop_assert!((est as f64) <= sim as f64 * 5.0 + 1000.0, "est {est} sim {sim}");
+        assert!(est as f64 >= sim as f64 * 0.2, "est {est} sim {sim}");
+        assert!((est as f64) <= sim as f64 * 5.0 + 1000.0, "est {est} sim {sim}");
     }
+}
 
-    #[test]
-    fn adding_a_tasklet_never_reduces_total_work_time_below_serial(
-        traces in traces_strategy(),
-    ) {
+#[test]
+fn adding_a_tasklet_never_reduces_total_work_time_below_serial() {
+    let mut rng = SplitMix64::new(0xD806);
+    for _ in 0..CASES {
+        let traces = random_traces(&mut rng);
         // Issuing the union of instructions serially (1/cycle) is a hard
         // lower bound regardless of tasklet count.
         let r = simulate_dpu(&traces, &cfg());
         let instrs: u64 = traces.iter().map(|t| t.instructions()).sum();
-        prop_assert!(r.total_cycles >= instrs);
+        assert!(r.total_cycles >= instrs);
     }
+}
 
-    #[test]
-    fn avg_active_threads_is_bounded_by_tasklet_count(traces in traces_strategy()) {
+#[test]
+fn avg_active_threads_is_bounded_by_tasklet_count() {
+    let mut rng = SplitMix64::new(0xD807);
+    for _ in 0..CASES {
+        let traces = random_traces(&mut rng);
         let r = simulate_dpu(&traces, &cfg());
-        prop_assert!(r.avg_active_threads >= 0.0);
-        prop_assert!(r.avg_active_threads <= traces.len() as f64 + 1e-9);
+        assert!(r.avg_active_threads >= 0.0);
+        assert!(r.avg_active_threads <= traces.len() as f64 + 1e-9);
     }
 }

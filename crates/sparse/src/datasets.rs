@@ -75,7 +75,7 @@ impl DatasetSpec {
 
     /// Generates a scaled-down equivalent with `factor ∈ (0, 1]` of the
     /// published node count, preserving average degree and degree
-    /// dispersion. Useful for fast tests and criterion benches.
+    /// dispersion. Useful for fast tests and the std-only benches.
     ///
     /// # Errors
     ///

@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn io_error_preserves_source() {
         use std::error::Error;
-        let e = SparseError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = SparseError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 

@@ -7,8 +7,7 @@
 //! those moments, and [`chung_lu`] wires up a graph realizing it in
 //! expectation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use super::rng::SplitMix64;
 
 use super::finalize_edges;
 use crate::coo::Coo;
@@ -37,13 +36,13 @@ pub fn lognormal_degrees(n: u32, avg: f64, std: f64, seed: u64) -> Result<Vec<u3
     let sigma2 = (1.0 + (std * std) / (avg * avg)).ln();
     let sigma = sigma2.sqrt();
     let mu = avg.ln() - sigma2 / 2.0;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let max_deg = (n - 1) as f64;
     let degrees: Vec<u32> = (0..n)
         .map(|_| {
             // Box–Muller standard normal.
-            let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-            let u2: f64 = rng.random();
+            let u1 = rng.f64().max(f64::MIN_POSITIVE);
+            let u2 = rng.f64();
             let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             (mu + sigma * z).exp().round().clamp(1.0, max_deg) as u32
         })
@@ -75,11 +74,11 @@ pub fn chung_lu(degrees: &[u32], seed: u64) -> Result<Coo<u32>> {
         acc += d as u64;
         cdf.push(acc);
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(total as usize);
     for (u, &d) in degrees.iter().enumerate() {
         for _ in 0..d {
-            let ticket = rng.random_range(0..total);
+            let ticket = rng.u64_below(total);
             let v = cdf.partition_point(|&c| c <= ticket) as u32;
             edges.push((u as u32, v));
         }

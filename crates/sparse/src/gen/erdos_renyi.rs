@@ -1,7 +1,6 @@
 //! Uniform random (Erdős–Rényi) and exactly-regular graph generators.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use super::rng::SplitMix64;
 
 use super::finalize_edges;
 use crate::coo::Coo;
@@ -25,14 +24,14 @@ pub fn erdos_renyi(n: u32, m: usize, seed: u64) -> Result<Coo<u32>> {
             "cannot place {m} distinct edges in a {n}-node graph ({possible} possible)"
         )));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(m + m / 8);
     // Oversample to absorb duplicate/self-loop rejection, then top up.
     while edges.len() < m {
         let need = m - edges.len();
         for _ in 0..need + need / 4 + 4 {
-            let u = rng.random_range(0..n);
-            let v = rng.random_range(0..n);
+            let u = rng.u32_below(n);
+            let v = rng.u32_below(n);
             if u != v {
                 edges.push((u, v));
             }
@@ -56,14 +55,14 @@ pub fn k_regular(n: u32, k: u32, seed: u64) -> Result<Coo<u32>> {
             "k_regular requires k < n (got k={k}, n={n})"
         )));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(n as usize * k as usize);
     for u in 0..n {
         // Sample k distinct targets != u by partial Fisher–Yates over a
         // rolling window; for small k relative to n rejection is cheap.
         let mut targets = Vec::with_capacity(k as usize);
         while targets.len() < k as usize {
-            let v = rng.random_range(0..n);
+            let v = rng.u32_below(n);
             if v != u && !targets.contains(&v) {
                 targets.push(v);
             }

@@ -17,12 +17,15 @@
 //!
 //! All generators return a square [`Coo<u32>`] adjacency matrix with unit
 //! weights and no self-loops, deterministic in `(parameters, seed)`.
+//! Randomness comes from the in-tree [`rng::SplitMix64`] generator, so the
+//! output for a given seed is frozen independently of any external crate.
 
 mod chung_lu;
 mod erdos_renyi;
 mod models;
 mod rmat;
 mod road;
+pub mod rng;
 
 pub use chung_lu::{chung_lu, lognormal_degrees};
 pub use erdos_renyi::{erdos_renyi, k_regular};

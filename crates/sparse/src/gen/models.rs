@@ -6,8 +6,7 @@
 //! degree-distribution spectrum the paper's 65-graph suite spans — and
 //! they diversify the classifier-training corpus of §4.2.1.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use super::rng::SplitMix64;
 
 use super::finalize_edges;
 use crate::coo::Coo;
@@ -34,7 +33,7 @@ pub fn barabasi_albert(n: u32, m_edges: u32, seed: u64) -> Result<Coo<u32>> {
             "barabasi_albert requires n > m_edges (got n={n}, m={m_edges})"
         )));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // `targets` holds one entry per edge endpoint: sampling uniformly from
     // it is sampling proportional to degree.
     let mut endpoint_pool: Vec<u32> = Vec::with_capacity(2 * n as usize * m_edges as usize);
@@ -51,7 +50,7 @@ pub fn barabasi_albert(n: u32, m_edges: u32, seed: u64) -> Result<Coo<u32>> {
     for u in (m_edges + 1)..n {
         let mut chosen = Vec::with_capacity(m_edges as usize);
         while chosen.len() < m_edges as usize {
-            let v = endpoint_pool[rng.random_range(0..endpoint_pool.len())];
+            let v = endpoint_pool[rng.usize_below(endpoint_pool.len())];
             if v != u && !chosen.contains(&v) {
                 chosen.push(v);
             }
@@ -78,7 +77,7 @@ pub fn barabasi_albert(n: u32, m_edges: u32, seed: u64) -> Result<Coo<u32>> {
 /// Returns [`SparseError::InvalidArgument`] if `k` is odd, zero, or
 /// `k >= n`, or if `beta` is outside `[0, 1]`.
 pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> Result<Coo<u32>> {
-    if k == 0 || k % 2 != 0 || k >= n {
+    if k == 0 || !k.is_multiple_of(2) || k >= n {
         return Err(SparseError::InvalidArgument(format!(
             "watts_strogatz requires even 0 < k < n (got k={k}, n={n})"
         )));
@@ -86,15 +85,15 @@ pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> Result<Coo<u32>> 
     if !(0.0..=1.0).contains(&beta) {
         return Err(SparseError::InvalidArgument(format!("beta must be in [0,1], got {beta}")));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(n as usize * k as usize);
     for u in 0..n {
         for hop in 1..=k / 2 {
             let mut v = (u + hop) % n;
-            if rng.random::<f64>() < beta {
+            if rng.f64() < beta {
                 // Rewire to a uniform non-self endpoint.
                 loop {
-                    v = rng.random_range(0..n);
+                    v = rng.u32_below(n);
                     if v != u {
                         break;
                     }

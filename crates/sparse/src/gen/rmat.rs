@@ -5,8 +5,7 @@
 //! matrix into quadrants and drop each edge into one quadrant with
 //! probabilities `(a, b, c, d)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use super::rng::SplitMix64;
 
 use super::finalize_edges;
 use crate::coo::Coo;
@@ -72,7 +71,7 @@ pub fn rmat(scale: u32, edge_factor: u32, params: RmatParams, seed: u64) -> Resu
     params.validate()?;
     let n = 1u32 << scale;
     let m = n as usize * edge_factor as usize;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(m);
     let (a, b, c) = (params.a, params.b, params.c);
     for _ in 0..m {
@@ -80,11 +79,11 @@ pub fn rmat(scale: u32, edge_factor: u32, params: RmatParams, seed: u64) -> Resu
         let mut v = 0u32;
         for level in (0..scale).rev() {
             let bit = 1u32 << level;
-            let p: f64 = rng.random();
+            let p = rng.f64();
             // Add a little per-level noise so the recursion does not produce
             // an exactly self-similar (and thus artificially clustered)
             // matrix — standard practice in Graph500 generators.
-            let noise = 0.05 * (rng.random::<f64>() - 0.5);
+            let noise = 0.05 * (rng.f64() - 0.5);
             let aa = (a + noise).clamp(0.0, 1.0);
             if p < aa {
                 // top-left: neither bit set

@@ -6,8 +6,7 @@
 //! surrogate — and perturbs it with random edge deletions and a sprinkle of
 //! shortcut edges to match a target average degree.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use super::rng::SplitMix64;
 
 use super::finalize_edges;
 use crate::coo::Coo;
@@ -36,7 +35,7 @@ pub fn road_network(n: u32, target_avg_degree: f64, seed: u64) -> Result<Coo<u32
         )));
     }
     let side = (n as f64).sqrt().ceil() as u32;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // A full 4-neighbour lattice has average degree ≈ 4 (interior nodes).
     // Keep each undirected lattice edge with probability p so the expected
     // average directed degree matches the target; reserve 2 % for shortcuts.
@@ -52,14 +51,14 @@ pub fn road_network(n: u32, target_avg_degree: f64, seed: u64) -> Result<Coo<u32
             }
             if x + 1 < side {
                 let v = at(x + 1, y);
-                if v < n && rng.random::<f64>() < keep {
+                if v < n && rng.f64() < keep {
                     edges.push((u, v));
                     edges.push((v, u));
                 }
             }
             if y + 1 < side {
                 let v = at(x, y + 1);
-                if v < n && rng.random::<f64>() < keep {
+                if v < n && rng.f64() < keep {
                     edges.push((u, v));
                     edges.push((v, u));
                 }
@@ -69,8 +68,8 @@ pub fn road_network(n: u32, target_avg_degree: f64, seed: u64) -> Result<Coo<u32
     // Highway shortcuts: a small number of symmetric long-range links.
     let shortcuts = ((n as f64) * target_avg_degree * shortcut_share / 2.0) as u32;
     for _ in 0..shortcuts {
-        let u = rng.random_range(0..n);
-        let v = rng.random_range(0..n);
+        let u = rng.u32_below(n);
+        let v = rng.u32_below(n);
         if u != v {
             edges.push((u, v));
             edges.push((v, u));

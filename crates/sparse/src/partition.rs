@@ -241,7 +241,7 @@ pub fn near_square_grid(num_parts: u32) -> (u32, u32) {
     let mut best = (1, num_parts);
     let mut r = 1;
     while r * r <= num_parts {
-        if num_parts % r == 0 {
+        if num_parts.is_multiple_of(r) {
             best = (r, num_parts / r);
         }
         r += 1;

@@ -1,0 +1,93 @@
+//! Golden-hash tests freezing every graph generator's output stream.
+//!
+//! The generators are driven by the in-tree [`SplitMix64`] PRNG, whose
+//! stream is part of the crate's stability contract: a given `(generator,
+//! arguments, seed)` triple must produce the exact same edge list on every
+//! platform and in every future release. These tests pin an FNV-1a hash of
+//! each generator's output, plus one per catalog entry of the Table 2
+//! dataset equivalents (scaled to test size). Any change to a generator's
+//! sampling order or to the PRNG itself shows up here as a hash mismatch.
+
+use alpha_pim_sparse::datasets;
+use alpha_pim_sparse::gen::{self, RmatParams};
+use alpha_pim_sparse::Coo;
+
+/// FNV-1a over the matrix shape and the exact entry sequence.
+fn coo_hash(m: &Coo<u32>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(u64::from(m.n_rows()));
+    eat(u64::from(m.n_cols()));
+    eat(m.nnz() as u64);
+    for (r, c, v) in m.iter() {
+        eat(u64::from(r));
+        eat(u64::from(c));
+        eat(u64::from(v));
+    }
+    h
+}
+
+#[test]
+fn generator_streams_are_frozen() {
+    let degrees = gen::lognormal_degrees(600, 6.0, 12.0, 11).expect("degrees");
+    let cases: [(&str, Coo<u32>, u64); 8] = [
+        ("erdos_renyi", gen::erdos_renyi(500, 2000, 7).unwrap(), 0x7f0a0de8c28709f3),
+        ("k_regular", gen::k_regular(400, 6, 7).unwrap(), 0x1ef32e61ff975288),
+        ("rmat", gen::rmat(10, 8, RmatParams::GRAPH500, 7).unwrap(), 0x53ef69adfd5d1040),
+        ("chung_lu", gen::chung_lu(&degrees, 7).unwrap(), 0xff7cc5cbc0496b24),
+        ("road_network", gen::road_network(500, 3.0, 7).unwrap(), 0xf36491b596f36bcc),
+        ("barabasi_albert", gen::barabasi_albert(500, 4, 7).unwrap(), 0x0de29c8ba53864e8),
+        ("watts_strogatz", gen::watts_strogatz(500, 6, 0.1, 7).unwrap(), 0xe20e824560f43ce6),
+        (
+            "kronecker_power",
+            gen::kronecker_power(&gen::erdos_renyi(3, 6, 7).unwrap(), 5, true).unwrap(),
+            0xba3d38995d53b2db,
+        ),
+    ];
+    let mut changed = Vec::new();
+    for (name, m, expected) in &cases {
+        let h = coo_hash(m);
+        println!("GOLDEN {name} {h:#018x}");
+        if h != *expected {
+            changed.push(*name);
+        }
+    }
+    assert!(changed.is_empty(), "generator streams changed: {changed:?}");
+}
+
+#[test]
+fn table2_catalog_seeds_are_frozen() {
+    let expected: [u64; 13] = [
+        0xeaf6768b66fce56a,
+        0x8a31f5b14d38492c,
+        0x2cb653613aa5cfd5,
+        0xe2c1f1f11696938e,
+        0x77eccfacdd0ba1f1,
+        0xb8dfe6883371179b,
+        0x0d29506c06a14ff5,
+        0xd88b97ac2273bbc2,
+        0xe8524894370871da,
+        0xfd4ad5ef620e5562,
+        0x8302360fc1b3bf09,
+        0xd04d971a7b64624c,
+        0x6cffcb741ba0070d,
+    ];
+    let mut changed = Vec::new();
+    for (i, (spec, want)) in datasets::table2().iter().zip(expected).enumerate() {
+        let factor = (2048.0 / spec.nodes as f64).min(1.0);
+        let g = spec
+            .generate_scaled(factor, 0x7AB1E2 + i as u64)
+            .expect("catalog generation");
+        let h = coo_hash(g.adjacency());
+        println!("GOLDEN {} {h:#018x}", spec.abbrev);
+        if h != want {
+            changed.push(spec.abbrev);
+        }
+    }
+    assert!(changed.is_empty(), "catalog streams changed: {changed:?}");
+}

@@ -1,121 +1,170 @@
-//! Property-based tests for the sparse data-structure invariants.
+//! Property-style tests for the sparse data-structure invariants.
+//!
+//! Each test drives its property over ≥64 pseudo-random cases drawn from the
+//! in-tree [`SplitMix64`] generator, so the exact case set is frozen by the
+//! seed and reproduces identically on every machine with no external
+//! test-framework dependency.
 
+use std::collections::BTreeSet;
+
+use alpha_pim_sparse::gen::rng::SplitMix64;
 use alpha_pim_sparse::partition::{
     equal_ranges, nnz_balanced_ranges, partition_cols, partition_grid, partition_rows, Balance,
 };
 use alpha_pim_sparse::{Coo, DenseVector, SparseVector};
-use proptest::prelude::*;
 
-/// Strategy producing a small random COO matrix with unique coordinates.
-fn coo_strategy() -> impl Strategy<Value = Coo<u32>> {
-    (2u32..40, 2u32..40).prop_flat_map(|(nr, nc)| {
-        let max_nnz = (nr as usize * nc as usize).min(120);
-        proptest::collection::btree_set((0..nr, 0..nc), 0..max_nnz).prop_map(
-            move |coords| {
-                Coo::from_entries(
-                    nr,
-                    nc,
-                    coords.into_iter().enumerate().map(|(i, (r, c))| (r, c, i as u32 + 1)),
-                )
-                .expect("coords in range")
-            },
-        )
-    })
+const CASES: u64 = 96;
+
+/// Random small COO matrix with unique coordinates: dims in `2..40`, up to
+/// `min(nr * nc, 120)` entries, values `1..` in insertion order.
+fn random_coo(rng: &mut SplitMix64) -> Coo<u32> {
+    let nr = 2 + rng.u32_below(38);
+    let nc = 2 + rng.u32_below(38);
+    let max_nnz = (nr as usize * nc as usize).min(120);
+    let target = rng.usize_below(max_nnz.max(1));
+    let mut coords = BTreeSet::new();
+    for _ in 0..target {
+        coords.insert((rng.u32_below(nr), rng.u32_below(nc)));
+    }
+    Coo::from_entries(
+        nr,
+        nc,
+        coords.into_iter().enumerate().map(|(i, (r, c))| (r, c, i as u32 + 1)),
+    )
+    .expect("coords in range")
 }
 
-proptest! {
-    #[test]
-    fn csr_roundtrip_preserves_matrix(coo in coo_strategy()) {
+#[test]
+fn csr_roundtrip_preserves_matrix() {
+    let mut rng = SplitMix64::new(0xC5A1);
+    for _ in 0..CASES {
+        let coo = random_coo(&mut rng);
         let mut via_csr = coo.to_csr().to_coo();
         let mut orig = coo.clone();
         via_csr.sort_row_major();
         orig.sort_row_major();
-        prop_assert_eq!(orig, via_csr);
+        assert_eq!(orig, via_csr);
     }
+}
 
-    #[test]
-    fn csc_roundtrip_preserves_matrix(coo in coo_strategy()) {
+#[test]
+fn csc_roundtrip_preserves_matrix() {
+    let mut rng = SplitMix64::new(0xC5C2);
+    for _ in 0..CASES {
+        let coo = random_coo(&mut rng);
         let mut via_csc = coo.to_csc().to_coo();
         let mut orig = coo.clone();
         via_csc.sort_row_major();
         orig.sort_row_major();
-        prop_assert_eq!(orig, via_csc);
+        assert_eq!(orig, via_csc);
     }
+}
 
-    #[test]
-    fn transpose_is_involutive(coo in coo_strategy()) {
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = SplitMix64::new(0x7A03);
+    for _ in 0..CASES {
+        let coo = random_coo(&mut rng);
         let mut twice = coo.transpose().transpose();
         let mut orig = coo.clone();
         twice.sort_row_major();
         orig.sort_row_major();
-        prop_assert_eq!(orig, twice);
+        assert_eq!(orig, twice);
     }
+}
 
-    #[test]
-    fn csr_of_transpose_equals_csc_columns(coo in coo_strategy()) {
+#[test]
+fn csr_of_transpose_equals_csc_columns() {
+    let mut rng = SplitMix64::new(0x7A04);
+    for _ in 0..CASES {
+        let coo = random_coo(&mut rng);
         let csc = coo.to_csc();
         let csr_t = coo.transpose().to_csr();
         for c in 0..coo.n_cols() {
-            prop_assert_eq!(csc.col(c), csr_t.row(c));
+            assert_eq!(csc.col(c), csr_t.row(c));
         }
     }
+}
 
-    #[test]
-    fn equal_ranges_partition_the_index_space(n in 0u32..500, parts in 1u32..17) {
+#[test]
+fn equal_ranges_partition_the_index_space() {
+    let mut rng = SplitMix64::new(0xE405);
+    for _ in 0..CASES {
+        let n = rng.u32_below(500);
+        let parts = 1 + rng.u32_below(16);
         let rs = equal_ranges(n, parts);
-        prop_assert_eq!(rs.len(), parts as usize);
-        prop_assert_eq!(rs.first().unwrap().start, 0);
-        prop_assert_eq!(rs.last().unwrap().end, n);
+        assert_eq!(rs.len(), parts as usize);
+        assert_eq!(rs.first().unwrap().start, 0);
+        assert_eq!(rs.last().unwrap().end, n);
         for w in rs.windows(2) {
-            prop_assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].end, w[1].start);
         }
         let widths: Vec<u32> = rs.iter().map(|r| r.end - r.start).collect();
         let (min, max) = (widths.iter().min().unwrap(), widths.iter().max().unwrap());
-        prop_assert!(max - min <= 1);
+        assert!(max - min <= 1);
     }
+}
 
-    #[test]
-    fn nnz_ranges_partition_the_index_space(
-        counts in proptest::collection::vec(0u32..50, 1..80),
-        parts in 1u32..9,
-    ) {
+#[test]
+fn nnz_ranges_partition_the_index_space() {
+    let mut rng = SplitMix64::new(0x2206);
+    for _ in 0..CASES {
+        let len = 1 + rng.usize_below(79);
+        let counts: Vec<u32> = (0..len).map(|_| rng.u32_below(50)).collect();
+        let parts = 1 + rng.u32_below(8);
         let rs = nnz_balanced_ranges(&counts, parts);
-        prop_assert_eq!(rs.len(), parts as usize);
-        prop_assert_eq!(rs.first().unwrap().start, 0);
-        prop_assert_eq!(rs.last().unwrap().end, counts.len() as u32);
+        assert_eq!(rs.len(), parts as usize);
+        assert_eq!(rs.first().unwrap().start, 0);
+        assert_eq!(rs.last().unwrap().end, counts.len() as u32);
         for w in rs.windows(2) {
-            prop_assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].end, w[1].start);
         }
     }
+}
 
-    #[test]
-    fn row_partitions_conserve_nnz(coo in coo_strategy(), parts in 1u32..9) {
+#[test]
+fn row_partitions_conserve_nnz() {
+    let mut rng = SplitMix64::new(0x4077);
+    for _ in 0..CASES {
+        let coo = random_coo(&mut rng);
+        let parts = 1 + rng.u32_below(8);
         for balance in [Balance::EqualRange, Balance::Nnz] {
             let ps = partition_rows(&coo, parts, balance).unwrap();
             let total: usize = ps.iter().map(|p| p.matrix.nnz()).sum();
-            prop_assert_eq!(total, coo.nnz());
+            assert_eq!(total, coo.nnz());
             for p in &ps {
                 for (r, c, _) in p.matrix.iter() {
-                    prop_assert!(r < p.row_range.end - p.row_range.start);
-                    prop_assert!(c < coo.n_cols());
+                    assert!(r < p.row_range.end - p.row_range.start);
+                    assert!(c < coo.n_cols());
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn col_partitions_conserve_nnz(coo in coo_strategy(), parts in 1u32..9) {
+#[test]
+fn col_partitions_conserve_nnz() {
+    let mut rng = SplitMix64::new(0x4088);
+    for _ in 0..CASES {
+        let coo = random_coo(&mut rng);
+        let parts = 1 + rng.u32_below(8);
         for balance in [Balance::EqualRange, Balance::Nnz] {
             let ps = partition_cols(&coo, parts, balance).unwrap();
             let total: usize = ps.iter().map(|p| p.matrix.nnz()).sum();
-            prop_assert_eq!(total, coo.nnz());
+            assert_eq!(total, coo.nnz());
         }
     }
+}
 
-    #[test]
-    fn grid_partitions_reassemble(coo in coo_strategy(), gr in 1u32..5, gc in 1u32..5) {
+#[test]
+fn grid_partitions_reassemble() {
+    let mut rng = SplitMix64::new(0x9409);
+    for _ in 0..CASES {
+        let coo = random_coo(&mut rng);
+        let gr = 1 + rng.u32_below(4);
+        let gc = 1 + rng.u32_below(4);
         let grid = partition_grid(&coo, gr, gc).unwrap();
-        prop_assert_eq!(grid.tiles.len(), (gr * gc) as usize);
+        assert_eq!(grid.tiles.len(), (gr * gc) as usize);
         let mut reassembled = Coo::new(coo.n_rows(), coo.n_cols());
         for t in &grid.tiles {
             for (r, c, v) in t.matrix.iter() {
@@ -127,35 +176,50 @@ proptest! {
         let mut orig = coo.clone();
         orig.sort_row_major();
         reassembled.sort_row_major();
-        prop_assert_eq!(orig, reassembled);
+        assert_eq!(orig, reassembled);
     }
+}
 
-    #[test]
-    fn sparse_dense_vector_roundtrip(values in proptest::collection::vec(0u32..5, 0..200)) {
+#[test]
+fn sparse_dense_vector_roundtrip() {
+    let mut rng = SplitMix64::new(0x5D10);
+    for _ in 0..CASES {
+        let len = rng.usize_below(200);
+        let values: Vec<u32> = (0..len).map(|_| rng.u32_below(5)).collect();
         let dense = DenseVector::from_values(values);
         let sparse = dense.to_sparse(|&v| v != 0);
-        prop_assert_eq!(sparse.to_dense(0), dense.clone());
-        prop_assert_eq!(sparse.nnz(), dense.nnz(|&v| v != 0));
+        assert_eq!(sparse.to_dense(0), dense.clone());
+        assert_eq!(sparse.nnz(), dense.nnz(|&v| v != 0));
     }
+}
 
-    #[test]
-    fn sparse_vector_slices_compose(
-        indices in proptest::collection::btree_set(0u32..100, 0..40),
-        split in 1u32..99,
-    ) {
+#[test]
+fn sparse_vector_slices_compose() {
+    let mut rng = SplitMix64::new(0x5111);
+    for _ in 0..CASES {
+        let target = rng.usize_below(40);
+        let mut indices = BTreeSet::new();
+        for _ in 0..target {
+            indices.insert(rng.u32_below(100));
+        }
+        let split = 1 + rng.u32_below(98);
         let idx: Vec<u32> = indices.into_iter().collect();
         let vals: Vec<u32> = idx.iter().map(|&i| i + 1).collect();
         let s = SparseVector::from_pairs(100, idx, vals).unwrap();
         let left = s.slice_range(0, split);
         let right = s.slice_range(split, 100);
-        prop_assert_eq!(left.nnz() + right.nnz(), s.nnz());
-        prop_assert_eq!(left.len() + right.len(), 100);
+        assert_eq!(left.nnz() + right.nnz(), s.nnz());
+        assert_eq!(left.len() + right.len(), 100);
     }
+}
 
-    #[test]
-    fn coalesce_is_idempotent(coo in coo_strategy()) {
+#[test]
+fn coalesce_is_idempotent() {
+    let mut rng = SplitMix64::new(0xC012);
+    for _ in 0..CASES {
+        let coo = random_coo(&mut rng);
         let once = coo.coalesce(|a, b| a + b);
         let twice = once.coalesce(|a, b| a + b);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint (when available), and the parallel-replay
+# performance smoke test. No step needs network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (offline)"
+cargo test -q --offline --workspace
+
+echo "==> serde feature compiles"
+cargo build -q --offline --workspace --features serde
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy"
+    cargo clippy -q --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy not installed, skipping"
+fi
+
+echo "==> perfsmoke (parallel replay: bit-identical reports + speedup)"
+cargo run --release --offline -p alpha-pim-bench --bin perfsmoke
+echo "==> BENCH_parallel_sim.json:"
+cat BENCH_parallel_sim.json

@@ -1,0 +1,348 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the minimal serde facade.
+//!
+//! The offline build has no access to `syn`/`quote`, so this macro walks the
+//! raw `proc_macro::TokenStream` directly. It supports exactly the shapes the
+//! workspace derives on:
+//!
+//! - non-generic structs with named fields (`struct PimConfig { .. }`)
+//! - non-generic enums with unit and tuple variants (`SimFidelity::Sampled(u32)`)
+//! - the `#[serde(default)]` field attribute (missing field -> `Default::default()`)
+//!
+//! Generated code round-trips through `serde::Value` maps keyed by field
+//! name, so field order never affects deserialization. Field and variant
+//! payload types are inferred from the struct-literal / constructor position,
+//! which is why no type parsing is needed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct FieldDef {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<FieldDef>,
+    },
+    Enum {
+        name: String,
+        /// `(variant name, tuple arity)`; arity 0 means a unit variant.
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Consume leading `#[...]` attribute pairs starting at `i`; report whether
+/// any of them was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i + 1 < tokens.len() {
+        let (TokenTree::Punct(p), TokenTree::Group(g)) = (&tokens[*i], &tokens[*i + 1]) else {
+            break;
+        };
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(a) = t {
+                            if a.to_string() == "default" {
+                                has_default = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    has_default
+}
+
+/// Consume an optional `pub` / `pub(...)` prefix starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advance past a field's type: everything up to the next `,` at angle-bracket
+/// depth zero (commas inside `Foo<A, B>` belong to the type).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_struct_fields(body: &[TokenTree]) -> Vec<FieldDef> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let has_default = skip_attrs(body, &mut i);
+        skip_visibility(body, &mut i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            panic!("serde_derive: expected field name in struct body");
+        };
+        let name = name.to_string();
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive: expected `:` after field `{name}`"),
+        }
+        skip_type(body, &mut i);
+        fields.push(FieldDef { name, has_default });
+    }
+    fields
+}
+
+fn parse_enum_variants(body: &[TokenTree]) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs(body, &mut i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            panic!("serde_derive: expected variant name in enum body");
+        };
+        let name = name.to_string();
+        i += 1;
+        let mut arity = 0;
+        match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if !inner.is_empty() {
+                    arity = 1;
+                    let mut angle_depth = 0i32;
+                    for (k, t) in inner.iter().enumerate() {
+                        if let TokenTree::Punct(p) = t {
+                            match p.as_char() {
+                                '<' => angle_depth += 1,
+                                '>' => angle_depth -= 1,
+                                // Ignore a trailing comma: it separates nothing.
+                                ',' if angle_depth == 0 && k + 1 < inner.len() => arity += 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct-like enum variant `{name}` is not supported");
+            }
+            _ => {}
+        }
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            _ => panic!("serde_derive: expected `,` after variant `{name}`"),
+        }
+        variants.push((name, arity));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected `struct` or `enum`"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected type name"),
+    };
+    i += 1;
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Some(g.stream().into_iter().collect::<Vec<_>>())
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("serde_derive: `{name}` has no braced body (tuple structs are not supported)"));
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_struct_fields(&body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_enum_variants(&body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+fn args(arity: usize) -> Vec<String> {
+    (0..arity).map(|k| format!("a{k}")).collect()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "m.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(m)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, arity) in &variants {
+                if *arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    ));
+                } else {
+                    let binds = args(*arity).join(", ");
+                    let items = args(*arity)
+                        .iter()
+                        .map(|a| format!("::serde::Serialize::serialize({a})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    arms.push_str(&format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec::Vec::from([(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Seq(::std::vec::Vec::from([{items}])))])),\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let missing = if f.has_default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::Error::new(\"missing field `{}` in `{name}`\"))",
+                        f.name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{0}: match ::serde::value_get(m, \"{0}\") {{\n\
+                         ::std::option::Option::Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+                         ::std::option::Option::None => {missing},\n\
+                     }},\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let m = value.as_map().ok_or_else(|| ::serde::Error::new(\"expected map for `{name}`\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tuple_arms = String::new();
+            let mut has_tuple = false;
+            for (vname, arity) in &variants {
+                if *arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                } else {
+                    has_tuple = true;
+                    let fields = (0..*arity)
+                        .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    tuple_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                             if items.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::new(\"wrong arity for `{name}::{vname}`\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({fields}))\n\
+                         }}\n"
+                    ));
+                }
+            }
+            let map_arm = if has_tuple {
+                format!(
+                    "::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (k, payload) = &m[0];\n\
+                         let items = payload.as_seq().ok_or_else(|| ::serde::Error::new(\"expected payload sequence for `{name}`\"))?;\n\
+                         match k.as_str() {{\n\
+                             {tuple_arms}\
+                             _ => ::std::result::Result::Err(::serde::Error::new(\"unknown variant of `{name}`\")),\n\
+                         }}\n\
+                     }}\n"
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 _ => ::std::result::Result::Err(::serde::Error::new(\"unknown variant of `{name}`\")),\n\
+                             }},\n\
+                             {map_arm}\
+                             _ => ::std::result::Result::Err(::serde::Error::new(\"expected variant of `{name}`\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    };
+    out.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
