@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! alpha_pim_cli <bfs|sssp|ppr|wcc|widest> <graph> [options]
+//! alpha_pim_cli top <graph> [options]        per-DPU/per-tasklet cycle attribution
 //!
 //! <graph>     path to a .mtx file, or a catalog abbreviation (e.g. A302)
 //! --source N      source vertex (default 0)
@@ -11,13 +12,18 @@
 //! --seed N        generator seed (default 42)
 //! --policy P      adaptive | spmv | spmspv | threshold:<0..1> (default adaptive)
 //! --max-weight W  synthetic edge weights in [1,W] for sssp/widest (default 16)
+//! --kernel K      top only: spmv | spmspv (default spmv)
+//! --density F     top only: input-vector density (default 0.1)
+//! --limit N       top only: rows in the per-DPU table (default 10)
 //! ```
 
 use std::process::ExitCode;
 
 use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
-use alpha_pim::{AlphaPim, SpmspvVariant, SpmvVariant};
-use alpha_pim_sim::{PimConfig, SimFidelity};
+use alpha_pim::semiring::{BoolOrAnd, Semiring};
+use alpha_pim::{AlphaPim, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
+use alpha_pim_bench::harness::striped_vector;
+use alpha_pim_sim::{CounterId, ObservabilityLevel, PimConfig, SimFidelity};
 use alpha_pim_sparse::{datasets, mtx, Graph};
 
 struct Args {
@@ -29,11 +35,14 @@ struct Args {
     seed: u64,
     policy: KernelPolicy,
     max_weight: u32,
+    kernel: String,
+    density: f64,
+    limit: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut raw = std::env::args().skip(1);
-    let algo = raw.next().ok_or("missing algorithm (bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore)")?;
+    let algo = raw.next().ok_or("missing algorithm (bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top)")?;
     let graph = raw.next().ok_or("missing graph (path.mtx or catalog abbrev)")?;
     let mut args = Args {
         algo,
@@ -44,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         policy: KernelPolicy::Adaptive,
         max_weight: 16,
+        kernel: "spmv".to_string(),
+        density: 0.1,
+        limit: 10,
     };
     while let Some(flag) = raw.next() {
         let value = raw.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -53,6 +65,9 @@ fn parse_args() -> Result<Args, String> {
             "--scale" => args.scale = value.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = value.parse().map_err(|e| format!("{e}"))?,
             "--max-weight" => args.max_weight = value.parse().map_err(|e| format!("{e}"))?,
+            "--kernel" => args.kernel = value,
+            "--density" => args.density = value.parse().map_err(|e| format!("{e}"))?,
+            "--limit" => args.limit = value.parse().map_err(|e| format!("{e}"))?,
             "--policy" => {
                 args.policy = match value.as_str() {
                     "adaptive" => KernelPolicy::Adaptive,
@@ -97,7 +112,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W]");
+            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N]");
             return ExitCode::FAILURE;
         }
     };
@@ -112,6 +127,9 @@ fn main() -> ExitCode {
 
 fn run(args: &Args) -> Result<(), String> {
     let graph = load_graph(args)?;
+    if args.algo == "top" {
+        return run_top(args, &graph);
+    }
     let engine = AlphaPim::new(PimConfig {
         num_dpus: args.dpus,
         fidelity: SimFidelity::Sampled(64),
@@ -213,6 +231,119 @@ fn run(args: &Args) -> Result<(), String> {
             s.kernel.to_string(),
             s.phases.total() * 1e3,
         );
+    }
+    Ok(())
+}
+
+/// `top`: run one kernel launch with per-tasklet observability and print a
+/// top-style cycle-attribution summary from the real counter registry.
+fn run_top(args: &Args, graph: &Graph) -> Result<(), String> {
+    let sys = alpha_pim_sim::PimSystem::new(PimConfig {
+        num_dpus: args.dpus,
+        fidelity: SimFidelity::Sampled(64),
+        observability: ObservabilityLevel::PerTasklet,
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let m = graph.transposed().map(BoolOrAnd::from_weight);
+    let x = striped_vector(graph.nodes() as usize, args.density);
+    let kernel = match args.kernel.as_str() {
+        "spmv" => {
+            let dense = x.to_dense(0u32);
+            PreparedSpmv::<BoolOrAnd>::prepare(&m, SpmvVariant::Dcoo2d, &sys)
+                .map_err(|e| e.to_string())?
+                .run(&dense, &sys)
+                .map_err(|e| e.to_string())?
+                .kernel
+        }
+        "spmspv" => PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Csc2d, &sys)
+            .map_err(|e| e.to_string())?
+            .run(&x, &sys)
+            .map_err(|e| e.to_string())?
+            .kernel,
+        other => return Err(format!("unknown --kernel {other} (expected spmv|spmspv)")),
+    };
+    let b = &kernel.breakdown;
+    let (active, memory, revolver, rf) = b.fractions();
+    println!(
+        "top — {} on {} ({} DPUs, {} detailed, density {:.0}%)",
+        args.kernel,
+        args.graph,
+        kernel.num_dpus,
+        kernel.detailed_dpus,
+        args.density * 100.0,
+    );
+    println!(
+        "slots: active {:.1}% | memory {:.1}% | revolver {:.1}% | rf {:.1}%",
+        active * 100.0,
+        memory * 100.0,
+        revolver * 100.0,
+        rf * 100.0,
+    );
+    print!("tasklet time:");
+    for id in CounterId::TASKLET_CYCLES {
+        print!(" {}={:.1}%", id.label().trim_start_matches("tasklet."), b.tasklet_fraction(id) * 100.0);
+    }
+    println!();
+    println!(
+        "events: {} DMA transfers ({} bytes), {} mutex acquires, {} spin retries, {} barrier crossings",
+        b.counter(CounterId::DmaTransfers),
+        b.counter(CounterId::DmaBytes),
+        b.counter(CounterId::MutexAcquires),
+        b.counter(CounterId::SpinRetries),
+        b.counter(CounterId::BarrierCrossings),
+    );
+    println!(
+        "host/bus: scatter {} B, broadcast {} B, gather {} B in {} batches; merge {} B, scan {} B",
+        b.counter(CounterId::XferScatterBytes),
+        b.counter(CounterId::XferBroadcastBytes),
+        b.counter(CounterId::XferGatherBytes),
+        b.counter(CounterId::XferBatches),
+        b.counter(CounterId::HostMergeBytes),
+        b.counter(CounterId::HostScanBytes),
+    );
+
+    let mut details: Vec<&alpha_pim_sim::DpuDetail> = kernel.dpu_details.iter().collect();
+    details.sort_by(|a, b| b.total_cycles.cmp(&a.total_cycles).then(a.dpu_id.cmp(&b.dpu_id)));
+    println!("\ntop {} of {} detailed DPUs by cycles:", args.limit.min(details.len()), details.len());
+    println!(
+        "{:>6} {:>12} {:>12} {:>7} {:>7} {:>7} {:>7}",
+        "dpu", "cycles", "instr", "issue%", "dma%", "sync%", "disp%"
+    );
+    for d in details.iter().take(args.limit) {
+        let budget = (d.counters.get(CounterId::TaskletBudget)).max(1) as f64;
+        let dma = d.counters.sum(&[
+            CounterId::TaskletDmaQueue,
+            CounterId::TaskletDmaStartup,
+            CounterId::TaskletDmaTransfer,
+        ]);
+        let sync = d.counters.sum(&[CounterId::TaskletMutex, CounterId::TaskletBarrier]);
+        println!(
+            "{:>6} {:>12} {:>12} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+            d.dpu_id,
+            d.total_cycles,
+            d.issued_instructions,
+            d.counters.get(CounterId::TaskletIssue) as f64 / budget * 100.0,
+            dma as f64 / budget * 100.0,
+            sync as f64 / budget * 100.0,
+            d.counters.get(CounterId::TaskletDispatch) as f64 / budget * 100.0,
+        );
+    }
+
+    if let Some(busiest) = details.first() {
+        println!("\nbusiest DPU {} — per-tasklet cycle anatomy:", busiest.dpu_id);
+        print!("{:>4}", "tid");
+        for id in CounterId::TASKLET_CYCLES {
+            print!(" {:>11}", id.label().trim_start_matches("tasklet."));
+        }
+        println!();
+        for (tid, t) in busiest.tasklets.iter().enumerate() {
+            print!("{tid:>4}");
+            for id in CounterId::TASKLET_CYCLES {
+                print!(" {:>11}", t.get(id));
+            }
+            println!();
+        }
     }
     Ok(())
 }

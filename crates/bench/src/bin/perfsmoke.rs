@@ -2,16 +2,20 @@
 //!
 //! Replays one SpMV launch across 2048 simulated DPUs with the host-side
 //! pool pinned to 1 thread and then to N threads, asserting that the
-//! resulting `KernelReport` (including every floating-point field) is
-//! bit-identical, and — when the machine actually has ≥4 cores — that the
-//! parallel replay is at least 2× faster. Emits `BENCH_parallel_sim.json`
-//! in the working directory.
+//! resulting `KernelReport` — including every floating-point field, the
+//! full counter rollup, the per-DPU/per-tasklet observability details, and
+//! the JSON/CSV exporter strings — is bit-identical, and — when the
+//! machine actually has ≥4 cores — that the parallel replay is at least
+//! 2× faster. Emits `BENCH_parallel_sim.json` in the working directory.
 
 use std::time::Instant;
 
 use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{PreparedSpmv, SpmvVariant};
-use alpha_pim_sim::{set_sim_threads, KernelReport, PimConfig, PimSystem, SimFidelity};
+use alpha_pim_sim::{
+    set_sim_threads, CounterId, KernelReport, ObservabilityLevel, PimConfig, PimSystem,
+    SimFidelity,
+};
 use alpha_pim_sparse::{gen, DenseVector, Graph};
 
 const DPUS: u32 = 2048;
@@ -27,6 +31,7 @@ fn main() {
     let sys = PimSystem::new(PimConfig {
         num_dpus: DPUS,
         fidelity: SimFidelity::Sampled(64),
+        observability: ObservabilityLevel::PerTasklet,
         ..Default::default()
     })
     .expect("valid config");
@@ -52,12 +57,37 @@ fn main() {
     let secs_par = start.elapsed().as_secs_f64() / f64::from(ITERS);
 
     // The determinism guarantee holds unconditionally: identical reports,
-    // down to the bits of the floating-point time.
+    // down to the bits of the floating-point time, and it extends to the
+    // observability layer — per-DPU details, per-tasklet counter sets, and
+    // the exporter strings.
     assert_eq!(seq_report, par_report, "KernelReport diverged between 1 and {cores} threads");
     assert_eq!(
         seq_report.seconds.to_bits(),
         par_report.seconds.to_bits(),
         "simulated seconds not bit-identical"
+    );
+    assert!(!seq_report.dpu_details.is_empty(), "PerTasklet observability retains DPU details");
+    assert!(seq_report.dpu_details.iter().all(|d| !d.tasklets.is_empty()));
+    assert_eq!(
+        seq_report.to_json(),
+        par_report.to_json(),
+        "JSON export diverged between 1 and {cores} threads"
+    );
+    assert_eq!(
+        seq_report.counters_csv(),
+        par_report.counters_csv(),
+        "counter CSV diverged between 1 and {cores} threads"
+    );
+    let c = &seq_report.breakdown.counters;
+    assert_eq!(
+        c.sum(&CounterId::SLOT_CYCLES),
+        c.get(CounterId::DpuCycles),
+        "slot attribution must partition the detailed DPU cycles"
+    );
+    assert_eq!(
+        c.sum(&CounterId::TASKLET_CYCLES),
+        c.get(CounterId::TaskletBudget),
+        "tasklet attribution must partition the tasklet budget"
     );
 
     let speedup = secs_seq / secs_par;

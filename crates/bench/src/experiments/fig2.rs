@@ -8,6 +8,7 @@
 
 use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{PreparedSpmv, SpmvVariant};
+use alpha_pim_sim::CounterId;
 use alpha_pim_sparse::DenseVector;
 
 use crate::experiments::{banner, lift_bool};
@@ -21,7 +22,7 @@ pub fn run(cfg: &HarnessConfig) -> String {
         "phases normalized to the 1D total per dataset; paper: 1D load-dominated, 2D wins",
     );
     let mut table = Table::new(&[
-        "dataset", "variant", "load", "kernel", "retrieve", "merge", "total",
+        "dataset", "variant", "load", "kernel", "retrieve", "merge", "total", "bus MB",
     ]);
     let sys = cfg.engine(None);
     let sys = sys.system();
@@ -42,6 +43,14 @@ pub fn run(cfg: &HarnessConfig) -> String {
             totals[vi] = outcome.phases.total();
             let mut cells = vec![spec.abbrev.to_string(), variant.label().to_string()];
             cells.extend(phase_cells(&outcome.phases, reference_total));
+            // Measured bus traffic from the transfer counters — the reason
+            // 1D's Load dominates is visible directly as broadcast bytes.
+            let bus = outcome.kernel.breakdown.counters.sum(&[
+                CounterId::XferScatterBytes,
+                CounterId::XferBroadcastBytes,
+                CounterId::XferGatherBytes,
+            ]);
+            cells.push(format!("{:.2}", bus as f64 / 1e6));
             table.row(cells);
         }
         // geomean ratio of the paper's two headliners: DCOO (2D) vs COO.nnz (1D).

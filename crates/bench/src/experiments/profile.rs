@@ -19,6 +19,7 @@ use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
 use alpha_pim_sim::instr::InstrClass;
 use alpha_pim_sim::report::KernelReport;
+use alpha_pim_sim::CounterId;
 
 use crate::experiments::{banner, lift_bool};
 use crate::harness::striped_vector;
@@ -42,6 +43,15 @@ pub struct ProfileRow {
     pub revolver: f64,
     /// Mean register-file-hazard fraction.
     pub rf: f64,
+    /// Mean dispatch-slot-contention share of the tasklet cycle budget
+    /// (from the counter registry).
+    pub dispatch: f64,
+    /// Mean DMA-wait share of the tasklet budget (queue + startup +
+    /// transfer counters).
+    pub dma: f64,
+    /// Mean synchronization-wait share of the tasklet budget (mutex +
+    /// barrier counters).
+    pub sync: f64,
     /// Mean active tasklets per cycle.
     pub avg_threads: f64,
     /// Mean instruction-mix fractions, indexed like [`InstrClass::ALL`].
@@ -68,6 +78,9 @@ pub fn collect(cfg: &HarnessConfig) -> Vec<ProfileRow> {
                 memory: 0.0,
                 revolver: 0.0,
                 rf: 0.0,
+                dispatch: 0.0,
+                dma: 0.0,
+                sync: 0.0,
                 avg_threads: 0.0,
                 mix: [0.0; 6],
             };
@@ -95,6 +108,12 @@ pub fn collect(cfg: &HarnessConfig) -> Vec<ProfileRow> {
                 row.memory += mem;
                 row.revolver += rev;
                 row.rf += rf;
+                row.dispatch += report.breakdown.tasklet_fraction(CounterId::TaskletDispatch);
+                row.dma += report.breakdown.tasklet_fraction(CounterId::TaskletDmaQueue)
+                    + report.breakdown.tasklet_fraction(CounterId::TaskletDmaStartup)
+                    + report.breakdown.tasklet_fraction(CounterId::TaskletDmaTransfer);
+                row.sync += report.breakdown.tasklet_fraction(CounterId::TaskletMutex)
+                    + report.breakdown.tasklet_fraction(CounterId::TaskletBarrier);
                 row.avg_threads += report.avg_active_threads;
                 for (slot, class) in row.mix.iter_mut().zip(InstrClass::ALL) {
                     *slot += report.instr_mix.fraction(class);
@@ -105,6 +124,9 @@ pub fn collect(cfg: &HarnessConfig) -> Vec<ProfileRow> {
             row.memory /= datasets;
             row.revolver /= datasets;
             row.rf /= datasets;
+            row.dispatch /= datasets;
+            row.dma /= datasets;
+            row.sync /= datasets;
             row.avg_threads /= datasets;
             for slot in &mut row.mix {
                 *slot /= datasets;
@@ -122,7 +144,8 @@ pub fn fig9(rows: &[ProfileRow]) -> String {
         "paper: SpMSpV >10% issues more; SpMV memory-stalled; per-dataset mean",
     );
     let mut table = Table::new(&[
-        "kernel", "density%", "active%", "memory%", "revolver%", "rf%",
+        "kernel", "density%", "active%", "memory%", "revolver%", "rf%", "t.disp%", "t.dma%",
+        "t.sync%",
     ]);
     for r in rows {
         table.row(vec![
@@ -132,6 +155,9 @@ pub fn fig9(rows: &[ProfileRow]) -> String {
             format!("{:.1}", r.memory * 100.0),
             format!("{:.1}", r.revolver * 100.0),
             format!("{:.1}", r.rf * 100.0),
+            format!("{:.1}", r.dispatch * 100.0),
+            format!("{:.1}", r.dma * 100.0),
+            format!("{:.1}", r.sync * 100.0),
         ]);
     }
     out.push_str(&table.render());

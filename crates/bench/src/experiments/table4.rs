@@ -12,7 +12,7 @@ use alpha_pim::apps::{AppOptions, PprOptions};
 use alpha_pim_baselines::cpu::CpuModel;
 use alpha_pim_baselines::gpu::GpuModel;
 use alpha_pim_baselines::{compute_utilization_pct, specs, Algorithm};
-use alpha_pim_sim::EnergyModel;
+use alpha_pim_sim::{CounterId, EnergyModel};
 use alpha_pim_sparse::datasets;
 
 use crate::experiments::banner;
@@ -39,7 +39,7 @@ pub fn run(cfg: &HarnessConfig) -> String {
     for algo in Algorithm::ALL {
         out.push_str(&format!("\n## {algo}\n"));
         let mut table = Table::new(&[
-            "dataset", "system", "time ms", "util %", "energy J",
+            "dataset", "system", "time ms", "util %", "issue %", "energy J",
         ]);
         let mut kernel_speedups = Vec::new();
         let mut total_speedups = Vec::new();
@@ -64,6 +64,14 @@ pub fn run(cfg: &HarnessConfig) -> String {
             };
             let iterations = report.num_iterations();
             let ops = report.useful_ops;
+            // Issue utilization straight from the counter registry: slots
+            // with an instruction issued over all simulated DPU cycles,
+            // summed across every iteration's kernel launch.
+            let (issued, cycles) = report.iterations.iter().fold((0u64, 0u64), |(i, c), s| {
+                let k = &s.kernel_report.breakdown.counters;
+                (i + k.get(CounterId::SlotIssue), c + k.get(CounterId::DpuCycles))
+            });
+            let issue_pct = if cycles == 0 { 0.0 } else { issued as f64 / cycles as f64 * 100.0 };
 
             // CPU baseline (calibrated model; the GridGraph engine streams
             // every edge each iteration, so its op count is edge-based).
@@ -110,6 +118,11 @@ pub fn run(cfg: &HarnessConfig) -> String {
                     name.into(),
                     ms(row.seconds),
                     format!("{:.3}", row.utilization_pct),
+                    if name.starts_with("UPMEM") {
+                        format!("{issue_pct:.1}")
+                    } else {
+                        "-".into()
+                    },
                     format!("{:.3}", row.energy_j),
                 ]);
             }

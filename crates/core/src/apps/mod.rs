@@ -267,6 +267,7 @@ mod tests {
             instr_mix: Default::default(),
             avg_active_threads: 0.0,
             total_instructions: 1,
+            dpu_details: Vec::new(),
         }
     }
 }

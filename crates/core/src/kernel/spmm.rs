@@ -11,7 +11,7 @@ use alpha_pim_sim::instr::InstrClass;
 use alpha_pim_sim::par::par_map_indexed;
 use alpha_pim_sim::report::PhaseBreakdown;
 use alpha_pim_sim::trace::TaskletTrace;
-use alpha_pim_sim::PimSystem;
+use alpha_pim_sim::{CounterSet, PimSystem};
 use alpha_pim_sparse::partition::{near_square_grid, partition_grid, GridPartition};
 use alpha_pim_sparse::Coo;
 
@@ -155,13 +155,20 @@ impl<S: Semiring> PreparedSpmm<S> {
             load[t.part as usize] = cols as u64 * k as u64 * eb;
             retrieve[t.part as usize] = rows as u64 * k as u64 * eb;
         }
-        let kernel = acc.finish();
+        let mut kernel = acc.finish();
+        let mut host = CounterSet::new();
         let phases = PhaseBreakdown {
-            load: sys.scatter_time(&load),
+            load: sys.scatter_time_counted(&load, &mut host),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
-            retrieve: sys.gather_time(&retrieve),
-            merge: sys.merge_time(self.n as u64 * k as u64, self.grid.merge_fan_in(), eb as u32),
+            retrieve: sys.gather_time_counted(&retrieve, &mut host),
+            merge: sys.merge_time_counted(
+                self.n as u64 * k as u64,
+                self.grid.merge_fan_in(),
+                eb as u32,
+                &mut host,
+            ),
         };
+        kernel.breakdown.counters.merge(&host);
         Ok(SpmmOutcome { y, phases, kernel, useful_ops: ops })
     }
 }

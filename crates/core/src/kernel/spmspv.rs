@@ -21,7 +21,7 @@ use alpha_pim_sim::instr::InstrClass;
 use alpha_pim_sim::par::par_map_indexed;
 use alpha_pim_sim::report::PhaseBreakdown;
 use alpha_pim_sim::trace::TaskletTrace;
-use alpha_pim_sim::PimSystem;
+use alpha_pim_sim::{CounterSet, PimSystem};
 use alpha_pim_sparse::partition::{
     near_square_grid, partition_cols, partition_grid, partition_rows, Balance,
 };
@@ -263,13 +263,19 @@ impl<S: Semiring> PreparedSpmspv<S> {
             }
             retrieve[part] = (nnz_out * ventry).min(band * eb as u64).max(u64::from(nnz > 0) * ventry);
         }
-        let kernel = acc.finish();
+        let mut kernel = acc.finish();
+        let mut host = CounterSet::new();
         let phases = PhaseBreakdown {
-            load: sys.broadcast_time(x.compressed_bytes(eb as usize) as u64, num_parts as u32),
+            load: sys.broadcast_time_counted(
+                x.compressed_bytes(eb as usize) as u64,
+                num_parts as u32,
+                &mut host,
+            ),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
-            retrieve: sys.gather_time(&retrieve),
+            retrieve: sys.gather_time_counted(&retrieve, &mut host),
             merge: 0.0,
         };
+        kernel.breakdown.counters.merge(&host);
         finish::<S>(y, kernel, phases, ops)
     }
 
@@ -319,13 +325,19 @@ impl<S: Semiring> PreparedSpmspv<S> {
             }
             retrieve[part] = (nnz_out * ventry).min(band * eb as u64);
         }
-        let kernel = acc.finish();
+        let mut kernel = acc.finish();
+        let mut host = CounterSet::new();
         let phases = PhaseBreakdown {
-            load: sys.broadcast_time(x.compressed_bytes(eb as usize) as u64, bands.len() as u32),
+            load: sys.broadcast_time_counted(
+                x.compressed_bytes(eb as usize) as u64,
+                bands.len() as u32,
+                &mut host,
+            ),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
-            retrieve: sys.gather_time(&retrieve),
+            retrieve: sys.gather_time_counted(&retrieve, &mut host),
             merge: 0.0,
         };
+        kernel.breakdown.counters.merge(&host);
         finish::<S>(y, kernel, phases, ops)
     }
 
@@ -379,13 +391,15 @@ impl<S: Semiring> PreparedSpmspv<S> {
                 y[r as usize] = S::add(y[r as usize], v);
             }
         }
-        let kernel = acc.finish();
+        let mut kernel = acc.finish();
+        let mut host = CounterSet::new();
         let phases = PhaseBreakdown {
-            load: sys.scatter_time(&load),
+            load: sys.scatter_time_counted(&load, &mut host),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
-            retrieve: sys.gather_time(&retrieve),
-            merge: sys.merge_time(merged_elems.max(1), 1, ventry as u32),
+            retrieve: sys.gather_time_counted(&retrieve, &mut host),
+            merge: sys.merge_time_counted(merged_elems.max(1), 1, ventry as u32, &mut host),
         };
+        kernel.breakdown.counters.merge(&host);
         finish::<S>(y, kernel, phases, ops)
     }
 
@@ -447,13 +461,15 @@ impl<S: Semiring> PreparedSpmspv<S> {
             retrieve[part] = (nnz_out * ventry).min(band * eb as u64);
             merged_elems += nnz_out;
         }
-        let kernel = acc.finish();
+        let mut kernel = acc.finish();
+        let mut host = CounterSet::new();
         let phases = PhaseBreakdown {
-            load: sys.scatter_time(&load),
+            load: sys.scatter_time_counted(&load, &mut host),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
-            retrieve: sys.gather_time(&retrieve),
-            merge: sys.merge_time(merged_elems.max(1), 1, ventry as u32),
+            retrieve: sys.gather_time_counted(&retrieve, &mut host),
+            merge: sys.merge_time_counted(merged_elems.max(1), 1, ventry as u32, &mut host),
         };
+        kernel.breakdown.counters.merge(&host);
         finish::<S>(y, kernel, phases, ops)
     }
 }

@@ -19,7 +19,7 @@ use alpha_pim_sim::instr::InstrClass;
 use alpha_pim_sim::par::par_map_indexed;
 use alpha_pim_sim::report::PhaseBreakdown;
 use alpha_pim_sim::trace::TaskletTrace;
-use alpha_pim_sim::PimSystem;
+use alpha_pim_sim::{CounterSet, PimSystem};
 use alpha_pim_sparse::partition::{
     near_square_grid, partition_grid, partition_rows, Balance, GridPartition, RowPartition,
 };
@@ -205,13 +205,15 @@ impl<S: Semiring> PreparedSpmv<S> {
                     }
                     retrieve[p.part as usize] = band * eb;
                 }
-                let kernel = acc.finish();
+                let mut kernel = acc.finish();
+                let mut host = CounterSet::new();
                 let phases = PhaseBreakdown {
-                    load: sys.broadcast_time(self.n as u64 * eb, parts.len() as u32),
+                    load: sys.broadcast_time_counted(self.n as u64 * eb, parts.len() as u32, &mut host),
                     kernel: kernel.seconds + KERNEL_LAUNCH_S,
-                    retrieve: sys.gather_time(&retrieve),
+                    retrieve: sys.gather_time_counted(&retrieve, &mut host),
                     merge: 0.0,
                 };
+                kernel.breakdown.counters.merge(&host);
                 finish_outcome::<S>(y, kernel, phases, ops)
             }
             SpmvData::Csr1d(bands) => {
@@ -236,13 +238,15 @@ impl<S: Semiring> PreparedSpmv<S> {
                         y[b.rows.start as usize + i] = v;
                     }
                 }
-                let kernel = acc.finish();
+                let mut kernel = acc.finish();
+                let mut host = CounterSet::new();
                 let phases = PhaseBreakdown {
-                    load: sys.broadcast_time(self.n as u64 * eb, bands.len() as u32),
+                    load: sys.broadcast_time_counted(self.n as u64 * eb, bands.len() as u32, &mut host),
                     kernel: kernel.seconds + KERNEL_LAUNCH_S,
-                    retrieve: sys.gather_time(&retrieve),
+                    retrieve: sys.gather_time_counted(&retrieve, &mut host),
                     merge: 0.0,
                 };
+                kernel.breakdown.counters.merge(&host);
                 finish_outcome::<S>(y, kernel, phases, ops)
             }
             SpmvData::Dcoo2d(grid) => {
@@ -288,13 +292,20 @@ impl<S: Semiring> PreparedSpmv<S> {
                     }
                     load[t.part as usize] = seg_bytes;
                 }
-                let kernel = acc.finish();
+                let mut kernel = acc.finish();
+                let mut host = CounterSet::new();
                 let phases = PhaseBreakdown {
-                    load: sys.scatter_time(&load),
+                    load: sys.scatter_time_counted(&load, &mut host),
                     kernel: kernel.seconds + KERNEL_LAUNCH_S,
-                    retrieve: sys.gather_time(&retrieve),
-                    merge: sys.merge_time(self.n as u64, grid.merge_fan_in(), eb as u32),
+                    retrieve: sys.gather_time_counted(&retrieve, &mut host),
+                    merge: sys.merge_time_counted(
+                        self.n as u64,
+                        grid.merge_fan_in(),
+                        eb as u32,
+                        &mut host,
+                    ),
                 };
+                kernel.breakdown.counters.merge(&host);
                 finish_outcome::<S>(y, kernel, phases, ops)
             }
         }

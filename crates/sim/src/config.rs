@@ -32,6 +32,10 @@ pub struct PimConfig {
     pub host: HostConfig,
     /// How many DPUs receive full discrete-event simulation.
     pub fidelity: SimFidelity,
+    /// How much per-DPU / per-tasklet counter detail the kernel reports
+    /// retain (aggregate rollups are always collected).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub observability: ObservabilityLevel,
 }
 
 impl Default for PimConfig {
@@ -47,6 +51,7 @@ impl Default for PimConfig {
             transfer: TransferConfig::default(),
             host: HostConfig::default(),
             fidelity: SimFidelity::default(),
+            observability: ObservabilityLevel::default(),
         }
     }
 }
@@ -246,6 +251,35 @@ pub enum SimFidelity {
 impl Default for SimFidelity {
     fn default() -> Self {
         SimFidelity::Sampled(128)
+    }
+}
+
+/// How much observability detail a kernel launch retains. The aggregate
+/// counter rollup in [`crate::report::CycleBreakdown`] is always collected
+/// on the detailed-simulation sample; the higher levels additionally keep
+/// per-DPU (and per-tasklet) [`crate::report::DpuDetail`] records, which
+/// cost memory proportional to the detailed sample size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ObservabilityLevel {
+    /// Aggregate counters only (the default).
+    #[default]
+    Aggregate,
+    /// Keep one counter rollup per detailed DPU.
+    PerDpu,
+    /// Keep per-DPU rollups plus every tasklet's cycle attribution.
+    PerTasklet,
+}
+
+impl ObservabilityLevel {
+    /// Whether per-DPU detail records are retained.
+    pub fn records_per_dpu(self) -> bool {
+        self >= ObservabilityLevel::PerDpu
+    }
+
+    /// Whether per-tasklet counter sets are retained.
+    pub fn records_per_tasklet(self) -> bool {
+        self >= ObservabilityLevel::PerTasklet
     }
 }
 

@@ -1,0 +1,284 @@
+//! The observability counter registry: every quantity the simulator can
+//! attribute a cycle (or an event, or a byte) to, with stable indices and
+//! labels so reports, exporters, and tests all speak the same taxonomy.
+//!
+//! Counters come in four groups (see `DESIGN.md` §9 for the mapping to the
+//! paper's Fig 2/Fig 9 stall categories):
+//!
+//! * **Slot-level** (`slot.*`, `dpu.cycles`) — one entry per issue slot of
+//!   one DPU; `slot.issue + slot.memory + slot.revolver + slot.rf ==
+//!   dpu.cycles` by construction.
+//! * **Tasklet-level** (`tasklet.*`) — exact wall-clock attribution per
+//!   tasklet: every cycle of every tasklet's lifetime is assigned to
+//!   exactly one wait (or issue, or tail) category, so the tasklet
+//!   counters sum to `tasklet.budget = tasklets × dpu.cycles`.
+//! * **Event** (`event.*`) — discrete occurrences: DMA transfers and their
+//!   bytes, mutex acquisitions, contended-mutex retries, barrier crossings.
+//! * **Host/transfer** (`xfer.*`, `host.*`) — bus bytes and host-side work
+//!   recorded by the transfer and merge models around the kernel launch.
+
+/// Number of distinct counters in the registry.
+pub const NUM_COUNTERS: usize = 28;
+
+/// Identifier of one observability counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CounterId {
+    /// Issue slots in which an instruction dispatched.
+    SlotIssue,
+    /// Idle issue slots while some tasklet waited on DMA.
+    SlotMemory,
+    /// Idle issue slots attributed to the revolver dispatch constraint.
+    SlotRevolver,
+    /// Idle issue slots attributed to even/odd register-bank hazards.
+    SlotRf,
+    /// The DPU makespan in cycles (slot counters sum to this).
+    DpuCycles,
+    /// Tasklet cycles spent issuing an instruction.
+    TaskletIssue,
+    /// Tasklet cycles ready to issue but losing the dispatch slot to a
+    /// sibling tasklet (dispatch-slot contention).
+    TaskletDispatch,
+    /// Tasklet cycles waiting out the ≥11-cycle revolver spacing.
+    TaskletRevolver,
+    /// Tasklet cycles delayed by an even/odd register-bank hazard.
+    TaskletRf,
+    /// Tasklet cycles queued behind the serialized per-DPU DMA engine.
+    TaskletDmaQueue,
+    /// Tasklet cycles inside a DMA transfer's fixed startup window.
+    TaskletDmaStartup,
+    /// Tasklet cycles inside a DMA transfer's per-byte streaming phase.
+    TaskletDmaTransfer,
+    /// Tasklet cycles backing off after a contended mutex acquire.
+    TaskletMutex,
+    /// Tasklet cycles parked at the all-tasklet barrier.
+    TaskletBarrier,
+    /// Tasklet cycles after its trace ended (peer skew + pipeline drain).
+    TaskletTail,
+    /// `tasklets × dpu.cycles` — the budget the tasklet counters sum to.
+    TaskletBudget,
+    /// Extra `Sync` instructions issued retrying contended mutexes.
+    SpinRetries,
+    /// MRAM↔WRAM DMA transfers launched.
+    DmaTransfers,
+    /// Bytes moved by MRAM↔WRAM DMA transfers.
+    DmaBytes,
+    /// Successful (uncontended or eventually-won) mutex acquisitions.
+    MutexAcquires,
+    /// Tasklet arrivals at the all-tasklet barrier.
+    BarrierCrossings,
+    /// Bus bytes of CPU→DPU scatter batches (padded to the largest payload).
+    XferScatterBytes,
+    /// Bus bytes of CPU→DPU broadcasts (`payload × num_dpus`; no multicast).
+    XferBroadcastBytes,
+    /// Bus bytes of DPU→CPU gather batches.
+    XferGatherBytes,
+    /// Parallel-transfer batches issued by the host.
+    XferBatches,
+    /// Bytes streamed by the host-side partial-result merge.
+    HostMergeBytes,
+    /// Bytes streamed by host-side convergence/frontier scans.
+    HostScanBytes,
+    /// Host-side reductions (merges + scans) performed.
+    HostReductions,
+}
+
+impl CounterId {
+    /// Every counter, in stable display/index order.
+    pub const ALL: [CounterId; NUM_COUNTERS] = [
+        CounterId::SlotIssue,
+        CounterId::SlotMemory,
+        CounterId::SlotRevolver,
+        CounterId::SlotRf,
+        CounterId::DpuCycles,
+        CounterId::TaskletIssue,
+        CounterId::TaskletDispatch,
+        CounterId::TaskletRevolver,
+        CounterId::TaskletRf,
+        CounterId::TaskletDmaQueue,
+        CounterId::TaskletDmaStartup,
+        CounterId::TaskletDmaTransfer,
+        CounterId::TaskletMutex,
+        CounterId::TaskletBarrier,
+        CounterId::TaskletTail,
+        CounterId::TaskletBudget,
+        CounterId::SpinRetries,
+        CounterId::DmaTransfers,
+        CounterId::DmaBytes,
+        CounterId::MutexAcquires,
+        CounterId::BarrierCrossings,
+        CounterId::XferScatterBytes,
+        CounterId::XferBroadcastBytes,
+        CounterId::XferGatherBytes,
+        CounterId::XferBatches,
+        CounterId::HostMergeBytes,
+        CounterId::HostScanBytes,
+        CounterId::HostReductions,
+    ];
+
+    /// The slot-level cycle categories (sum to [`CounterId::DpuCycles`]).
+    pub const SLOT_CYCLES: [CounterId; 4] = [
+        CounterId::SlotIssue,
+        CounterId::SlotMemory,
+        CounterId::SlotRevolver,
+        CounterId::SlotRf,
+    ];
+
+    /// The tasklet-level cycle categories (sum to
+    /// [`CounterId::TaskletBudget`]).
+    pub const TASKLET_CYCLES: [CounterId; 10] = [
+        CounterId::TaskletIssue,
+        CounterId::TaskletDispatch,
+        CounterId::TaskletRevolver,
+        CounterId::TaskletRf,
+        CounterId::TaskletDmaQueue,
+        CounterId::TaskletDmaStartup,
+        CounterId::TaskletDmaTransfer,
+        CounterId::TaskletMutex,
+        CounterId::TaskletBarrier,
+        CounterId::TaskletTail,
+    ];
+
+    /// Stable index of this counter within [`CounterId::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable dotted label used by the JSON/CSV exporters and the CLI.
+    pub fn label(self) -> &'static str {
+        match self {
+            CounterId::SlotIssue => "slot.issue",
+            CounterId::SlotMemory => "slot.memory",
+            CounterId::SlotRevolver => "slot.revolver",
+            CounterId::SlotRf => "slot.rf",
+            CounterId::DpuCycles => "dpu.cycles",
+            CounterId::TaskletIssue => "tasklet.issue",
+            CounterId::TaskletDispatch => "tasklet.dispatch",
+            CounterId::TaskletRevolver => "tasklet.revolver",
+            CounterId::TaskletRf => "tasklet.rf",
+            CounterId::TaskletDmaQueue => "tasklet.dma_queue",
+            CounterId::TaskletDmaStartup => "tasklet.dma_startup",
+            CounterId::TaskletDmaTransfer => "tasklet.dma_transfer",
+            CounterId::TaskletMutex => "tasklet.mutex",
+            CounterId::TaskletBarrier => "tasklet.barrier",
+            CounterId::TaskletTail => "tasklet.tail",
+            CounterId::TaskletBudget => "tasklet.budget",
+            CounterId::SpinRetries => "event.spin_retries",
+            CounterId::DmaTransfers => "event.dma_transfers",
+            CounterId::DmaBytes => "event.dma_bytes",
+            CounterId::MutexAcquires => "event.mutex_acquires",
+            CounterId::BarrierCrossings => "event.barrier_crossings",
+            CounterId::XferScatterBytes => "xfer.scatter_bytes",
+            CounterId::XferBroadcastBytes => "xfer.broadcast_bytes",
+            CounterId::XferGatherBytes => "xfer.gather_bytes",
+            CounterId::XferBatches => "xfer.batches",
+            CounterId::HostMergeBytes => "host.merge_bytes",
+            CounterId::HostScanBytes => "host.scan_bytes",
+            CounterId::HostReductions => "host.reductions",
+        }
+    }
+}
+
+impl std::fmt::Display for CounterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fixed-size bank of all registry counters. Cheap to copy, merge, and
+/// compare; the zero value is the empty set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CounterSet {
+    values: [u64; NUM_COUNTERS],
+}
+
+impl CounterSet {
+    /// An all-zero counter set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Adds `n` to `id`.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.values[id.index()] += n;
+    }
+
+    /// Overwrites `id` with `n`.
+    pub fn set(&mut self, id: CounterId, n: u64) {
+        self.values[id.index()] = n;
+    }
+
+    /// The current value of `id`.
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// Element-wise accumulation of another set into this one.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += b;
+        }
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+
+    /// Sum of the values of `ids`.
+    pub fn sum(&self, ids: &[CounterId]) -> u64 {
+        ids.iter().map(|&id| self.get(id)).sum()
+    }
+
+    /// Iterates `(id, value)` pairs in registry order.
+    pub fn iter(&self) -> impl Iterator<Item = (CounterId, u64)> + '_ {
+        CounterId::ALL.iter().map(move |&id| (id, self.get(id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for (pos, id) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), pos, "{id} out of place in ALL");
+            assert!(seen.insert(id.label()), "duplicate label {id}");
+        }
+        assert_eq!(CounterId::ALL.len(), NUM_COUNTERS);
+    }
+
+    #[test]
+    fn set_accumulates_and_merges() {
+        let mut a = CounterSet::new();
+        assert!(a.is_empty());
+        a.add(CounterId::DmaBytes, 100);
+        a.add(CounterId::DmaBytes, 24);
+        a.set(CounterId::DpuCycles, 7);
+        let mut b = CounterSet::new();
+        b.add(CounterId::DmaBytes, 1);
+        b.merge(&a);
+        assert_eq!(b.get(CounterId::DmaBytes), 125);
+        assert_eq!(b.get(CounterId::DpuCycles), 7);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn group_sums_use_member_values() {
+        let mut c = CounterSet::new();
+        for id in CounterId::SLOT_CYCLES {
+            c.add(id, 10);
+        }
+        c.set(CounterId::DpuCycles, 40);
+        assert_eq!(c.sum(&CounterId::SLOT_CYCLES), c.get(CounterId::DpuCycles));
+    }
+
+    #[test]
+    fn iter_visits_every_counter_once() {
+        let c = CounterSet::new();
+        assert_eq!(c.iter().count(), NUM_COUNTERS);
+    }
+}

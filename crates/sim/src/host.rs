@@ -7,6 +7,7 @@
 //! streaming reductions, modeled as bytes over aggregate host throughput.
 
 use crate::config::HostConfig;
+use crate::counters::{CounterId, CounterSet};
 
 /// Seconds for the host to merge partial output vectors.
 ///
@@ -28,6 +29,37 @@ pub fn scan_time(cfg: &HostConfig, elements: u64, bytes_per_element: u32) -> f64
         return 0.0;
     }
     cfg.reduce_overhead_s + (elements * bytes_per_element as u64) as f64 / aggregate_bandwidth(cfg)
+}
+
+/// [`merge_time`] that also records the bytes streamed and the reduction
+/// into `counters`.
+pub fn merge_time_counted(
+    cfg: &HostConfig,
+    elements: u64,
+    fan_in: u32,
+    bytes_per_element: u32,
+    counters: &mut CounterSet,
+) -> f64 {
+    if elements > 0 && fan_in > 0 {
+        counters.add(CounterId::HostMergeBytes, elements * fan_in as u64 * bytes_per_element as u64);
+        counters.add(CounterId::HostReductions, 1);
+    }
+    merge_time(cfg, elements, fan_in, bytes_per_element)
+}
+
+/// [`scan_time`] that also records the bytes scanned and the reduction
+/// into `counters`.
+pub fn scan_time_counted(
+    cfg: &HostConfig,
+    elements: u64,
+    bytes_per_element: u32,
+    counters: &mut CounterSet,
+) -> f64 {
+    if elements > 0 {
+        counters.add(CounterId::HostScanBytes, elements * bytes_per_element as u64);
+        counters.add(CounterId::HostReductions, 1);
+    }
+    scan_time(cfg, elements, bytes_per_element)
 }
 
 /// The host's aggregate merge throughput in bytes/second.
@@ -64,6 +96,21 @@ mod tests {
         let slow = HostConfig { threads: 1, ..cfg() };
         let fast = HostConfig { threads: 16, ..cfg() };
         assert!(merge_time(&fast, 1 << 22, 8, 4) < merge_time(&slow, 1 << 22, 8, 4));
+    }
+
+    #[test]
+    fn counted_variants_match_times_and_record_bytes() {
+        let c = cfg();
+        let mut k = CounterSet::new();
+        assert_eq!(merge_time_counted(&c, 1000, 4, 8, &mut k), merge_time(&c, 1000, 4, 8));
+        assert_eq!(scan_time_counted(&c, 500, 4, &mut k), scan_time(&c, 500, 4));
+        assert_eq!(k.get(CounterId::HostMergeBytes), 1000 * 4 * 8);
+        assert_eq!(k.get(CounterId::HostScanBytes), 500 * 4);
+        assert_eq!(k.get(CounterId::HostReductions), 2);
+        // Empty reductions record nothing.
+        merge_time_counted(&c, 0, 4, 8, &mut k);
+        scan_time_counted(&c, 0, 4, &mut k);
+        assert_eq!(k.get(CounterId::HostReductions), 2);
     }
 
     #[test]

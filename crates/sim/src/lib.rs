@@ -11,6 +11,9 @@
 //!   serialized engine, mutexes, barriers, and even/odd register-file bank
 //!   conflicts, with idle cycles attributed to memory / revolver / RF
 //!   causes;
+//! * [`counters`] — the observability counter registry: slot-level and
+//!   per-tasklet cycle attribution, event counts, and host/transfer
+//!   traffic, all under one stable taxonomy;
 //! * [`trace`] — the per-tasklet event traces kernels record while
 //!   executing functionally in Rust;
 //! * [`transfer`] — the CPU↔DPU scatter/broadcast/gather timing model;
@@ -52,6 +55,7 @@
 //! ```
 
 pub mod config;
+pub mod counters;
 pub mod energy;
 pub mod host;
 pub mod instr;
@@ -62,10 +66,17 @@ pub mod system;
 pub mod trace;
 pub mod transfer;
 
-pub use config::{HostConfig, InterDpuConfig, PimConfig, PipelineConfig, SimFidelity, TransferConfig};
+pub use config::{
+    HostConfig, InterDpuConfig, ObservabilityLevel, PimConfig, PipelineConfig, SimFidelity,
+    TransferConfig,
+};
+pub use counters::{CounterId, CounterSet, NUM_COUNTERS};
 pub use energy::EnergyModel;
 pub use instr::{InstrClass, InstrMix};
 pub use par::{par_map_indexed, set_sim_threads, sim_threads, SimThreads};
-pub use report::{CycleBreakdown, DpuEval, DpuReport, KernelAccumulator, KernelReport, PhaseBreakdown};
+pub use report::{
+    CycleBreakdown, DpuDetail, DpuEval, DpuProfile, DpuReport, KernelAccumulator, KernelReport,
+    PhaseBreakdown,
+};
 pub use system::PimSystem;
 pub use trace::{TaskletTrace, TraceEvent};

@@ -14,13 +14,22 @@
 //! * **even/odd register-file bank conflicts**, applied to a deterministic
 //!   pseudo-random subset of register-reading instructions.
 //!
-//! Idle issue slots are attributed to the three stall categories of Fig 9:
-//! memory (a tasklet is waiting on DMA), register-file structural hazard,
-//! or revolver-pipeline scheduling (including the sync-induced
-//! underutilization the paper folds into this category).
+//! Two levels of cycle attribution are produced:
+//!
+//! * **Slot-level** (Fig 9): each idle issue slot is charged to memory
+//!   (a tasklet is waiting on DMA), register-file structural hazard, or
+//!   revolver-pipeline scheduling (including the sync-induced
+//!   underutilization the paper folds into this category).
+//! * **Tasklet-level** (the observability layer): every cycle of every
+//!   tasklet's lifetime is assigned to exactly one wait category —
+//!   dispatch-slot contention, revolver spacing, RF hazard, DMA engine
+//!   queueing / startup / transfer, mutex backoff, barrier parking, or
+//!   post-trace tail — so the per-tasklet counters sum *exactly* to the
+//!   DPU makespan, a property the invariant test suite enforces.
 
 use crate::config::PipelineConfig;
-use crate::report::DpuReport;
+use crate::counters::{CounterId, CounterSet};
+use crate::report::{DpuProfile, DpuReport};
 use crate::trace::{TaskletTrace, TraceEvent};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +41,13 @@ enum Status {
     BarrierWait,
     /// Trace exhausted.
     Done,
+}
+
+/// Which synchronization primitive a pending wait threshold belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncKind {
+    Mutex,
+    Barrier,
 }
 
 struct Thread<'a> {
@@ -51,6 +67,28 @@ struct Thread<'a> {
     blocked_at: u64,
     /// Cycle just after the thread's last issued instruction.
     end_cycle: u64,
+    // --- wait-anatomy thresholds for the observability layer ---
+    // Absolute cycles at which successive readiness conditions for the
+    // *next* issue are satisfied; the gap up to the actual issue is walked
+    // through them in priority order (DMA, sync, revolver, RF) and the
+    // remainder is dispatch-slot contention.
+    /// Cycle just after the last issue: start of the current wait interval.
+    wait_from: u64,
+    /// DMA engine grant (start of this thread's transfer), if blocked.
+    dma_queue_ready: u64,
+    /// DMA startup window complete.
+    dma_startup_ready: u64,
+    /// DMA transfer complete.
+    dma_done: u64,
+    /// Mutex backoff elapsed / barrier released.
+    sync_ready: u64,
+    sync_kind: Option<SyncKind>,
+    /// Revolver spacing satisfied.
+    rev_ready: u64,
+    /// RF-hazard penalty elapsed (== `rev_ready` when no hazard hit).
+    rf_ready: u64,
+    /// Per-tasklet observability counters.
+    counters: CounterSet,
 }
 
 impl<'a> Thread<'a> {
@@ -67,6 +105,15 @@ impl<'a> Thread<'a> {
             stalled_cycles: 0,
             blocked_at: 0,
             end_cycle: 0,
+            wait_from: 0,
+            dma_queue_ready: 0,
+            dma_startup_ready: 0,
+            dma_done: 0,
+            sync_ready: 0,
+            sync_kind: None,
+            rev_ready: 0,
+            rf_ready: 0,
+            counters: CounterSet::new(),
         }
     }
 
@@ -93,6 +140,56 @@ impl<'a> Thread<'a> {
         }
         self.ev >= self.events.len()
     }
+
+    /// Attributes the wait interval `[wait_from, issue_at)` to the tasklet
+    /// wait categories, walking the readiness thresholds in priority order
+    /// (DMA engine, synchronization, revolver, RF) and charging whatever
+    /// remains — the tasklet was ready but lost the issue slot — to
+    /// dispatch contention. The segments partition the interval exactly.
+    fn attribute_wait(&mut self, issue_at: u64) {
+        fn seg(cur: &mut u64, upto: u64, limit: u64) -> u64 {
+            let bound = upto.min(limit);
+            if bound > *cur {
+                let d = bound - *cur;
+                *cur = bound;
+                d
+            } else {
+                0
+            }
+        }
+        let mut cur = self.wait_from;
+        let dq = seg(&mut cur, self.dma_queue_ready, issue_at);
+        let ds = seg(&mut cur, self.dma_startup_ready, issue_at);
+        let dt = seg(&mut cur, self.dma_done, issue_at);
+        let sy = seg(&mut cur, self.sync_ready, issue_at);
+        let rv = seg(&mut cur, self.rev_ready, issue_at);
+        let rf = seg(&mut cur, self.rf_ready, issue_at);
+        let dispatch = issue_at - cur;
+        self.counters.add(CounterId::TaskletDmaQueue, dq);
+        self.counters.add(CounterId::TaskletDmaStartup, ds);
+        self.counters.add(CounterId::TaskletDmaTransfer, dt);
+        match self.sync_kind {
+            Some(SyncKind::Mutex) => self.counters.add(CounterId::TaskletMutex, sy),
+            Some(SyncKind::Barrier) => self.counters.add(CounterId::TaskletBarrier, sy),
+            None => debug_assert_eq!(sy, 0),
+        }
+        self.counters.add(CounterId::TaskletRevolver, rv);
+        self.counters.add(CounterId::TaskletRf, rf);
+        self.counters.add(CounterId::TaskletDispatch, dispatch);
+    }
+
+    /// Resets the wait-anatomy thresholds after an issue at `issue_at`
+    /// whose revolver spacing expires at `rev_ready`.
+    fn begin_wait(&mut self, issue_at: u64, rev_ready: u64) {
+        self.wait_from = issue_at + 1;
+        self.dma_queue_ready = 0;
+        self.dma_startup_ready = 0;
+        self.dma_done = 0;
+        self.sync_ready = 0;
+        self.sync_kind = None;
+        self.rev_ready = rev_ready;
+        self.rf_ready = rev_ready;
+    }
 }
 
 #[derive(Default)]
@@ -109,7 +206,9 @@ fn mix64(mut z: u64) -> u64 {
 }
 
 /// Replays tasklet traces against the revolver-pipeline model, returning
-/// the cycle-level report for one DPU.
+/// the slot-level cycle report for one DPU. Convenience wrapper around
+/// [`simulate_dpu_profiled`] for callers that do not need the counter
+/// registry.
 ///
 /// # Panics
 ///
@@ -117,6 +216,25 @@ fn mix64(mut z: u64) -> u64 {
 /// that never acquired it, or live tasklets block forever) — this indicates
 /// a malformed kernel trace, not a data-dependent condition.
 pub fn simulate_dpu(traces: &[TaskletTrace], cfg: &PipelineConfig) -> DpuReport {
+    simulate_dpu_profiled(traces, cfg).report
+}
+
+/// Replays tasklet traces against the revolver-pipeline model, returning
+/// the slot-level report plus the full observability profile: the DPU's
+/// counter rollup and one exact per-tasklet cycle attribution each.
+///
+/// Invariants (enforced by the `counter_invariants` test suite):
+///
+/// * slot level — `slot.issue + slot.memory + slot.revolver + slot.rf ==
+///   dpu.cycles`;
+/// * tasklet level — for every tasklet, issue + dispatch + revolver + rf +
+///   dma(queue/startup/transfer) + mutex + barrier + tail ==
+///   `dpu.cycles`, so the rollup sums to `tasklet.budget`.
+///
+/// # Panics
+///
+/// Same deadlock conditions as [`simulate_dpu`].
+pub fn simulate_dpu_profiled(traces: &[TaskletTrace], cfg: &PipelineConfig) -> DpuProfile {
     let mut threads: Vec<Thread<'_>> = traces.iter().map(Thread::new).collect();
     let n = threads.len();
     let mut mutexes: Vec<Mutex> = Vec::new();
@@ -173,12 +291,17 @@ pub fn simulate_dpu(traces: &[TaskletTrace], cfg: &PipelineConfig) -> DpuReport 
         }
         threads[tid].rf_pending = false;
 
+        // Tasklet-level: settle the wait interval that ends at this issue.
+        threads[tid].attribute_wait(issue_at);
+        threads[tid].counters.add(CounterId::TaskletIssue, 1);
+
         // Issue exactly one instruction of the current event at `issue_at`.
         let event = *threads[tid].current().expect("runnable thread has a current event");
         issued += 1;
         cycle = issue_at + 1;
         threads[tid].end_cycle = cycle;
         let mut next_avail = issue_at + cfg.revolver_period as u64;
+        threads[tid].begin_wait(issue_at, next_avail);
 
         // Register-file even/odd bank conflict on register-reading classes.
         if let TraceEvent::Compute { class, .. } = event {
@@ -186,6 +309,7 @@ pub fn simulate_dpu(traces: &[TaskletTrace], cfg: &PipelineConfig) -> DpuReport 
             {
                 next_avail += cfg.rf_hazard_penalty as u64;
                 threads[tid].rf_pending = true;
+                threads[tid].rf_ready = next_avail;
             }
         }
 
@@ -198,10 +322,16 @@ pub fn simulate_dpu(traces: &[TaskletTrace], cfg: &PipelineConfig) -> DpuReport 
                 let start = engine_free.max(cycle);
                 let done = start + cfg.dma_cycles(bytes);
                 engine_free = done;
+                threads[tid].counters.add(CounterId::DmaTransfers, 1);
+                threads[tid].counters.add(CounterId::DmaBytes, bytes as u64);
                 if !cfg.non_blocking_dma {
                     threads[tid].dma_until = done;
                     threads[tid].stalled_cycles += done.saturating_sub(cycle);
                     next_avail = next_avail.max(done);
+                    threads[tid].dma_queue_ready = start;
+                    threads[tid].dma_startup_ready =
+                        (start + cfg.dma_startup_cycles as u64).min(done);
+                    threads[tid].dma_done = done;
                 }
             }
             TraceEvent::MutexLock { id } => {
@@ -210,14 +340,20 @@ pub fn simulate_dpu(traces: &[TaskletTrace], cfg: &PipelineConfig) -> DpuReport 
                 }
                 let m = &mut mutexes[id as usize];
                 match m.held_by {
-                    None => m.held_by = Some(tid),
+                    None => {
+                        m.held_by = Some(tid);
+                        threads[tid].counters.add(CounterId::MutexAcquires, 1);
+                    }
                     Some(_) => {
                         // Contended acquire: the attempt failed, the tasklet
                         // backs off and retries (§6.4.2 — contention inflates
                         // sync instruction counts). The event is not consumed.
                         spin_retries += 1;
+                        threads[tid].counters.add(CounterId::SpinRetries, 1);
                         mix.add(crate::instr::InstrClass::Sync, 1);
                         let backoff = cfg.mutex_backoff_cycles as u64;
+                        threads[tid].sync_ready = issue_at + backoff;
+                        threads[tid].sync_kind = Some(SyncKind::Mutex);
                         threads[tid].avail = (issue_at + backoff).max(next_avail);
                         threads[tid].stalled_cycles += backoff;
                         continue;
@@ -232,6 +368,7 @@ pub fn simulate_dpu(traces: &[TaskletTrace], cfg: &PipelineConfig) -> DpuReport 
                 m.held_by = None;
             }
             TraceEvent::Barrier => {
+                threads[tid].counters.add(CounterId::BarrierCrossings, 1);
                 barrier_arrived[tid] = true;
                 threads[tid].status = Status::BarrierWait;
                 threads[tid].blocked_at = cycle;
@@ -263,16 +400,43 @@ pub fn simulate_dpu(traces: &[TaskletTrace], cfg: &PipelineConfig) -> DpuReport 
     let avg_active_threads =
         if total_cycles == 0 { 0.0 } else { active_thread_area as f64 / total_cycles as f64 };
 
-    DpuReport {
-        total_cycles,
-        issued_instructions: issued,
-        active_cycles: issued,
-        idle_memory_cycles: idle_mem,
-        idle_revolver_cycles: idle_rev + (total_cycles - issued - idle_mem - idle_rev - idle_rf),
-        idle_rf_cycles: idle_rf,
-        instr_mix: mix,
-        avg_active_threads,
-        spin_retries,
+    // Close every tasklet's books: whatever follows its last issue — peer
+    // skew, the trailing DMA window, and pipeline drain — is its tail.
+    let mut counters = CounterSet::new();
+    let mut tasklets = Vec::with_capacity(n);
+    for th in &mut threads {
+        th.counters.add(CounterId::TaskletTail, total_cycles - th.wait_from.min(total_cycles));
+        debug_assert_eq!(
+            th.counters.sum(&CounterId::TASKLET_CYCLES),
+            total_cycles,
+            "tasklet cycle attribution must partition the makespan",
+        );
+        counters.merge(&th.counters);
+        tasklets.push(th.counters);
+    }
+    counters.add(CounterId::SlotIssue, issued);
+    counters.add(CounterId::SlotMemory, idle_mem);
+    counters
+        .add(CounterId::SlotRevolver, idle_rev + (total_cycles - issued - idle_mem - idle_rev - idle_rf));
+    counters.add(CounterId::SlotRf, idle_rf);
+    counters.add(CounterId::DpuCycles, total_cycles);
+    counters.add(CounterId::TaskletBudget, n as u64 * total_cycles);
+
+    DpuProfile {
+        report: DpuReport {
+            total_cycles,
+            issued_instructions: issued,
+            active_cycles: issued,
+            idle_memory_cycles: idle_mem,
+            idle_revolver_cycles: idle_rev
+                + (total_cycles - issued - idle_mem - idle_rev - idle_rf),
+            idle_rf_cycles: idle_rf,
+            instr_mix: mix,
+            avg_active_threads,
+            spin_retries,
+        },
+        counters,
+        tasklets,
     }
 }
 
@@ -293,6 +457,8 @@ fn try_release_barrier(threads: &mut [Thread<'_>], arrived: &mut [bool], cycle: 
             th.status = Status::Runnable;
             th.stalled_cycles += cycle - th.blocked_at;
             th.avail = th.avail.max(cycle);
+            th.sync_ready = cycle;
+            th.sync_kind = Some(SyncKind::Barrier);
         }
     }
 }
@@ -555,5 +721,166 @@ mod tests {
         let est = estimate_cycles(&traces, &cfg()) as f64;
         let ratio = sim / est;
         assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    // --- observability-layer tests ---
+
+    fn assert_tasklet_partition(profile: &DpuProfile) {
+        let total = profile.report.total_cycles;
+        for (i, t) in profile.tasklets.iter().enumerate() {
+            assert_eq!(
+                t.sum(&CounterId::TASKLET_CYCLES),
+                total,
+                "tasklet {i} attribution does not cover the makespan",
+            );
+        }
+        assert_eq!(
+            profile.counters.sum(&CounterId::TASKLET_CYCLES),
+            profile.counters.get(CounterId::TaskletBudget),
+        );
+        assert_eq!(
+            profile.counters.sum(&CounterId::SLOT_CYCLES),
+            profile.counters.get(CounterId::DpuCycles),
+        );
+    }
+
+    #[test]
+    fn profiled_report_matches_plain_simulation() {
+        let mut t0 = TaskletTrace::new();
+        t0.dma(1024);
+        t0.compute(InstrClass::Arith, 60);
+        let mut t1 = TaskletTrace::new();
+        t1.compute(InstrClass::LoadStore, 90);
+        let traces = vec![t0, t1];
+        let plain = simulate_dpu(&traces, &cfg());
+        let profile = simulate_dpu_profiled(&traces, &cfg());
+        assert_eq!(plain, profile.report);
+        assert_tasklet_partition(&profile);
+    }
+
+    #[test]
+    fn solo_thread_waits_are_all_revolver() {
+        let mut t = TaskletTrace::new();
+        t.compute(InstrClass::Arith, 20);
+        let p = simulate_dpu_profiled(&[t], &cfg());
+        let c = &p.tasklets[0];
+        assert_eq!(c.get(CounterId::TaskletIssue), 20);
+        // 19 inter-instruction gaps of (11 - 1) revolver cycles each.
+        assert_eq!(c.get(CounterId::TaskletRevolver), 19 * 10);
+        assert_eq!(c.get(CounterId::TaskletDispatch), 0);
+        assert_eq!(c.get(CounterId::TaskletMutex), 0);
+        assert_tasklet_partition(&p);
+    }
+
+    #[test]
+    fn oversubscription_shows_up_as_dispatch_contention() {
+        // 22 tasklets with back-to-back work: twice the revolver period, so
+        // every thread spends about half its ready time losing the slot.
+        let traces: Vec<TaskletTrace> = (0..22)
+            .map(|_| {
+                let mut t = TaskletTrace::new();
+                t.compute(InstrClass::Arith, 50);
+                t
+            })
+            .collect();
+        let p = simulate_dpu_profiled(&traces, &cfg());
+        assert!(p.counters.get(CounterId::TaskletDispatch) > 0);
+        assert_tasklet_partition(&p);
+    }
+
+    #[test]
+    fn dma_wait_splits_into_startup_and_transfer() {
+        let mut t = TaskletTrace::new();
+        t.dma(8192);
+        t.compute(InstrClass::Arith, 1);
+        let c = cfg();
+        let p = simulate_dpu_profiled(&[t], &c);
+        let tc = &p.tasklets[0];
+        // Engine was free: no queue wait; startup window then streaming.
+        assert_eq!(tc.get(CounterId::TaskletDmaQueue), 0);
+        assert_eq!(tc.get(CounterId::TaskletDmaStartup), c.dma_startup_cycles as u64);
+        // The engine starts the cycle after issue, so the blocked window is
+        // exactly the transfer length.
+        assert_eq!(
+            tc.get(CounterId::TaskletDmaStartup) + tc.get(CounterId::TaskletDmaTransfer),
+            c.dma_cycles(8192),
+        );
+        assert_eq!(tc.get(CounterId::DmaTransfers), 1);
+        assert_eq!(tc.get(CounterId::DmaBytes), 8192);
+        assert_tasklet_partition(&p);
+    }
+
+    #[test]
+    fn concurrent_dmas_show_engine_queueing() {
+        let mk = || {
+            let mut t = TaskletTrace::new();
+            t.dma(4096);
+            t.compute(InstrClass::Arith, 1);
+            t
+        };
+        let p = simulate_dpu_profiled(&[mk(), mk(), mk()], &cfg());
+        // At least the last-granted tasklet queued behind the engine.
+        assert!(p.counters.get(CounterId::TaskletDmaQueue) > 0);
+        assert_eq!(p.counters.get(CounterId::DmaTransfers), 3);
+        assert_tasklet_partition(&p);
+    }
+
+    #[test]
+    fn contended_mutex_charges_backoff_to_mutex_wait() {
+        let mk = || {
+            let mut t = TaskletTrace::new();
+            for _ in 0..10 {
+                t.mutex_lock(0);
+                t.compute(InstrClass::LoadStore, 6);
+                t.mutex_unlock(0);
+            }
+            t
+        };
+        let p = simulate_dpu_profiled(&[mk(), mk(), mk()], &cfg());
+        assert!(p.counters.get(CounterId::SpinRetries) > 0);
+        assert!(p.counters.get(CounterId::TaskletMutex) > 0);
+        assert!(p.counters.get(CounterId::MutexAcquires) >= 30);
+        assert_tasklet_partition(&p);
+    }
+
+    #[test]
+    fn barrier_parking_is_attributed_to_the_early_arrivals() {
+        let mut fast = TaskletTrace::new();
+        fast.compute(InstrClass::Arith, 1);
+        fast.barrier();
+        fast.compute(InstrClass::Arith, 1);
+        let mut slow = TaskletTrace::new();
+        slow.compute(InstrClass::Arith, 200);
+        slow.barrier();
+        slow.compute(InstrClass::Arith, 1);
+        let p = simulate_dpu_profiled(&[fast, slow], &cfg());
+        let fast_c = &p.tasklets[0];
+        let slow_c = &p.tasklets[1];
+        assert!(fast_c.get(CounterId::TaskletBarrier) > 100 * 11 / 2);
+        assert_eq!(slow_c.get(CounterId::TaskletBarrier), 0);
+        assert_eq!(p.counters.get(CounterId::BarrierCrossings), 2);
+        assert_tasklet_partition(&p);
+    }
+
+    #[test]
+    fn rf_hazard_cycles_reach_the_tasklet_counters() {
+        let mut c = cfg();
+        c.rf_hazard_rate = 1.0;
+        let mut t = TaskletTrace::new();
+        t.compute(InstrClass::Arith, 50);
+        let p = simulate_dpu_profiled(&[t], &c);
+        assert!(p.tasklets[0].get(CounterId::TaskletRf) > 0);
+        assert_tasklet_partition(&p);
+    }
+
+    #[test]
+    fn empty_tasklet_is_pure_tail() {
+        let mut t = TaskletTrace::new();
+        t.compute(InstrClass::Arith, 30);
+        let p = simulate_dpu_profiled(&[t, TaskletTrace::new()], &cfg());
+        let idle = &p.tasklets[1];
+        assert_eq!(idle.get(CounterId::TaskletTail), p.report.total_cycles);
+        assert_eq!(idle.get(CounterId::TaskletIssue), 0);
+        assert_tasklet_partition(&p);
     }
 }

@@ -1,11 +1,13 @@
 //! Simulation reports: per-DPU cycle breakdowns, kernel-level aggregates,
-//! and the Load/Kernel/Retrieve/Merge phase decomposition the paper's
-//! figures are built from.
+//! the observability counter rollup with its JSON/CSV exporters, and the
+//! Load/Kernel/Retrieve/Merge phase decomposition the paper's figures are
+//! built from.
 
 
 use crate::config::{PimConfig, SimFidelity};
-use crate::instr::InstrMix;
-use crate::pipeline::{estimate_cycles, simulate_dpu};
+use crate::counters::{CounterId, CounterSet};
+use crate::instr::{InstrClass, InstrMix};
+use crate::pipeline::{estimate_cycles, simulate_dpu_profiled};
 use crate::trace::TaskletTrace;
 
 /// Cycle-level result of simulating one DPU (the Fig 9–11 metrics).
@@ -45,6 +47,38 @@ impl DpuReport {
     }
 }
 
+/// Full observability result of simulating one DPU: the slot-level report
+/// plus the counter rollup and each tasklet's exact cycle attribution
+/// (see [`crate::pipeline::simulate_dpu_profiled`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpuProfile {
+    /// The slot-level cycle report.
+    pub report: DpuReport,
+    /// Counter rollup over the whole DPU (tasklet counters summed, slot
+    /// counters and budgets included).
+    pub counters: CounterSet,
+    /// One exact cycle attribution per tasklet, in tasklet order.
+    pub tasklets: Vec<CounterSet>,
+}
+
+/// Per-DPU observability record retained in a [`KernelReport`] when the
+/// configured [`crate::config::ObservabilityLevel`] asks for it.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DpuDetail {
+    /// Which DPU this record describes.
+    pub dpu_id: u32,
+    /// The DPU's makespan in cycles.
+    pub total_cycles: u64,
+    /// Instructions the DPU issued.
+    pub issued_instructions: u64,
+    /// The DPU's counter rollup.
+    pub counters: CounterSet,
+    /// Per-tasklet cycle attributions (empty below
+    /// [`crate::config::ObservabilityLevel::PerTasklet`]).
+    pub tasklets: Vec<CounterSet>,
+}
+
 /// Aggregated cycle breakdown across the DPUs that received detailed
 /// simulation. All quantities are sums of per-DPU cycles, so fractions are
 /// meaningful machine-wide.
@@ -59,6 +93,10 @@ pub struct CycleBreakdown {
     pub revolver: u64,
     /// Register-file hazard idle cycles.
     pub rf: u64,
+    /// The full counter-registry rollup over the detailed sample: slot and
+    /// tasklet cycle attribution, event counts, and (once the kernel layer
+    /// merges them in) host/transfer traffic.
+    pub counters: CounterSet,
 }
 
 impl CycleBreakdown {
@@ -80,6 +118,75 @@ impl CycleBreakdown {
             self.rf as f64 / t,
         )
     }
+
+    /// The value of one registry counter in the rollup.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters.get(id)
+    }
+
+    /// `counter(id)` as a fraction of the tasklet cycle budget — the
+    /// per-tasklet analogue of [`Self::fractions`], meaningful for the
+    /// `tasklet.*` cycle categories.
+    pub fn tasklet_fraction(&self, id: CounterId) -> f64 {
+        let budget = self.counters.get(CounterId::TaskletBudget);
+        if budget == 0 {
+            0.0
+        } else {
+            self.counters.get(id) as f64 / budget as f64
+        }
+    }
+
+    /// The rollup as a JSON object: the four slot-level fields plus a
+    /// `"counters"` object keyed by registry label, in registry order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"active\":{},\"memory\":{},\"revolver\":{},\"rf\":{},\"counters\":",
+            self.active, self.memory, self.revolver, self.rf
+        ));
+        out.push_str(&counters_json(&self.counters));
+        out.push('}');
+        out
+    }
+
+    /// CSV header matching [`Self::csv_row`]: the four slot-level fields
+    /// followed by every registry counter label.
+    pub fn csv_header() -> String {
+        let mut cols = vec![
+            "active".to_string(),
+            "memory".to_string(),
+            "revolver".to_string(),
+            "rf".to_string(),
+        ];
+        cols.extend(CounterId::ALL.iter().map(|id| id.label().to_string()));
+        cols.join(",")
+    }
+
+    /// One CSV row of this rollup's values, aligned with
+    /// [`Self::csv_header`].
+    pub fn csv_row(&self) -> String {
+        let mut cols = vec![
+            self.active.to_string(),
+            self.memory.to_string(),
+            self.revolver.to_string(),
+            self.rf.to_string(),
+        ];
+        cols.extend(self.counters.iter().map(|(_, v)| v.to_string()));
+        cols.join(",")
+    }
+}
+
+/// A counter set as a JSON object keyed by registry label.
+fn counters_json(c: &CounterSet) -> String {
+    let mut out = String::from("{");
+    for (i, (id, v)) in c.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", id.label()));
+    }
+    out.push('}');
+    out
 }
 
 /// Aggregate result of simulating one kernel launch across every DPU.
@@ -97,7 +204,8 @@ pub struct KernelReport {
     pub seconds: f64,
     /// Mean cycles per DPU.
     pub mean_cycles: f64,
-    /// Sum of per-DPU cycle breakdowns over the detailed sample.
+    /// Sum of per-DPU cycle breakdowns over the detailed sample, with the
+    /// counter-registry rollup.
     pub breakdown: CycleBreakdown,
     /// Exact instruction mix summed over every DPU.
     pub instr_mix: InstrMix,
@@ -105,6 +213,10 @@ pub struct KernelReport {
     pub avg_active_threads: f64,
     /// Total instructions issued across every DPU.
     pub total_instructions: u64,
+    /// Per-DPU observability records (empty below
+    /// [`crate::config::ObservabilityLevel::PerDpu`]).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub dpu_details: Vec<DpuDetail>,
 }
 
 impl KernelReport {
@@ -118,6 +230,92 @@ impl KernelReport {
             useful_ops as f64 / self.seconds
         }
     }
+
+    /// The whole report as a single JSON object with deterministic key
+    /// order, independent of the `serde` feature (counters keyed by
+    /// registry label, per-DPU details in merge order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"num_dpus\":{},\"detailed_dpus\":{},\"max_cycles\":{},\"seconds\":{},\
+             \"mean_cycles\":{},\"avg_active_threads\":{},\"total_instructions\":{},",
+            self.num_dpus,
+            self.detailed_dpus,
+            self.max_cycles,
+            json_f64(self.seconds),
+            json_f64(self.mean_cycles),
+            json_f64(self.avg_active_threads),
+            self.total_instructions,
+        ));
+        out.push_str("\"instr_mix\":{");
+        for (i, class) in InstrClass::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", class.label(), self.instr_mix.count(*class)));
+        }
+        out.push_str("},\"breakdown\":");
+        out.push_str(&self.breakdown.to_json());
+        out.push_str(",\"dpu_details\":[");
+        for (i, d) in self.dpu_details.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"dpu_id\":{},\"total_cycles\":{},\"issued_instructions\":{},\"counters\":{}",
+                d.dpu_id,
+                d.total_cycles,
+                d.issued_instructions,
+                counters_json(&d.counters),
+            ));
+            out.push_str(",\"tasklets\":[");
+            for (j, t) in d.tasklets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&counters_json(t));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The counter rollup as CSV: a header, one `aggregate` row, and one
+    /// row per retained [`DpuDetail`].
+    pub fn counters_csv(&self) -> String {
+        let mut out = format!("dpu,total_cycles,{}\n", counter_label_row());
+        out.push_str(&format!(
+            "aggregate,{},{}\n",
+            self.breakdown.counter(CounterId::DpuCycles),
+            counter_value_row(&self.breakdown.counters),
+        ));
+        for d in &self.dpu_details {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                d.dpu_id,
+                d.total_cycles,
+                counter_value_row(&d.counters),
+            ));
+        }
+        out
+    }
+}
+
+fn counter_label_row() -> String {
+    CounterId::ALL.iter().map(|id| id.label()).collect::<Vec<_>>().join(",")
+}
+
+fn counter_value_row(c: &CounterSet) -> String {
+    c.iter().map(|(_, v)| v.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// One DPU's evaluated contribution to a [`KernelReport`], produced by
@@ -127,10 +325,11 @@ impl KernelReport {
 /// the order-sensitive reduction stays sequential.
 #[derive(Debug, Clone)]
 pub struct DpuEval {
+    dpu_id: u32,
     mix: InstrMix,
     instructions: u64,
     est_cycles: u64,
-    detailed: Option<DpuReport>,
+    detailed: Option<DpuProfile>,
 }
 
 /// Incremental builder for a [`KernelReport`]: feed it one DPU's tasklet
@@ -160,6 +359,7 @@ pub struct KernelAccumulator {
     active_threads_sum: f64,
     total_instructions: u64,
     spin_retries: u64,
+    details: Vec<DpuDetail>,
 }
 
 impl KernelAccumulator {
@@ -185,13 +385,14 @@ impl KernelAccumulator {
             active_threads_sum: 0.0,
             total_instructions: 0,
             spin_retries: 0,
+            details: Vec::new(),
         }
     }
 
     /// Evaluates one DPU's tasklet traces without touching accumulator
     /// state: instruction accounting, the analytic cycle estimate, and —
     /// when `dpu_id` falls on the fidelity sampling stride — the full
-    /// discrete-event simulation.
+    /// discrete-event simulation with its observability profile.
     ///
     /// This is the pure (and therefore thread-safe) half of [`Self::add`];
     /// the returned [`DpuEval`] must be handed to [`Self::merge`] in DPU
@@ -205,9 +406,10 @@ impl KernelAccumulator {
             instructions += t.instructions();
         }
         let est_cycles = estimate_cycles(traces, &self.cfg.pipeline);
-        let detailed =
-            dpu_id.is_multiple_of(self.stride).then(|| simulate_dpu(traces, &self.cfg.pipeline));
-        DpuEval { mix, instructions, est_cycles, detailed }
+        let detailed = dpu_id
+            .is_multiple_of(self.stride)
+            .then(|| simulate_dpu_profiled(traces, &self.cfg.pipeline));
+        DpuEval { dpu_id, mix, instructions, est_cycles, detailed }
     }
 
     /// Folds one evaluated DPU into the aggregate. Order-dependent: callers
@@ -218,7 +420,8 @@ impl KernelAccumulator {
         self.total_instructions += eval.instructions;
         self.est_sum += eval.est_cycles as u128;
         self.est_max = self.est_max.max(eval.est_cycles);
-        if let Some(report) = eval.detailed {
+        if let Some(profile) = eval.detailed {
+            let report = profile.report;
             self.detailed += 1;
             self.des_max = self.des_max.max(report.total_cycles);
             self.des_sum += report.total_cycles as u128;
@@ -228,8 +431,22 @@ impl KernelAccumulator {
             self.breakdown.memory += report.idle_memory_cycles;
             self.breakdown.revolver += report.idle_revolver_cycles;
             self.breakdown.rf += report.idle_rf_cycles;
+            self.breakdown.counters.merge(&profile.counters);
             self.active_threads_sum += report.avg_active_threads;
             self.spin_retries += report.spin_retries;
+            if self.cfg.observability.records_per_dpu() {
+                self.details.push(DpuDetail {
+                    dpu_id: eval.dpu_id,
+                    total_cycles: report.total_cycles,
+                    issued_instructions: report.issued_instructions,
+                    counters: profile.counters,
+                    tasklets: if self.cfg.observability.records_per_tasklet() {
+                        profile.tasklets
+                    } else {
+                        Vec::new()
+                    },
+                });
+            }
         }
     }
 
@@ -288,6 +505,7 @@ impl KernelAccumulator {
                 self.active_threads_sum / self.detailed as f64
             },
             total_instructions: self.total_instructions,
+            dpu_details: self.details,
         }
     }
 }
@@ -339,6 +557,7 @@ impl PhaseBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ObservabilityLevel;
     use crate::instr::InstrClass;
 
     fn traces(work: u32) -> Vec<TaskletTrace> {
@@ -364,6 +583,10 @@ mod tests {
         assert_eq!(r.detailed_dpus, 8);
         assert!(r.max_cycles > 0);
         assert!(r.seconds > 0.0);
+        // Default observability keeps no per-DPU records but still rolls
+        // the counters up.
+        assert!(r.dpu_details.is_empty());
+        assert!(!r.breakdown.counters.is_empty());
     }
 
     #[test]
@@ -390,7 +613,7 @@ mod tests {
 
     #[test]
     fn breakdown_fractions_sum_to_one() {
-        let b = CycleBreakdown { active: 50, memory: 30, revolver: 15, rf: 5 };
+        let b = CycleBreakdown { active: 50, memory: 30, revolver: 15, rf: 5, ..Default::default() };
         let (a, m, r, f) = b.fractions();
         assert!((a + m + r + f - 1.0).abs() < 1e-12);
         assert!((a - 0.5).abs() < 1e-12);
@@ -412,6 +635,7 @@ mod tests {
         assert_eq!(r.num_dpus, 0);
         assert_eq!(r.max_cycles, 0);
         assert_eq!(r.avg_active_threads, 0.0);
+        assert!(r.breakdown.counters.is_empty());
     }
 
     #[test]
@@ -422,5 +646,112 @@ mod tests {
         let r = acc.finish();
         let util = r.breakdown.fractions().0;
         assert!(util > 0.0 && util <= 1.0);
+    }
+
+    #[test]
+    fn observability_levels_gate_detail_retention() {
+        let run = |level: ObservabilityLevel| {
+            let cfg = PimConfig {
+                num_dpus: 4,
+                fidelity: SimFidelity::Full,
+                observability: level,
+                ..Default::default()
+            };
+            let mut acc = KernelAccumulator::new(&cfg);
+            for d in 0..4 {
+                acc.add(d, &traces(30));
+            }
+            acc.finish()
+        };
+        let agg = run(ObservabilityLevel::Aggregate);
+        let per_dpu = run(ObservabilityLevel::PerDpu);
+        let per_tasklet = run(ObservabilityLevel::PerTasklet);
+        assert!(agg.dpu_details.is_empty());
+        assert_eq!(per_dpu.dpu_details.len(), 4);
+        assert!(per_dpu.dpu_details.iter().all(|d| d.tasklets.is_empty()));
+        assert_eq!(per_tasklet.dpu_details.len(), 4);
+        assert!(per_tasklet.dpu_details.iter().all(|d| d.tasklets.len() == 4));
+        // The counter rollup itself is level-independent.
+        assert_eq!(agg.breakdown, per_tasklet.breakdown);
+        // Details arrive in DPU order.
+        let ids: Vec<u32> = per_dpu.dpu_details.iter().map(|d| d.dpu_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rollup_counters_obey_the_slot_and_tasklet_invariants() {
+        let cfg = PimConfig { num_dpus: 6, fidelity: SimFidelity::Full, ..Default::default() };
+        let mut acc = KernelAccumulator::new(&cfg);
+        for d in 0..6 {
+            acc.add(d, &traces(25 + d));
+        }
+        let r = acc.finish();
+        let c = &r.breakdown.counters;
+        assert_eq!(c.sum(&CounterId::SLOT_CYCLES), c.get(CounterId::DpuCycles));
+        assert_eq!(c.sum(&CounterId::TASKLET_CYCLES), c.get(CounterId::TaskletBudget));
+        // The legacy four-field breakdown and the slot counters agree.
+        assert_eq!(r.breakdown.active, c.get(CounterId::SlotIssue));
+        assert_eq!(r.breakdown.memory, c.get(CounterId::SlotMemory));
+        assert_eq!(r.breakdown.revolver, c.get(CounterId::SlotRevolver));
+        assert_eq!(r.breakdown.rf, c.get(CounterId::SlotRf));
+    }
+
+    #[test]
+    fn json_export_is_well_formed_and_complete() {
+        let cfg = PimConfig {
+            num_dpus: 2,
+            fidelity: SimFidelity::Full,
+            observability: ObservabilityLevel::PerTasklet,
+            ..Default::default()
+        };
+        let mut acc = KernelAccumulator::new(&cfg);
+        for d in 0..2 {
+            acc.add(d, &traces(20));
+        }
+        let r = acc.finish();
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in
+            ["\"num_dpus\":2", "\"breakdown\":", "\"dpu_details\":[", "\"slot.issue\":", "\"tasklet.tail\":"]
+        {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(
+            json.matches("\"dpu_id\":").count(),
+            2,
+            "one detail object per DPU"
+        );
+        // Balanced braces/brackets (cheap well-formedness check; no string
+        // values contain either character).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn csv_export_aligns_header_and_rows() {
+        let cfg = PimConfig {
+            num_dpus: 3,
+            fidelity: SimFidelity::Full,
+            observability: ObservabilityLevel::PerDpu,
+            ..Default::default()
+        };
+        let mut acc = KernelAccumulator::new(&cfg);
+        for d in 0..3 {
+            acc.add(d, &traces(15));
+        }
+        let r = acc.finish();
+        let csv = r.counters_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 1 + 3, "header + aggregate + per-DPU rows");
+        let width = lines[0].split(',').count();
+        for line in &lines {
+            assert_eq!(line.split(',').count(), width, "ragged row: {line}");
+        }
+        assert!(lines[1].starts_with("aggregate,"));
+        // Breakdown-level CSV helpers align too.
+        assert_eq!(
+            CycleBreakdown::csv_header().split(',').count(),
+            r.breakdown.csv_row().split(',').count(),
+        );
     }
 }

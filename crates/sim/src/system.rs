@@ -2,6 +2,7 @@
 //! host model, and capacity accounting together.
 
 use crate::config::PimConfig;
+use crate::counters::CounterSet;
 use crate::energy::EnergyModel;
 use crate::report::KernelAccumulator;
 use crate::{host, transfer};
@@ -103,6 +104,47 @@ impl PimSystem {
         host::scan_time(&self.cfg.host, elements, bytes_per_element)
     }
 
+    /// [`Self::scatter_time`] that records bus traffic into `counters`.
+    pub fn scatter_time_counted(&self, per_dpu_bytes: &[u64], counters: &mut CounterSet) -> f64 {
+        transfer::scatter_counted(&self.cfg.transfer, per_dpu_bytes, counters)
+    }
+
+    /// [`Self::broadcast_time`] that records bus traffic into `counters`.
+    pub fn broadcast_time_counted(
+        &self,
+        bytes: u64,
+        num_dpus: u32,
+        counters: &mut CounterSet,
+    ) -> f64 {
+        transfer::broadcast_counted(&self.cfg.transfer, bytes, num_dpus, counters)
+    }
+
+    /// [`Self::gather_time`] that records bus traffic into `counters`.
+    pub fn gather_time_counted(&self, per_dpu_bytes: &[u64], counters: &mut CounterSet) -> f64 {
+        transfer::gather_counted(&self.cfg.transfer, per_dpu_bytes, counters)
+    }
+
+    /// [`Self::merge_time`] that records host-side work into `counters`.
+    pub fn merge_time_counted(
+        &self,
+        elements: u64,
+        fan_in: u32,
+        bytes_per_element: u32,
+        counters: &mut CounterSet,
+    ) -> f64 {
+        host::merge_time_counted(&self.cfg.host, elements, fan_in, bytes_per_element, counters)
+    }
+
+    /// [`Self::scan_time`] that records host-side work into `counters`.
+    pub fn scan_time_counted(
+        &self,
+        elements: u64,
+        bytes_per_element: u32,
+        counters: &mut CounterSet,
+    ) -> f64 {
+        host::scan_time_counted(&self.cfg.host, elements, bytes_per_element, counters)
+    }
+
     /// Verifies that each DPU's resident data fits its 64 MB MRAM bank.
     ///
     /// # Errors
@@ -180,5 +222,28 @@ mod tests {
         assert!(sys.gather_time(&vec![1024; 64]) > 0.0);
         assert!(sys.merge_time(1 << 20, 4, 4) > 0.0);
         assert!(sys.scan_time(1 << 20, 4) > 0.0);
+    }
+
+    #[test]
+    fn counted_helpers_agree_with_uncounted_ones() {
+        use crate::counters::CounterId;
+        let sys = PimSystem::new(PimConfig::with_dpus(64)).unwrap();
+        let mut k = CounterSet::new();
+        assert_eq!(
+            sys.broadcast_time_counted(1 << 20, 64, &mut k),
+            sys.broadcast_time(1 << 20, 64)
+        );
+        assert_eq!(
+            sys.scatter_time_counted(&vec![1024; 64], &mut k),
+            sys.scatter_time(&vec![1024; 64])
+        );
+        assert_eq!(
+            sys.gather_time_counted(&vec![1024; 64], &mut k),
+            sys.gather_time(&vec![1024; 64])
+        );
+        assert_eq!(sys.merge_time_counted(1 << 20, 4, 4, &mut k), sys.merge_time(1 << 20, 4, 4));
+        assert_eq!(sys.scan_time_counted(1 << 20, 4, &mut k), sys.scan_time(1 << 20, 4));
+        assert_eq!(k.get(CounterId::XferBatches), 3);
+        assert_eq!(k.get(CounterId::HostReductions), 2);
     }
 }

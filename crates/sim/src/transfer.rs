@@ -12,6 +12,7 @@
 //! * [`gather`] — payloads from DPUs back to the host.
 
 use crate::config::TransferConfig;
+use crate::counters::{CounterId, CounterSet};
 
 /// Effective aggregate bandwidth with `active_dpus` DPUs participating:
 /// grows linearly until it saturates at the bus peak.
@@ -46,6 +47,59 @@ pub fn broadcast(cfg: &TransferConfig, bytes: u64, num_dpus: u32) -> f64 {
 /// parallel batch (padded like [`scatter`]).
 pub fn gather(cfg: &TransferConfig, per_dpu_bytes: &[u64]) -> f64 {
     scatter(cfg, per_dpu_bytes)
+}
+
+/// [`scatter`] that also records the bus bytes actually moved (after the
+/// SDK's padding to the largest payload) and the batch into `counters`.
+pub fn scatter_counted(
+    cfg: &TransferConfig,
+    per_dpu_bytes: &[u64],
+    counters: &mut CounterSet,
+) -> f64 {
+    if let Some(bytes) = batch_bus_bytes(per_dpu_bytes) {
+        counters.add(CounterId::XferScatterBytes, bytes);
+        counters.add(CounterId::XferBatches, 1);
+    }
+    scatter(cfg, per_dpu_bytes)
+}
+
+/// [`broadcast`] that also records the bus bytes (`bytes × num_dpus`; no
+/// hardware multicast) and the batch into `counters`.
+pub fn broadcast_counted(
+    cfg: &TransferConfig,
+    bytes: u64,
+    num_dpus: u32,
+    counters: &mut CounterSet,
+) -> f64 {
+    if bytes > 0 && num_dpus > 0 {
+        counters.add(CounterId::XferBroadcastBytes, bytes * num_dpus as u64);
+        counters.add(CounterId::XferBatches, 1);
+    }
+    broadcast(cfg, bytes, num_dpus)
+}
+
+/// [`gather`] that also records the bus bytes and the batch into
+/// `counters`.
+pub fn gather_counted(
+    cfg: &TransferConfig,
+    per_dpu_bytes: &[u64],
+    counters: &mut CounterSet,
+) -> f64 {
+    if let Some(bytes) = batch_bus_bytes(per_dpu_bytes) {
+        counters.add(CounterId::XferGatherBytes, bytes);
+        counters.add(CounterId::XferBatches, 1);
+    }
+    gather(cfg, per_dpu_bytes)
+}
+
+/// Bus bytes one padded parallel batch moves, or `None` for an empty batch
+/// (which the SDK skips entirely).
+fn batch_bus_bytes(per_dpu_bytes: &[u64]) -> Option<u64> {
+    if per_dpu_bytes.iter().all(|&b| b == 0) {
+        return None;
+    }
+    let max = *per_dpu_bytes.iter().max().expect("non-empty payload list");
+    Some(max * per_dpu_bytes.len() as u64)
 }
 
 /// Seconds for a direct DPU-to-DPU vector exchange over the hypothetical
@@ -112,6 +166,32 @@ mod tests {
         let c = cfg();
         let bytes = vec![4096u64; 128];
         assert_eq!(gather(&c, &bytes), scatter(&c, &bytes));
+    }
+
+    #[test]
+    fn counted_variants_match_times_and_record_traffic() {
+        let c = cfg();
+        let mut k = CounterSet::new();
+        let payloads = vec![1024u64, 4096, 0, 2048];
+        assert_eq!(scatter_counted(&c, &payloads, &mut k), scatter(&c, &payloads));
+        assert_eq!(broadcast_counted(&c, 512, 8, &mut k), broadcast(&c, 512, 8));
+        assert_eq!(gather_counted(&c, &payloads, &mut k), gather(&c, &payloads));
+        // Scatter/gather pad to the largest payload (4096 × 4 DPUs).
+        assert_eq!(k.get(CounterId::XferScatterBytes), 4096 * 4);
+        assert_eq!(k.get(CounterId::XferGatherBytes), 4096 * 4);
+        assert_eq!(k.get(CounterId::XferBroadcastBytes), 512 * 8);
+        assert_eq!(k.get(CounterId::XferBatches), 3);
+    }
+
+    #[test]
+    fn counted_variants_skip_empty_batches() {
+        let c = cfg();
+        let mut k = CounterSet::new();
+        scatter_counted(&c, &[], &mut k);
+        scatter_counted(&c, &[0, 0], &mut k);
+        broadcast_counted(&c, 0, 64, &mut k);
+        gather_counted(&c, &[0], &mut k);
+        assert!(k.is_empty());
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! The cycle-accounting audit: for seeded random kernels, the per-tasklet
+//! attribution must sum *exactly* to the DPU makespan (no cycle lost, none
+//! double-counted), every counter must stay within its budget, and the
+//! whole observability layer — per-DPU details, per-tasklet counter sets,
+//! and the JSON/CSV exporters — must be bit-identical at every host thread
+//! count, extending the PR 1 determinism guarantee to the new layer.
+
+use alpha_pim_sim::instr::InstrClass;
+use alpha_pim_sim::par::set_sim_threads;
+use alpha_pim_sim::pipeline::{simulate_dpu, simulate_dpu_profiled};
+use alpha_pim_sim::trace::TaskletTrace;
+use alpha_pim_sim::{
+    CounterId, KernelReport, ObservabilityLevel, PimConfig, PimSystem, PipelineConfig,
+    SimFidelity,
+};
+use alpha_pim_sparse::gen::rng::SplitMix64;
+
+/// One seeded random trace set exercising every event type the pipeline
+/// models: compute blocks of each class, DMAs, balanced mutex critical
+/// sections, and barriers.
+fn random_traces(rng: &mut SplitMix64) -> Vec<TaskletTrace> {
+    let tasklets = 1 + rng.usize_below(16);
+    (0..tasklets)
+        .map(|_| {
+            let mut t = TaskletTrace::new();
+            for _ in 0..rng.usize_below(10) {
+                match rng.u32_below(6) {
+                    0 => t.compute(InstrClass::Arith, 1 + rng.u32_below(150)),
+                    1 => t.compute(InstrClass::LoadStore, 1 + rng.u32_below(60)),
+                    2 => t.compute(InstrClass::Control, 1 + rng.u32_below(30)),
+                    3 => t.dma(8 * (1 + rng.u32_below(400))),
+                    4 => {
+                        // Balanced critical section: contended locks retry,
+                        // so an unpaired lock would spin forever.
+                        let id = rng.u32_below(3) as u16;
+                        t.mutex_lock(id);
+                        t.compute(InstrClass::LoadStore, 1 + rng.u32_below(8));
+                        t.mutex_unlock(id);
+                    }
+                    _ => t.barrier(),
+                }
+            }
+            t
+        })
+        .collect()
+}
+
+/// The headline invariant, checked across 192 seeded random kernels: the
+/// tasklet-level attribution partitions every tasklet's lifetime exactly,
+/// the slot-level attribution partitions the issue slots exactly, and no
+/// counter escapes its budget.
+#[test]
+fn attributed_cycles_sum_exactly_to_total_cycles() {
+    let cfg = PipelineConfig::default();
+    let mut rng = SplitMix64::new(0xA11A_C0DE);
+    for case in 0..192u32 {
+        let traces = random_traces(&mut rng);
+        let p = simulate_dpu_profiled(&traces, &cfg);
+        let total = p.report.total_cycles;
+        assert_eq!(p.tasklets.len(), traces.len(), "case {case}");
+        for (tid, t) in p.tasklets.iter().enumerate() {
+            assert_eq!(
+                t.sum(&CounterId::TASKLET_CYCLES),
+                total,
+                "case {case}: tasklet {tid} attribution does not cover the makespan",
+            );
+            for id in CounterId::TASKLET_CYCLES {
+                assert!(
+                    t.get(id) <= total,
+                    "case {case}: tasklet {tid} counter {id} exceeds the makespan",
+                );
+            }
+        }
+        let c = &p.counters;
+        assert_eq!(c.get(CounterId::DpuCycles), total, "case {case}");
+        assert_eq!(
+            c.sum(&CounterId::SLOT_CYCLES),
+            total,
+            "case {case}: slot attribution does not cover the makespan",
+        );
+        assert_eq!(
+            c.sum(&CounterId::TASKLET_CYCLES),
+            c.get(CounterId::TaskletBudget),
+            "case {case}: tasklet rollup does not cover the budget",
+        );
+        assert_eq!(c.get(CounterId::TaskletBudget), traces.len() as u64 * total, "case {case}");
+        for id in CounterId::SLOT_CYCLES {
+            assert!(c.get(id) <= total, "case {case}: slot counter {id} exceeds the makespan");
+        }
+    }
+}
+
+/// Cross-model consistency on the same random corpus: the profiled
+/// simulation and the plain one agree bit-for-bit, the slot-issue counter
+/// matches the instruction count, and the event counters match the traces.
+#[test]
+fn profile_agrees_with_plain_simulation_and_traces() {
+    let cfg = PipelineConfig::default();
+    let mut rng = SplitMix64::new(0xBEEF_FACE);
+    for case in 0..64u32 {
+        let traces = random_traces(&mut rng);
+        let p = simulate_dpu_profiled(&traces, &cfg);
+        assert_eq!(p.report, simulate_dpu(&traces, &cfg), "case {case}");
+        let c = &p.counters;
+        assert_eq!(c.get(CounterId::SlotIssue), p.report.issued_instructions, "case {case}");
+        assert_eq!(
+            c.get(CounterId::TaskletIssue),
+            p.report.issued_instructions,
+            "case {case}: every issued instruction belongs to exactly one tasklet",
+        );
+        assert_eq!(c.get(CounterId::SpinRetries), p.report.spin_retries, "case {case}");
+        let trace_dma_bytes: u64 = traces.iter().map(|t| t.dma_bytes()).sum();
+        assert_eq!(c.get(CounterId::DmaBytes), trace_dma_bytes, "case {case}");
+        let trace_barriers: u64 = traces
+            .iter()
+            .map(|t| {
+                t.events()
+                    .iter()
+                    .filter(|e| matches!(e, alpha_pim_sim::TraceEvent::Barrier))
+                    .count() as u64
+            })
+            .sum();
+        assert_eq!(c.get(CounterId::BarrierCrossings), trace_barriers, "case {case}");
+    }
+}
+
+fn replay(dpus: u32, sets: &[Vec<TaskletTrace>]) -> KernelReport {
+    let sys = PimSystem::new(PimConfig {
+        num_dpus: dpus,
+        fidelity: SimFidelity::Sampled(16),
+        observability: ObservabilityLevel::PerTasklet,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let mut acc = sys.accumulator();
+    acc.add_batch(0, sets);
+    acc.finish()
+}
+
+/// The determinism gate for the observability layer: with per-tasklet
+/// detail enabled, the entire `KernelReport` — counter rollup, per-DPU
+/// details, per-tasklet sets, and the exporter strings — is bit-identical
+/// at every host thread count.
+#[test]
+fn observability_is_bit_identical_across_thread_counts() {
+    let dpus = 96;
+    let mut rng = SplitMix64::new(0x0B5E_12AB);
+    let sets: Vec<Vec<TaskletTrace>> = (0..dpus).map(|_| random_traces(&mut rng)).collect();
+    set_sim_threads(1);
+    let sequential = replay(dpus, &sets);
+    assert!(!sequential.dpu_details.is_empty(), "PerTasklet must retain details");
+    assert!(sequential.dpu_details.iter().all(|d| !d.tasklets.is_empty()));
+    for threads in [2, 3, 8] {
+        set_sim_threads(threads);
+        let parallel = replay(dpus, &sets);
+        assert_eq!(sequential, parallel, "report diverged at {threads} threads");
+        assert_eq!(
+            sequential.to_json(),
+            parallel.to_json(),
+            "JSON export diverged at {threads} threads"
+        );
+        assert_eq!(
+            sequential.counters_csv(),
+            parallel.counters_csv(),
+            "CSV export diverged at {threads} threads"
+        );
+    }
+    set_sim_threads(1);
+}
+
+/// The rollup in a kernel report obeys the same partition invariants as a
+/// single DPU, scaled by the detailed sample size.
+#[test]
+fn kernel_rollup_preserves_the_partition_invariants() {
+    let mut rng = SplitMix64::new(0xCAFE_D00D);
+    let sets: Vec<Vec<TaskletTrace>> = (0..32).map(|_| random_traces(&mut rng)).collect();
+    let sys = PimSystem::new(PimConfig {
+        num_dpus: 32,
+        fidelity: SimFidelity::Full,
+        observability: ObservabilityLevel::PerDpu,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let mut acc = sys.accumulator();
+    acc.add_batch(0, &sets);
+    let r = acc.finish();
+    let c = &r.breakdown.counters;
+    assert_eq!(c.sum(&CounterId::SLOT_CYCLES), c.get(CounterId::DpuCycles));
+    assert_eq!(c.sum(&CounterId::TASKLET_CYCLES), c.get(CounterId::TaskletBudget));
+    // Per-DPU details must themselves be internally consistent and sum to
+    // the rollup.
+    let mut resummed = alpha_pim_sim::CounterSet::new();
+    for d in &r.dpu_details {
+        assert_eq!(d.counters.sum(&CounterId::SLOT_CYCLES), d.total_cycles);
+        resummed.merge(&d.counters);
+    }
+    assert_eq!(&resummed, c, "per-DPU details must sum to the aggregate rollup");
+}

@@ -20,6 +20,12 @@ else
     echo "==> clippy not installed, skipping"
 fi
 
+echo "==> counter audit (attribution invariants + 1-vs-N thread equality + differential)"
+cargo test -q --offline --release -p alpha-pim-sim --test counter_invariants
+cargo test -q --offline --release -p alpha-pim --test cycle_invariants
+cargo test -q --offline --release -p alpha-pim-bench --test differential
+cargo test -q --offline --release -p alpha-pim-bench --test golden_reports
+
 echo "==> perfsmoke (parallel replay: bit-identical reports + speedup)"
 cargo run --release --offline -p alpha-pim-bench --bin perfsmoke
 echo "==> BENCH_parallel_sim.json:"

@@ -1,0 +1,105 @@
+//! Differential audit of the DPU path against the CPU grid baseline: for
+//! every Table 2 catalog graph, BFS levels, SSSP distances, and PPR scores
+//! computed through the simulated-PIM kernel pipeline must match the
+//! `GridEngine` reference element for element. The two implementations
+//! share no kernel code — the PIM path goes through partitioning, trace
+//! replay, and host merges; the grid engine is a direct edge-streaming
+//! CPU engine — so agreement here certifies the whole algebraic stack.
+
+use alpha_pim::apps::{AppOptions, PprOptions};
+use alpha_pim::AlphaPim;
+use alpha_pim_baselines::cpu::GridEngine;
+use alpha_pim_sim::{ObservabilityLevel, PimConfig, SimFidelity};
+use alpha_pim_sparse::{datasets, Graph};
+
+const SCALE: f64 = 0.02;
+const SEED: u64 = 0xD1FF;
+
+fn engine() -> AlphaPim {
+    AlphaPim::new(PimConfig {
+        num_dpus: 64,
+        fidelity: SimFidelity::Sampled(8),
+        observability: ObservabilityLevel::PerDpu,
+        ..Default::default()
+    })
+    .expect("valid config")
+}
+
+/// Every catalog graph at a workable test size (scaled down, but never
+/// below ~2,000 nodes so frontiers still span several partitions).
+fn catalog_graphs() -> Vec<(&'static str, Graph)> {
+    datasets::table2()
+        .iter()
+        .map(|spec| {
+            let min_scale = (2_000.0 / spec.nodes as f64).min(1.0);
+            let g = spec
+                .generate_scaled(SCALE.max(min_scale), SEED)
+                .expect("catalog recipes are valid");
+            (spec.abbrev, g)
+        })
+        .collect()
+}
+
+#[test]
+fn bfs_matches_cpu_grid_on_every_catalog_graph() {
+    let eng = engine();
+    for (abbrev, graph) in catalog_graphs() {
+        let pim = eng.bfs(&graph, 0, &AppOptions::default()).expect("bfs runs");
+        let (cpu, _) = GridEngine::new(&graph, 8, 2).bfs(0);
+        assert_eq!(pim.levels, cpu, "BFS levels diverged on {abbrev}");
+    }
+}
+
+#[test]
+fn sssp_matches_cpu_grid_on_every_catalog_graph() {
+    let eng = engine();
+    for (abbrev, graph) in catalog_graphs() {
+        let weighted = graph.with_random_weights(9);
+        let pim = eng.sssp(&weighted, 0, &AppOptions::default()).expect("sssp runs");
+        let (cpu, _) = GridEngine::new(&weighted, 8, 2).sssp(0);
+        assert_eq!(pim.distances, cpu, "SSSP distances diverged on {abbrev}");
+    }
+}
+
+#[test]
+fn ppr_matches_cpu_grid_on_every_catalog_graph() {
+    let eng = engine();
+    for (abbrev, graph) in catalog_graphs() {
+        let pim = eng.ppr(&graph, 0, &PprOptions::default()).expect("ppr runs");
+        let (cpu, _) = GridEngine::new(&graph, 8, 2).ppr(0, 0.85, 1e-4, 50);
+        assert_eq!(pim.scores.len(), cpu.len(), "PPR length diverged on {abbrev}");
+        for (v, (a, b)) in pim.scores.iter().zip(&cpu).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3,
+                "PPR scores diverged on {abbrev} at vertex {v}: pim {a} vs cpu {b}",
+            );
+        }
+    }
+}
+
+/// The observability layer rides along on real app runs: every iteration's
+/// kernel report carries a counter rollup that satisfies the partition
+/// invariants, and per-DPU details are retained at `PerDpu`.
+#[test]
+fn app_runs_carry_consistent_counter_rollups() {
+    use alpha_pim_sim::CounterId;
+    let eng = engine();
+    let (abbrev, graph) = catalog_graphs().swap_remove(2);
+    let pim = eng.bfs(&graph, 0, &AppOptions::default()).expect("bfs runs");
+    for s in &pim.report.iterations {
+        let c = &s.kernel_report.breakdown.counters;
+        assert_eq!(
+            c.sum(&CounterId::SLOT_CYCLES),
+            c.get(CounterId::DpuCycles),
+            "slot partition broken on {abbrev} iter {}",
+            s.index,
+        );
+        assert_eq!(
+            c.sum(&CounterId::TASKLET_CYCLES),
+            c.get(CounterId::TaskletBudget),
+            "tasklet partition broken on {abbrev} iter {}",
+            s.index,
+        );
+        assert!(!s.kernel_report.dpu_details.is_empty(), "PerDpu retains details");
+    }
+}

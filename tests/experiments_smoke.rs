@@ -40,6 +40,28 @@ fn fig2_shows_2d_beating_1d() {
 }
 
 #[test]
+fn fig2_reports_measured_bus_traffic() {
+    let out = fig2::run(&tiny());
+    assert!(out.contains("bus MB"), "fig2 lost its counter-backed bus column");
+    // The Fig 2 story in counter form: the 1D broadcast moves far more bus
+    // bytes than the 2D segment scatter on the same dataset.
+    let bus_mb = |needle: &str| -> f64 {
+        out.lines()
+            .find(|l| l.starts_with("A302") && l.contains(needle))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|tok| tok.parse().ok())
+            .expect("bus column parses")
+    };
+    let one_d = bus_mb("COO.nnz-1D");
+    let two_d = bus_mb("DCOO-2D");
+    assert!(one_d > 0.0 && two_d > 0.0, "bus counters recorded nothing");
+    assert!(
+        one_d > 5.0 * two_d,
+        "1D broadcast should dominate measured bus bytes: 1D {one_d} MB vs 2D {two_d} MB",
+    );
+}
+
+#[test]
 fn fig4_reports_both_kernels_per_iteration() {
     let out = fig4::run(&tiny());
     assert!(out.contains("BFS on A302"));
@@ -83,6 +105,15 @@ fn profile_figures_expose_all_metrics() {
     // SpMV rows are density-independent (dense input): identical breakdowns.
     let spmv: Vec<_> = rows.iter().filter(|r| r.kernel == "SpMV").collect();
     assert_eq!(spmv.len(), 3);
+    // The counter-backed tasklet-anatomy columns are present and sane:
+    // every fraction lies in [0, 1] and at least one row waits on DMA.
+    assert!(f9.contains("t.dma%"), "fig9 lost its counter-backed columns");
+    for r in &rows {
+        for (name, v) in [("dispatch", r.dispatch), ("dma", r.dma), ("sync", r.sync)] {
+            assert!((0.0..=1.0).contains(&v), "{} {name} fraction {v} out of range", r.kernel);
+        }
+    }
+    assert!(rows.iter().any(|r| r.dma > 0.0), "no kernel recorded DMA wait");
 }
 
 #[test]

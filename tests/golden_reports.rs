@@ -1,0 +1,220 @@
+//! Golden-snapshot tests freezing the `KernelReport` + `CycleBreakdown`
+//! observability output for one fixed-seed graph per kernel. Any change to
+//! the pipeline timing model, the counter taxonomy, or the attribution
+//! walk shows up here as a diff against the frozen fingerprint — update
+//! the constants only when the model change is intentional.
+
+use alpha_pim::semiring::BoolOrAnd;
+use alpha_pim::{MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
+use alpha_pim_bench::harness::striped_vector;
+use alpha_pim_sim::report::KernelReport;
+use alpha_pim_sim::{CounterId, ObservabilityLevel, PimConfig, PimSystem, SimFidelity};
+use alpha_pim_sparse::{gen, Coo};
+
+fn system() -> PimSystem {
+    PimSystem::new(PimConfig {
+        num_dpus: 16,
+        fidelity: SimFidelity::Full,
+        observability: ObservabilityLevel::PerTasklet,
+        ..Default::default()
+    })
+    .expect("valid config")
+}
+
+fn matrix() -> Coo<u32> {
+    let coo = gen::erdos_renyi(3_000, 30_000, 42).expect("valid args");
+    coo.map(|_| 1u32)
+}
+
+/// A stable textual digest of everything the observability layer freezes:
+/// headline report fields, the slot breakdown, and all registry counters.
+fn fingerprint(r: &KernelReport) -> String {
+    let mut out = format!(
+        "num_dpus={} detailed={} max_cycles={} instr={}\n\
+         active={} memory={} revolver={} rf={}\n\
+         details={} tasklets_each={}\n",
+        r.num_dpus,
+        r.detailed_dpus,
+        r.max_cycles,
+        r.total_instructions,
+        r.breakdown.active,
+        r.breakdown.memory,
+        r.breakdown.revolver,
+        r.breakdown.rf,
+        r.dpu_details.len(),
+        r.dpu_details.first().map_or(0, |d| d.tasklets.len()),
+    );
+    for (id, v) in r.breakdown.counters.iter() {
+        out.push_str(&format!("{id}={v}\n"));
+    }
+    out
+}
+
+fn assert_golden(actual: &str, expected: &str, kernel: &str) {
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "\n{kernel} observability fingerprint drifted.\nactual:\n{actual}",
+    );
+}
+
+#[test]
+fn spmv_report_matches_golden_snapshot() {
+    let sys = system();
+    let m = matrix();
+    let x = striped_vector(3_000, 1.0).to_dense(0u32);
+    let outcome = PreparedSpmv::<BoolOrAnd>::prepare(&m, SpmvVariant::Dcoo2d, &sys)
+        .expect("fits")
+        .run(&x, &sys)
+        .expect("dims");
+    assert_golden(&fingerprint(&outcome.kernel), SPMV_GOLDEN, "SpMV");
+}
+
+#[test]
+fn spmspv_report_matches_golden_snapshot() {
+    let sys = system();
+    let m = matrix();
+    let x = striped_vector(3_000, 0.1);
+    let outcome = PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Csc2d, &sys)
+        .expect("fits")
+        .run(&x, &sys)
+        .expect("dims");
+    assert_golden(&fingerprint(&outcome.kernel), SPMSPV_GOLDEN, "SpMSpV");
+}
+
+#[test]
+fn spmm_report_matches_golden_snapshot() {
+    let sys = system();
+    let m = matrix();
+    let x = MultiVector::filled(3_000, 4, 1u32);
+    let outcome = PreparedSpmm::<BoolOrAnd>::prepare(&m, 4, &sys)
+        .expect("fits")
+        .run(&x, &sys)
+        .expect("dims");
+    assert_golden(&fingerprint(&outcome.kernel), SPMM_GOLDEN, "SpMM");
+}
+
+/// The exporters stay aligned with the frozen taxonomy: the CSV header
+/// carries one column per registry counter, and every data row has the
+/// same arity.
+#[test]
+fn exporters_agree_with_the_frozen_taxonomy() {
+    let sys = system();
+    let m = matrix();
+    let x = striped_vector(3_000, 1.0).to_dense(0u32);
+    let outcome = PreparedSpmv::<BoolOrAnd>::prepare(&m, SpmvVariant::Dcoo2d, &sys)
+        .expect("fits")
+        .run(&x, &sys)
+        .expect("dims");
+    let csv = outcome.kernel.counters_csv();
+    let mut lines = csv.lines();
+    let header = lines.next().expect("csv has a header");
+    let cols = header.split(',').count();
+    assert_eq!(cols, 2 + alpha_pim_sim::NUM_COUNTERS, "dpu,total_cycles + one per counter");
+    for line in lines {
+        assert_eq!(line.split(',').count(), cols, "ragged CSV row: {line}");
+    }
+    let json = outcome.kernel.to_json();
+    for id in CounterId::ALL {
+        assert!(json.contains(&format!("\"{id}\"")), "JSON export lost counter {id}");
+    }
+}
+
+const SPMV_GOLDEN: &str = "\
+num_dpus=16 detailed=16 max_cycles=41379 instr=409904
+active=409904 memory=95752 revolver=22533 rf=1351
+details=16 tasklets_each=16
+slot.issue=409904
+slot.memory=95752
+slot.revolver=22533
+slot.rf=1351
+dpu.cycles=529540
+tasklet.issue=409904
+tasklet.dispatch=1300884
+tasklet.revolver=4084880
+tasklet.rf=27747
+tasklet.dma_queue=984913
+tasklet.dma_startup=66176
+tasklet.dma_transfer=228064
+tasklet.mutex=0
+tasklet.barrier=447648
+tasklet.tail=922424
+tasklet.budget=8472640
+event.spin_retries=0
+event.dma_transfers=752
+event.dma_bytes=455872
+event.mutex_acquires=256
+event.barrier_crossings=768
+xfer.scatter_bytes=48000
+xfer.broadcast_bytes=0
+xfer.gather_bytes=48000
+xfer.batches=2
+host.merge_bytes=48000
+host.scan_bytes=0
+host.reductions=1";
+
+const SPMSPV_GOLDEN: &str = "\
+num_dpus=16 detailed=16 max_cycles=20107 instr=77984
+active=80084 memory=199194 revolver=7936 rf=67
+details=16 tasklets_each=16
+slot.issue=80084
+slot.memory=199194
+slot.revolver=7936
+slot.rf=67
+dpu.cycles=287281
+tasklet.issue=80084
+tasklet.dispatch=80462
+tasklet.revolver=750980
+tasklet.rf=4108
+tasklet.dma_queue=2653069
+tasklet.dma_startup=216656
+tasklet.dma_transfer=45272
+tasklet.mutex=90300
+tasklet.barrier=1984
+tasklet.tail=673581
+tasklet.budget=4596496
+event.spin_retries=2100
+event.dma_transfers=2462
+event.dma_bytes=90288
+event.mutex_acquires=3262
+event.barrier_crossings=512
+xfer.scatter_bytes=9600
+xfer.broadcast_bytes=0
+xfer.gather_bytes=16640
+xfer.batches=2
+host.merge_bytes=11760
+host.scan_bytes=0
+host.reductions=1";
+
+const SPMM_GOLDEN: &str = "\
+num_dpus=16 detailed=16 max_cycles=69619 instr=762288
+active=762288 memory=102923 revolver=4662 rf=413
+details=16 tasklets_each=16
+slot.issue=762288
+slot.memory=102923
+slot.revolver=4662
+slot.rf=413
+dpu.cycles=870286
+tasklet.issue=762288
+tasklet.dispatch=3034592
+tasklet.revolver=7613280
+tasklet.rf=55172
+tasklet.dma_queue=1078486
+tasklet.dma_startup=61952
+tasklet.dma_transfer=276000
+tasklet.mutex=0
+tasklet.barrier=0
+tasklet.tail=1042806
+tasklet.budget=13924576
+event.spin_retries=0
+event.dma_transfers=704
+event.dma_bytes=552000
+event.mutex_acquires=0
+event.barrier_crossings=256
+xfer.scatter_bytes=192000
+xfer.broadcast_bytes=0
+xfer.gather_bytes=192000
+xfer.batches=2
+host.merge_bytes=192000
+host.scan_bytes=0
+host.reductions=1";
