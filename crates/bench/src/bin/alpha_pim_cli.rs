@@ -4,6 +4,7 @@
 //! ```text
 //! alpha_pim_cli <bfs|sssp|ppr|wcc|widest> <graph> [options]
 //! alpha_pim_cli top <graph> [options]        per-DPU/per-tasklet cycle attribution
+//! alpha_pim_cli chaos <graph> [options]      fault-injection sweep vs fault-free BFS
 //!
 //! <graph>     path to a .mtx file, or a catalog abbreviation (e.g. A302)
 //! --source N      source vertex (default 0)
@@ -15,6 +16,7 @@
 //! --kernel K      top only: spmv | spmspv (default spmv)
 //! --density F     top only: input-vector density (default 0.1)
 //! --limit N       top only: rows in the per-DPU table (default 10)
+//! --fault-seed N  chaos only: seed of the fault draws (default 0xC4A05)
 //! ```
 
 use std::process::ExitCode;
@@ -23,7 +25,10 @@ use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
 use alpha_pim::semiring::{BoolOrAnd, Semiring};
 use alpha_pim::{AlphaPim, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
 use alpha_pim_bench::harness::striped_vector;
-use alpha_pim_sim::{CounterId, ObservabilityLevel, PimConfig, SimFidelity};
+use alpha_pim_sim::host::detect_faults;
+use alpha_pim_sim::{
+    CounterId, CounterSet, FaultPlan, ObservabilityLevel, PimConfig, ResiliencePolicy, SimFidelity,
+};
 use alpha_pim_sparse::{datasets, mtx, Graph};
 
 struct Args {
@@ -38,11 +43,12 @@ struct Args {
     kernel: String,
     density: f64,
     limit: usize,
+    fault_seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut raw = std::env::args().skip(1);
-    let algo = raw.next().ok_or("missing algorithm (bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top)")?;
+    let algo = raw.next().ok_or("missing algorithm (bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos)")?;
     let graph = raw.next().ok_or("missing graph (path.mtx or catalog abbrev)")?;
     let mut args = Args {
         algo,
@@ -56,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         kernel: "spmv".to_string(),
         density: 0.1,
         limit: 10,
+        fault_seed: 0xC4A05,
     };
     while let Some(flag) = raw.next() {
         let value = raw.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -68,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
             "--kernel" => args.kernel = value,
             "--density" => args.density = value.parse().map_err(|e| format!("{e}"))?,
             "--limit" => args.limit = value.parse().map_err(|e| format!("{e}"))?,
+            "--fault-seed" => args.fault_seed = value.parse().map_err(|e| format!("{e}"))?,
             "--policy" => {
                 args.policy = match value.as_str() {
                     "adaptive" => KernelPolicy::Adaptive,
@@ -112,7 +120,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N]");
+            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N]");
             return ExitCode::FAILURE;
         }
     };
@@ -129,6 +137,9 @@ fn run(args: &Args) -> Result<(), String> {
     let graph = load_graph(args)?;
     if args.algo == "top" {
         return run_top(args, &graph);
+    }
+    if args.algo == "chaos" {
+        return run_chaos(args, &graph);
     }
     let engine = AlphaPim::new(PimConfig {
         num_dpus: args.dpus,
@@ -230,6 +241,76 @@ fn run(args: &Args) -> Result<(), String> {
             s.input_density * 100.0,
             s.kernel.to_string(),
             s.phases.total() * 1e3,
+        );
+    }
+    Ok(())
+}
+
+/// `chaos`: sweep uniform fault rates over a BFS run, comparing each
+/// faulty run against the fault-free baseline — how many faults fired,
+/// whether the host recovered them all, whether the answers survived, and
+/// what the resilience machinery cost in simulated time. The last row is
+/// deliberately unsurvivable (every DPU lost, no redistribution) to show
+/// graceful degradation.
+fn run_chaos(args: &Args, graph: &Graph) -> Result<(), String> {
+    let options = AppOptions { policy: args.policy, ..Default::default() };
+    let config = |faults: Option<FaultPlan>| PimConfig {
+        num_dpus: args.dpus,
+        fidelity: SimFidelity::Sampled(64),
+        faults,
+        ..Default::default()
+    };
+    let clean_engine = AlphaPim::new(config(None)).map_err(|e| e.to_string())?;
+    let baseline = clean_engine.bfs(graph, args.source, &options).map_err(|e| e.to_string())?;
+    println!(
+        "chaos — bfs on {} ({} nodes, {} edges, {} DPUs, fault seed {:#x})",
+        args.graph,
+        graph.nodes(),
+        graph.edges(),
+        args.dpus,
+        args.fault_seed,
+    );
+    println!(
+        "fault-free baseline: {} iterations, {:.3} ms simulated",
+        baseline.report.num_iterations(),
+        baseline.report.total_seconds() * 1e3,
+    );
+    println!(
+        "\n{:>8} {:>8} {:>9} {:>5} {:>7} {:>7} {:>8} {:>9} {:>6} {:>9}",
+        "rate", "injected", "recovered", "lost", "retries", "redist", "timeouts", "degraded", "match", "slowdown"
+    );
+    let mut plans: Vec<(String, FaultPlan)> = [0.002, 0.01, 0.05, 0.15]
+        .iter()
+        .map(|&rate| (format!("{rate}"), FaultPlan::uniform(args.fault_seed, rate)))
+        .collect();
+    plans.push((
+        "drop-all".to_string(),
+        FaultPlan {
+            dpu_loss_rate: 1.0,
+            policy: ResiliencePolicy { redistribute: false, ..ResiliencePolicy::default() },
+            ..FaultPlan::uniform(args.fault_seed, 0.0)
+        },
+    ));
+    for (label, plan) in plans {
+        let engine = AlphaPim::new(config(Some(plan))).map_err(|e| e.to_string())?;
+        let faulty = engine.bfs(graph, args.source, &options).map_err(|e| e.to_string())?;
+        let mut total = CounterSet::new();
+        for s in &faulty.report.iterations {
+            total.merge(&s.kernel_report.breakdown.counters);
+        }
+        let summary = detect_faults(&total);
+        println!(
+            "{:>8} {:>8} {:>9} {:>5} {:>7} {:>7} {:>8} {:>9} {:>6} {:>8.2}x",
+            label,
+            summary.injected,
+            summary.recovered,
+            summary.lost,
+            summary.retries,
+            summary.redistributions,
+            summary.timeouts,
+            if faulty.report.degraded { "yes" } else { "no" },
+            if faulty.levels == baseline.levels { "yes" } else { "NO" },
+            faulty.report.total_seconds() / baseline.report.total_seconds(),
         );
     }
     Ok(())

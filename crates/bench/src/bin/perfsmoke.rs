@@ -21,6 +21,12 @@ use alpha_pim_sparse::{gen, DenseVector, Graph};
 const DPUS: u32 = 2048;
 const ITERS: u32 = 5;
 
+/// Frozen fault-free makespan of this exact launch (2048 DPUs, 64 sampled,
+/// Erdős–Rényi 60k nodes / 600k edges seed 7, Coo1d, all-ones input). The
+/// fault-injection layer must be a strict no-op when no plan is
+/// configured; any drift here means the fault-free path picked up a tax.
+const FAULT_FREE_MAX_CYCLES: u64 = 33_937;
+
 fn replay(prep: &PreparedSpmv<BoolOrAnd>, x: &DenseVector<u32>, sys: &PimSystem) -> KernelReport {
     prep.run(x, sys).expect("dims match").kernel
 }
@@ -42,6 +48,11 @@ fn main() {
 
     set_sim_threads(1);
     let seq_report = replay(&prep, &x, &sys);
+    assert_eq!(
+        seq_report.max_cycles, FAULT_FREE_MAX_CYCLES,
+        "fault-free makespan drifted — the resilience layer must cost nothing when disabled"
+    );
+    assert!(!seq_report.degraded, "no fault plan, nothing may degrade");
     let start = Instant::now();
     for _ in 0..ITERS {
         std::hint::black_box(replay(&prep, &x, &sys));

@@ -99,6 +99,9 @@ pub struct AppReport {
     pub useful_ops: u64,
     /// Whether the algorithm converged before the iteration cap.
     pub converged: bool,
+    /// Whether any iteration completed gracefully degraded (a DPU was lost
+    /// without redistribution, so part of the output is missing).
+    pub degraded: bool,
 }
 
 impl AppReport {
@@ -120,6 +123,7 @@ impl AppReport {
     fn push(&mut self, stats: IterationStats) {
         self.total.accumulate(&stats.phases);
         self.useful_ops += stats.useful_ops;
+        self.degraded |= stats.kernel_report.degraded;
         self.iterations.push(stats);
     }
 }
@@ -267,6 +271,7 @@ mod tests {
             instr_mix: Default::default(),
             avg_active_threads: 0.0,
             total_instructions: 1,
+            degraded: false,
             dpu_details: Vec::new(),
         }
     }

@@ -51,6 +51,7 @@ mod tests {
             instr_mix: InstrMix::new(),
             avg_active_threads: 1.0,
             total_instructions: 100,
+            degraded: false,
             dpu_details: Vec::new(),
         }
     }

@@ -142,7 +142,13 @@ impl<S: Semiring> PreparedSpmm<S> {
         // Tiles in one grid row overlap in `y`: reduce in tile order so the
         // result matches a sequential run exactly.
         for (t, (eval, local)) in self.grid.tiles.iter().zip(evals) {
+            let lost = eval.is_lost();
             acc.merge(eval);
+            if lost {
+                // Unsurvivable DPU loss: the tile's results are dropped and
+                // the report completes degraded.
+                continue;
+            }
             ops += 2 * t.matrix.nnz() as u64 * k as u64;
             let rows = (t.row_range.end - t.row_range.start) as usize;
             let cols = (t.col_range.end - t.col_range.start) as usize;

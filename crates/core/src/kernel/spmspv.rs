@@ -250,7 +250,13 @@ impl<S: Semiring> PreparedSpmspv<S> {
             (acc.evaluate(part, &traces), local, part_ops)
         });
         for (part, (eval, local, part_ops)) in evals.into_iter().enumerate() {
+            let lost = eval.is_lost();
             acc.merge(eval);
+            if lost {
+                // Unsurvivable DPU loss: drop the partition's results; the
+                // report completes degraded.
+                continue;
+            }
             ops += part_ops;
             let (rows_range, nnz) = kind.band(part);
             let band = local.len() as u64;
@@ -313,7 +319,11 @@ impl<S: Semiring> PreparedSpmspv<S> {
             (acc.evaluate(part as u32, &traces), local, part_ops)
         });
         for (part, (b, (eval, local, part_ops))) in bands.iter().zip(evals).enumerate() {
+            let lost = eval.is_lost();
             acc.merge(eval);
+            if lost {
+                continue;
+            }
             ops += part_ops;
             let band = local.len() as u64;
             let mut nnz_out = 0u64;
@@ -380,7 +390,11 @@ impl<S: Semiring> PreparedSpmspv<S> {
             (acc.evaluate(part as u32, &traces), partial, seg_bytes, part_ops)
         });
         for (part, (eval, partial, seg_bytes, part_ops)) in evals.into_iter().enumerate() {
+            let lost = eval.is_lost();
             acc.merge(eval);
+            if lost {
+                continue;
+            }
             ops += part_ops;
             load[part] = seg_bytes;
             retrieve[part] = (partial.len() as u64 * ventry).min(self.n as u64 * eb as u64);
@@ -446,7 +460,11 @@ impl<S: Semiring> PreparedSpmspv<S> {
         for (part, (t, (eval, local, seg_bytes, part_ops))) in
             tiles.iter().zip(evals).enumerate()
         {
+            let lost = eval.is_lost();
             acc.merge(eval);
+            if lost {
+                continue;
+            }
             ops += part_ops;
             load[part] = seg_bytes;
             let band = local.len() as u64;

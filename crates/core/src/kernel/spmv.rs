@@ -197,7 +197,13 @@ impl<S: Semiring> PreparedSpmv<S> {
                     (acc.evaluate(p.part, &traces), local)
                 });
                 for (p, (eval, local)) in parts.iter().zip(evals) {
+                    let lost = eval.is_lost();
                     acc.merge(eval);
+                    if lost {
+                        // Unsurvivable DPU loss: drop the partition's
+                        // results; the report completes degraded.
+                        continue;
+                    }
                     ops += 2 * p.matrix.nnz() as u64;
                     let band = local.len() as u64;
                     for (i, v) in local.into_iter().enumerate() {
@@ -231,7 +237,11 @@ impl<S: Semiring> PreparedSpmv<S> {
                     (acc.evaluate(part as u32, &traces), local)
                 });
                 for (part, (b, (eval, local))) in bands.iter().zip(evals).enumerate() {
+                    let lost = eval.is_lost();
                     acc.merge(eval);
+                    if lost {
+                        continue;
+                    }
                     ops += 2 * b.matrix.nnz() as u64;
                     retrieve[part] = local.len() as u64 * eb;
                     for (i, v) in local.into_iter().enumerate() {
@@ -283,7 +293,11 @@ impl<S: Semiring> PreparedSpmv<S> {
                 // cross-tile reduction must stay in tile order (semiring
                 // `add` is not assumed commutative-exact over f32).
                 for (t, (eval, local, seg_bytes)) in grid.tiles.iter().zip(evals) {
+                    let lost = eval.is_lost();
                     acc.merge(eval);
+                    if lost {
+                        continue;
+                    }
                     ops += 2 * t.matrix.nnz() as u64;
                     retrieve[t.part as usize] = local.len() as u64 * eb;
                     for (i, v) in local.into_iter().enumerate() {

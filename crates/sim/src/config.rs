@@ -36,6 +36,10 @@ pub struct PimConfig {
     /// retain (aggregate rollups are always collected).
     #[cfg_attr(feature = "serde", serde(default))]
     pub observability: ObservabilityLevel,
+    /// Deterministic fault-injection plan. `None` (the default) models a
+    /// fully healthy machine and adds no work to the hot path.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for PimConfig {
@@ -52,6 +56,7 @@ impl Default for PimConfig {
             host: HostConfig::default(),
             fidelity: SimFidelity::default(),
             observability: ObservabilityLevel::default(),
+            faults: None,
         }
     }
 }
@@ -85,7 +90,126 @@ impl PimConfig {
         if self.dpu_frequency_hz == 0 {
             return Err("dpu_frequency_hz must be positive".into());
         }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
         Ok(())
+    }
+}
+
+/// A deterministic, seed-driven fault-injection plan (the resilience
+/// ablation layer). Every fault decision is a pure hash of
+/// `(seed, site, kind)` — SplitMix64-mixed like the graph generators — so
+/// a plan reproduces the same faults at any host thread count, in any
+/// replay order, across runs.
+///
+/// Rates are per-site probabilities: `dpu_loss_rate` / `straggler_rate` /
+/// `bitflip_rate` are drawn once per DPU per launch (a lost rank stays
+/// lost for every launch of the same system), `timeout_rate` once per
+/// CPU↔DPU transfer batch. Per-DPU kinds are mutually exclusive with
+/// precedence loss > bit-flip > straggler.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultPlan {
+    /// Seed of the fault draws (independent of the graph seeds).
+    pub seed: u64,
+    /// Probability a DPU is lost outright (rank failure).
+    pub dpu_loss_rate: f64,
+    /// Probability a DPU runs slow by `straggler_multiplier`.
+    pub straggler_rate: f64,
+    /// Cycle multiplier applied to a straggler DPU's makespan (≥ 1).
+    pub straggler_multiplier: f64,
+    /// Probability a DPU's MRAM suffers a bit flip on DMA, surfaced as a
+    /// detectable ECC event the host must scrub with retries.
+    pub bitflip_rate: f64,
+    /// Probability a CPU↔DPU transfer batch times out and is retransmitted.
+    pub timeout_rate: f64,
+    /// How the host reacts to detected faults.
+    pub policy: ResiliencePolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA_017,
+            dpu_loss_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_multiplier: 1.5,
+            bitflip_rate: 0.0,
+            timeout_rate: 0.0,
+            policy: ResiliencePolicy::default(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan injecting every fault kind at one shared `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            dpu_loss_rate: rate,
+            straggler_rate: rate,
+            bitflip_rate: rate,
+            timeout_rate: rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether every rate is zero (the plan can never fire).
+    pub fn is_inert(&self) -> bool {
+        self.dpu_loss_rate == 0.0
+            && self.straggler_rate == 0.0
+            && self.bitflip_rate == 0.0
+            && self.timeout_rate == 0.0
+    }
+
+    /// Validates rates and the straggler multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("dpu_loss_rate", self.dpu_loss_rate),
+            ("straggler_rate", self.straggler_rate),
+            ("bitflip_rate", self.bitflip_rate),
+            ("timeout_rate", self.timeout_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} must be in [0, 1], got {rate}"));
+            }
+        }
+        if !self.straggler_multiplier.is_finite() || self.straggler_multiplier < 1.0 {
+            return Err(format!(
+                "straggler_multiplier must be ≥ 1, got {}",
+                self.straggler_multiplier
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Host-side reaction to detected faults (the policy half of the
+/// resilience layer; see `DESIGN.md` §10 for the state machine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ResiliencePolicy {
+    /// Bounded-retry budget for recoverable faults (ECC scrubs, transfer
+    /// retransmits). `0` disables retries, escalating ECC events to DPU
+    /// loss.
+    pub max_retries: u32,
+    /// First backoff window in simulated DPU cycles; doubles per retry
+    /// (exponential backoff).
+    pub backoff_base_cycles: u64,
+    /// Whether a dead DPU's row block is redistributed to healthy DPUs.
+    /// When `false` (or when no healthy DPU remains), lost partitions are
+    /// dropped and the kernel completes `Degraded`.
+    pub redistribute: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy { max_retries: 3, backoff_base_cycles: 256, redistribute: true }
     }
 }
 

@@ -16,9 +16,14 @@
 //!   bytes, mutex acquisitions, contended-mutex retries, barrier crossings.
 //! * **Host/transfer** (`xfer.*`, `host.*`) — bus bytes and host-side work
 //!   recorded by the transfer and merge models around the kernel launch.
+//! * **Faults** (`slot.fault`, `tasklet.fault`, `fault.*`) — the
+//!   resilience layer: injected/detected/handled fault events and the
+//!   recovery cycles they add, extending both cycle partitions so the
+//!   zero-remainder invariants keep holding under any
+//!   [`crate::config::FaultPlan`].
 
 /// Number of distinct counters in the registry.
-pub const NUM_COUNTERS: usize = 28;
+pub const NUM_COUNTERS: usize = 39;
 
 /// Identifier of one observability counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +86,41 @@ pub enum CounterId {
     HostScanBytes,
     /// Host-side reductions (merges + scans) performed.
     HostReductions,
+    /// Extra issue slots a detailed DPU spends on fault recovery
+    /// (straggler slowdown, ECC retry backoff, redistribution re-runs);
+    /// extends [`CounterId::SLOT_CYCLES`] so the slot partition still sums
+    /// to [`CounterId::DpuCycles`] under faults.
+    SlotFault,
+    /// Per-tasklet cycles attributed to fault recovery; extends
+    /// [`CounterId::TASKLET_CYCLES`] so the tasklet partition still sums
+    /// to [`CounterId::TaskletBudget`] under faults.
+    TaskletFault,
+    /// Faults the plan injected (all kinds, all DPUs + transfers).
+    FaultsInjected,
+    /// Faults the host-side resilience layer detected. Equal to
+    /// [`CounterId::FaultsInjected`] by construction (every injected fault
+    /// surfaces as a detectable event).
+    FaultsDetected,
+    /// Faults recovered (retried, redistributed, or absorbed) without
+    /// losing results.
+    FaultsRecovered,
+    /// DPUs lost with no redistribution possible: their partitions were
+    /// dropped and the kernel completed `Degraded`.
+    FaultsLost,
+    /// Bounded-retry attempts the resilience policy issued (ECC scrubs +
+    /// transfer retransmits).
+    FaultRetries,
+    /// Dead-DPU row blocks redistributed to healthy DPUs.
+    FaultRedistributions,
+    /// Recovery cycles attributed to straggler slowdown (detailed DPUs).
+    FaultStragglerCycles,
+    /// Recovery cycles attributed to retry backoff and redistribution
+    /// re-runs (detailed DPUs). Together with
+    /// [`CounterId::FaultStragglerCycles`] this partitions
+    /// [`CounterId::SlotFault`] with zero remainder.
+    FaultRetryCycles,
+    /// CPU↔DPU transfer batches that timed out and were retransmitted.
+    FaultTimeouts,
 }
 
 impl CounterId {
@@ -114,19 +154,35 @@ impl CounterId {
         CounterId::HostMergeBytes,
         CounterId::HostScanBytes,
         CounterId::HostReductions,
+        CounterId::SlotFault,
+        CounterId::TaskletFault,
+        CounterId::FaultsInjected,
+        CounterId::FaultsDetected,
+        CounterId::FaultsRecovered,
+        CounterId::FaultsLost,
+        CounterId::FaultRetries,
+        CounterId::FaultRedistributions,
+        CounterId::FaultStragglerCycles,
+        CounterId::FaultRetryCycles,
+        CounterId::FaultTimeouts,
     ];
 
     /// The slot-level cycle categories (sum to [`CounterId::DpuCycles`]).
-    pub const SLOT_CYCLES: [CounterId; 4] = [
+    pub const SLOT_CYCLES: [CounterId; 5] = [
         CounterId::SlotIssue,
         CounterId::SlotMemory,
         CounterId::SlotRevolver,
         CounterId::SlotRf,
+        CounterId::SlotFault,
     ];
+
+    /// The fault-cycle categories (sum to [`CounterId::SlotFault`]).
+    pub const FAULT_CYCLES: [CounterId; 2] =
+        [CounterId::FaultStragglerCycles, CounterId::FaultRetryCycles];
 
     /// The tasklet-level cycle categories (sum to
     /// [`CounterId::TaskletBudget`]).
-    pub const TASKLET_CYCLES: [CounterId; 10] = [
+    pub const TASKLET_CYCLES: [CounterId; 11] = [
         CounterId::TaskletIssue,
         CounterId::TaskletDispatch,
         CounterId::TaskletRevolver,
@@ -137,6 +193,7 @@ impl CounterId {
         CounterId::TaskletMutex,
         CounterId::TaskletBarrier,
         CounterId::TaskletTail,
+        CounterId::TaskletFault,
     ];
 
     /// Stable index of this counter within [`CounterId::ALL`].
@@ -175,6 +232,17 @@ impl CounterId {
             CounterId::HostMergeBytes => "host.merge_bytes",
             CounterId::HostScanBytes => "host.scan_bytes",
             CounterId::HostReductions => "host.reductions",
+            CounterId::SlotFault => "slot.fault",
+            CounterId::TaskletFault => "tasklet.fault",
+            CounterId::FaultsInjected => "fault.injected",
+            CounterId::FaultsDetected => "fault.detected",
+            CounterId::FaultsRecovered => "fault.recovered",
+            CounterId::FaultsLost => "fault.lost_dpus",
+            CounterId::FaultRetries => "fault.retries",
+            CounterId::FaultRedistributions => "fault.redistributions",
+            CounterId::FaultStragglerCycles => "fault.straggler_cycles",
+            CounterId::FaultRetryCycles => "fault.retry_cycles",
+            CounterId::FaultTimeouts => "fault.timeouts",
         }
     }
 }
@@ -187,10 +255,18 @@ impl std::fmt::Display for CounterId {
 
 /// A fixed-size bank of all registry counters. Cheap to copy, merge, and
 /// compare; the zero value is the empty set.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CounterSet {
     values: [u64; NUM_COUNTERS],
+}
+
+// Written out because std only derives `Default` for arrays up to 32
+// elements, and the registry outgrew that.
+impl Default for CounterSet {
+    fn default() -> Self {
+        CounterSet { values: [0; NUM_COUNTERS] }
+    }
 }
 
 impl CounterSet {
@@ -272,7 +348,7 @@ mod tests {
         for id in CounterId::SLOT_CYCLES {
             c.add(id, 10);
         }
-        c.set(CounterId::DpuCycles, 40);
+        c.set(CounterId::DpuCycles, 10 * CounterId::SLOT_CYCLES.len() as u64);
         assert_eq!(c.sum(&CounterId::SLOT_CYCLES), c.get(CounterId::DpuCycles));
     }
 

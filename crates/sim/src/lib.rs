@@ -19,6 +19,10 @@
 //! * [`transfer`] — the CPU↔DPU scatter/broadcast/gather timing model;
 //! * [`host`] — host-side merge and convergence-check timing;
 //! * [`energy`] — average-power energy accounting for Table 4;
+//! * [`faults`] / [`resilience`] — deterministic seed-driven fault
+//!   injection (DPU loss, stragglers, MRAM ECC events, transfer timeouts)
+//!   and the host-side recovery policy (bounded backoff retry, partition
+//!   redistribution, graceful degradation);
 //! * [`system`] — the [`PimSystem`] facade and capacity checks;
 //! * [`report`] — per-DPU and kernel-level reports plus the
 //!   Load/Kernel/Retrieve/Merge [`PhaseBreakdown`];
@@ -57,20 +61,23 @@
 pub mod config;
 pub mod counters;
 pub mod energy;
+pub mod faults;
 pub mod host;
 pub mod instr;
 pub mod par;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod system;
 pub mod trace;
 pub mod transfer;
 
 pub use config::{
-    HostConfig, InterDpuConfig, ObservabilityLevel, PimConfig, PipelineConfig, SimFidelity,
-    TransferConfig,
+    FaultPlan, HostConfig, InterDpuConfig, ObservabilityLevel, PimConfig, PipelineConfig,
+    ResiliencePolicy, SimFidelity, TransferConfig,
 };
 pub use counters::{CounterId, CounterSet, NUM_COUNTERS};
+pub use faults::{FaultEngine, FaultVerdict};
 pub use energy::EnergyModel;
 pub use instr::{InstrClass, InstrMix};
 pub use par::{par_map_indexed, set_sim_threads, sim_threads, SimThreads};
@@ -78,5 +85,6 @@ pub use report::{
     CycleBreakdown, DpuDetail, DpuEval, DpuProfile, DpuReport, KernelAccumulator, KernelReport,
     PhaseBreakdown,
 };
+pub use resilience::FaultSummary;
 pub use system::PimSystem;
 pub use trace::{TaskletTrace, TraceEvent};

@@ -197,8 +197,9 @@ struct Mutex {
     held_by: Option<usize>,
 }
 
-/// SplitMix64 finalizer, used for deterministic hazard selection.
-fn mix64(mut z: u64) -> u64 {
+/// SplitMix64 finalizer, used for deterministic hazard selection and — via
+/// [`crate::faults`] — for order-independent fault draws.
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -471,6 +472,14 @@ fn try_release_barrier(threads: &mut [Thread<'_>], arrived: &mut [bool], cycle: 
 /// bound, the per-thread revolver bound (instructions spaced by the
 /// revolver period plus that thread's DMA wait), and the serialized DMA
 /// engine bound.
+/// Extra makespan cycles a straggler DPU adds when its whole pipeline runs
+/// `multiplier`× slow (clock droop / thermal throttling at rank level).
+/// Applied on top of a simulated or estimated base makespan by the fault
+/// layer; `multiplier ≤ 1` adds nothing.
+pub fn straggler_extra_cycles(base_cycles: u64, multiplier: f64) -> u64 {
+    ((multiplier - 1.0).max(0.0) * base_cycles as f64).ceil() as u64
+}
+
 pub fn estimate_cycles(traces: &[TaskletTrace], cfg: &PipelineConfig) -> u64 {
     let mut issue_bound: u64 = 0;
     let mut thread_bound: u64 = 0;

@@ -6,6 +6,7 @@
 
 use crate::config::{PimConfig, SimFidelity};
 use crate::counters::{CounterId, CounterSet};
+use crate::faults::{FaultEngine, FaultVerdict};
 use crate::instr::{InstrClass, InstrMix};
 use crate::pipeline::{estimate_cycles, simulate_dpu_profiled};
 use crate::trace::TaskletTrace;
@@ -213,6 +214,11 @@ pub struct KernelReport {
     pub avg_active_threads: f64,
     /// Total instructions issued across every DPU.
     pub total_instructions: u64,
+    /// Whether the launch completed gracefully degraded: at least one DPU
+    /// was lost without redistribution, so its partition's results are
+    /// missing from the output (see [`crate::faults`]).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub degraded: bool,
     /// Per-DPU observability records (empty below
     /// [`crate::config::ObservabilityLevel::PerDpu`]).
     #[cfg_attr(feature = "serde", serde(default))]
@@ -238,7 +244,8 @@ impl KernelReport {
         let mut out = String::from("{");
         out.push_str(&format!(
             "\"num_dpus\":{},\"detailed_dpus\":{},\"max_cycles\":{},\"seconds\":{},\
-             \"mean_cycles\":{},\"avg_active_threads\":{},\"total_instructions\":{},",
+             \"mean_cycles\":{},\"avg_active_threads\":{},\"total_instructions\":{},\
+             \"degraded\":{},",
             self.num_dpus,
             self.detailed_dpus,
             self.max_cycles,
@@ -246,6 +253,7 @@ impl KernelReport {
             json_f64(self.mean_cycles),
             json_f64(self.avg_active_threads),
             self.total_instructions,
+            self.degraded,
         ));
         out.push_str("\"instr_mix\":{");
         for (i, class) in InstrClass::ALL.iter().enumerate() {
@@ -330,6 +338,42 @@ pub struct DpuEval {
     instructions: u64,
     est_cycles: u64,
     detailed: Option<DpuProfile>,
+    /// Fault events (injected/detected/recovered/…) this DPU's verdict
+    /// produced; merged into the rollup for every DPU, detailed or not.
+    fault_events: CounterSet,
+    /// The DPU was lost without redistribution: its partition is dropped
+    /// and the kernel completes degraded.
+    lost: bool,
+}
+
+impl DpuEval {
+    /// Whether this DPU's partition was dropped by an unsurvivable loss.
+    /// Kernels skip applying the functional results of dropped partitions.
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+}
+
+/// Charges a verdict's recovery cost to a detailed DPU profile, keeping
+/// both zero-remainder partitions intact: the penalty extends the makespan
+/// and lands in the `SlotFault` slice of the slot partition (itself split
+/// across the `FAULT_CYCLES` buckets) and in the `TaskletFault` slice of
+/// every tasklet's budget.
+fn apply_fault_penalty(engine: &FaultEngine, verdict: FaultVerdict, profile: &mut DpuProfile) {
+    let pen = engine.penalty_cycles(verdict, profile.report.total_cycles);
+    if pen == 0 {
+        return;
+    }
+    profile.report.total_cycles += pen;
+    let n = profile.tasklets.len() as u64;
+    profile.counters.add(CounterId::DpuCycles, pen);
+    profile.counters.add(CounterId::SlotFault, pen);
+    profile.counters.add(engine.penalty_bucket(verdict), pen);
+    profile.counters.add(CounterId::TaskletFault, n * pen);
+    profile.counters.add(CounterId::TaskletBudget, n * pen);
+    for t in &mut profile.tasklets {
+        t.add(CounterId::TaskletFault, pen);
+    }
 }
 
 /// Incremental builder for a [`KernelReport`]: feed it one DPU's tasklet
@@ -343,6 +387,8 @@ pub struct DpuEval {
 #[derive(Debug)]
 pub struct KernelAccumulator {
     cfg: PimConfig,
+    faults: Option<FaultEngine>,
+    degraded: bool,
     stride: u32,
     added: u32,
     detailed: u32,
@@ -369,8 +415,15 @@ impl KernelAccumulator {
             SimFidelity::Full => 1,
             SimFidelity::Sampled(k) => (cfg.num_dpus / k.max(1)).max(1),
         };
+        let faults = cfg
+            .faults
+            .as_ref()
+            .filter(|plan| !plan.is_inert())
+            .map(|plan| FaultEngine::new(plan.clone(), cfg.num_dpus));
         KernelAccumulator {
             cfg: cfg.clone(),
+            faults,
+            degraded: false,
             stride,
             added: 0,
             detailed: 0,
@@ -399,23 +452,56 @@ impl KernelAccumulator {
     /// order so floating-point reductions stay bit-identical to a
     /// sequential run.
     pub fn evaluate(&self, dpu_id: u32, traces: &[TaskletTrace]) -> DpuEval {
+        let mut fault_events = CounterSet::new();
+        let verdict = match &self.faults {
+            Some(engine) => {
+                let v = engine.verdict(dpu_id);
+                engine.record_events(v, &mut fault_events);
+                v
+            }
+            None => FaultVerdict::Healthy,
+        };
+        if verdict.is_dropped() {
+            // The partition is gone: no instructions retire and no cycles
+            // accrue; only the loss survives, in the event ledger.
+            return DpuEval {
+                dpu_id,
+                mix: InstrMix::new(),
+                instructions: 0,
+                est_cycles: 0,
+                detailed: None,
+                fault_events,
+                lost: true,
+            };
+        }
         let mut mix = InstrMix::new();
         let mut instructions = 0u64;
         for t in traces {
             mix.merge(&t.instr_mix());
             instructions += t.instructions();
         }
-        let est_cycles = estimate_cycles(traces, &self.cfg.pipeline);
-        let detailed = dpu_id
+        let mut est_cycles = estimate_cycles(traces, &self.cfg.pipeline);
+        let mut detailed = dpu_id
             .is_multiple_of(self.stride)
             .then(|| simulate_dpu_profiled(traces, &self.cfg.pipeline));
-        DpuEval { dpu_id, mix, instructions, est_cycles, detailed }
+        if let Some(engine) = &self.faults {
+            est_cycles += engine.penalty_cycles(verdict, est_cycles);
+            if let Some(profile) = detailed.as_mut() {
+                apply_fault_penalty(engine, verdict, profile);
+            }
+        }
+        DpuEval { dpu_id, mix, instructions, est_cycles, detailed, fault_events, lost: false }
     }
 
     /// Folds one evaluated DPU into the aggregate. Order-dependent: callers
     /// replaying DPUs in parallel must merge in ascending DPU index.
     pub fn merge(&mut self, eval: DpuEval) {
         self.added += 1;
+        self.degraded |= eval.lost;
+        // Fault events accumulate for every DPU, detailed or not (they are
+        // host-visible occurrences, not sampled cycle attribution). With no
+        // plan the set is all-zero and this merge changes nothing.
+        self.breakdown.counters.merge(&eval.fault_events);
         self.mix.merge(&eval.mix);
         self.total_instructions += eval.instructions;
         self.est_sum += eval.est_cycles as u128;
@@ -435,11 +521,15 @@ impl KernelAccumulator {
             self.active_threads_sum += report.avg_active_threads;
             self.spin_retries += report.spin_retries;
             if self.cfg.observability.records_per_dpu() {
+                // A detailed DPU's record carries its own fault events so
+                // the retained details stay self-consistent per DPU.
+                let mut counters = profile.counters;
+                counters.merge(&eval.fault_events);
                 self.details.push(DpuDetail {
                     dpu_id: eval.dpu_id,
                     total_cycles: report.total_cycles,
                     issued_instructions: report.issued_instructions,
-                    counters: profile.counters,
+                    counters,
                     tasklets: if self.cfg.observability.records_per_tasklet() {
                         profile.tasklets
                     } else {
@@ -505,6 +595,7 @@ impl KernelAccumulator {
                 self.active_threads_sum / self.detailed as f64
             },
             total_instructions: self.total_instructions,
+            degraded: self.degraded,
             dpu_details: self.details,
         }
     }

@@ -1,0 +1,167 @@
+//! Host-side resilience policy: what the runtime does once a fault is
+//! detected.
+//!
+//! The [`crate::faults`] oracle decides *what breaks*; this module holds the
+//! recovery math and accounting shared by the evaluation path
+//! ([`crate::report`]), the transfer layer ([`crate::system`]), and the CLI's
+//! chaos report. Three responses, in escalation order:
+//!
+//! 1. **Bounded retry with exponential backoff** — ECC events on DMA and
+//!    transfer timeouts are retried up to `max_retries` times, each round
+//!    waiting `backoff_base_cycles << round` simulated cycles.
+//! 2. **Partition redistribution** — a dead DPU's row block is re-run on a
+//!    healthy DPU (serialized after its own work, so the penalty is the
+//!    block's own makespan plus one detection window).
+//! 3. **Graceful degradation** — with redistribution disabled or no healthy
+//!    DPU left, the kernel completes without the dead partitions and the
+//!    report carries a `degraded` flag plus per-fault accounting.
+
+use crate::config::ResiliencePolicy;
+use crate::counters::{CounterId, CounterSet};
+
+/// Total backoff wait of `retries` exponential rounds, in simulated cycles
+/// (`base, 2·base, 4·base, …`; the shift is capped so the sum stays finite
+/// for adversarial retry counts).
+pub fn backoff_cycles(policy: &ResiliencePolicy, retries: u32) -> u64 {
+    let base = policy.backoff_base_cycles;
+    (0..retries).map(|i| base << i.min(16)).sum()
+}
+
+/// Wall-clock seconds a transfer timeout adds: each retry re-sends the
+/// whole batch and then waits out its backoff window.
+pub fn timeout_penalty_seconds(
+    policy: &ResiliencePolicy,
+    batch_seconds: f64,
+    retries: u32,
+    cycle_seconds: f64,
+) -> f64 {
+    crate::transfer::retransmit_seconds(batch_seconds, retries)
+        + backoff_cycles(policy, retries) as f64 * cycle_seconds
+}
+
+/// Records one detected-and-recovered transfer timeout with its retry
+/// rounds into `events`.
+pub fn record_timeout(events: &mut CounterSet, retries: u32) {
+    events.add(CounterId::FaultTimeouts, 1);
+    events.add(CounterId::FaultRetries, retries as u64);
+    events.add(CounterId::FaultsInjected, 1);
+    events.add(CounterId::FaultsDetected, 1);
+    events.add(CounterId::FaultsRecovered, 1);
+}
+
+/// The resilience ledger of one run, decoded from the counter registry.
+/// `injected == detected` and `detected == recovered + lost` hold by
+/// construction; the invariant suite asserts both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Faults the plan injected.
+    pub injected: u64,
+    /// Faults the host detected (ECC events, heartbeat losses, timeouts).
+    pub detected: u64,
+    /// Faults recovered by retry or redistribution.
+    pub recovered: u64,
+    /// Faults that cost functional results (dropped partitions).
+    pub lost: u64,
+    /// Total retry rounds across ECC scrubs and transfer re-sends.
+    pub retries: u64,
+    /// Dead-DPU row blocks re-run on healthy DPUs.
+    pub redistributions: u64,
+    /// Transfer batches that timed out.
+    pub timeouts: u64,
+    /// Makespan cycles lost to stragglers (detailed DPUs only).
+    pub straggler_cycles: u64,
+    /// Makespan cycles lost to retry/redistribution (detailed DPUs only).
+    pub retry_cycles: u64,
+}
+
+impl FaultSummary {
+    /// Decodes the ledger from a merged counter set (e.g. a
+    /// `KernelReport`'s breakdown counters).
+    pub fn from_counters(c: &CounterSet) -> Self {
+        FaultSummary {
+            injected: c.get(CounterId::FaultsInjected),
+            detected: c.get(CounterId::FaultsDetected),
+            recovered: c.get(CounterId::FaultsRecovered),
+            lost: c.get(CounterId::FaultsLost),
+            retries: c.get(CounterId::FaultRetries),
+            redistributions: c.get(CounterId::FaultRedistributions),
+            timeouts: c.get(CounterId::FaultTimeouts),
+            straggler_cycles: c.get(CounterId::FaultStragglerCycles),
+            retry_cycles: c.get(CounterId::FaultRetryCycles),
+        }
+    }
+
+    /// Total fault-attributed cycles (the `slot.fault` bucket).
+    pub fn fault_cycles(&self) -> u64 {
+        self.straggler_cycles + self.retry_cycles
+    }
+
+    /// Whether every detected fault was recovered.
+    pub fn fully_recovered(&self) -> bool {
+        self.lost == 0
+    }
+}
+
+/// Sum of the fault-cycle buckets in `c` — must equal `SlotFault` (the
+/// zero-remainder sub-partition the invariant suite checks).
+pub fn fault_cycle_sum(c: &CounterSet) -> u64 {
+    c.sum(&CounterId::FAULT_CYCLES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> ResiliencePolicy {
+        ResiliencePolicy::default()
+    }
+
+    #[test]
+    fn backoff_doubles_each_round() {
+        let p = policy();
+        let b = p.backoff_base_cycles;
+        assert_eq!(backoff_cycles(&p, 0), 0);
+        assert_eq!(backoff_cycles(&p, 1), b);
+        assert_eq!(backoff_cycles(&p, 4), b * (1 + 2 + 4 + 8));
+    }
+
+    #[test]
+    fn backoff_shift_is_capped() {
+        let p = policy();
+        // 64 rounds would otherwise shift past the word width.
+        assert!(backoff_cycles(&p, 64) > backoff_cycles(&p, 32));
+    }
+
+    #[test]
+    fn timeout_penalty_charges_resends_and_backoff() {
+        let p = policy();
+        let cycle_s = 1e-9;
+        let pen = timeout_penalty_seconds(&p, 2.0e-3, 2, cycle_s);
+        let expected = 2.0 * 2.0e-3 + (p.backoff_base_cycles * 3) as f64 * cycle_s;
+        assert!((pen - expected).abs() < 1e-15, "pen={pen} expected={expected}");
+        assert_eq!(timeout_penalty_seconds(&p, 2.0e-3, 0, cycle_s), 0.0);
+    }
+
+    #[test]
+    fn recorded_timeouts_keep_the_ledger_balanced() {
+        let mut c = CounterSet::new();
+        record_timeout(&mut c, 3);
+        record_timeout(&mut c, 1);
+        let s = FaultSummary::from_counters(&c);
+        assert_eq!(s.injected, s.detected);
+        assert_eq!(s.detected, s.recovered + s.lost);
+        assert_eq!(s.timeouts, 2);
+        assert_eq!(s.retries, 4);
+        assert!(s.fully_recovered());
+    }
+
+    #[test]
+    fn summary_round_trips_the_cycle_buckets() {
+        let mut c = CounterSet::new();
+        c.add(CounterId::FaultStragglerCycles, 120);
+        c.add(CounterId::FaultRetryCycles, 80);
+        let s = FaultSummary::from_counters(&c);
+        assert_eq!(s.fault_cycles(), 200);
+        assert_eq!(fault_cycle_sum(&c), 200);
+    }
+}

@@ -2,10 +2,16 @@
 //! host model, and capacity accounting together.
 
 use crate::config::PimConfig;
-use crate::counters::CounterSet;
+use crate::counters::{CounterId, CounterSet};
 use crate::energy::EnergyModel;
+use crate::faults::FaultEngine;
 use crate::report::KernelAccumulator;
-use crate::{host, transfer};
+use crate::{host, resilience, transfer};
+
+/// The transfer-traffic counters whose delta identifies a batch's payload
+/// for the timeout draw.
+const XFER_BYTES: [CounterId; 3] =
+    [CounterId::XferScatterBytes, CounterId::XferBroadcastBytes, CounterId::XferGatherBytes];
 
 /// A simulated UPMEM PIM system.
 ///
@@ -40,6 +46,11 @@ use crate::{host, transfer};
 pub struct PimSystem {
     cfg: PimConfig,
     energy: EnergyModel,
+    /// Seeded fault oracle, present only when the config carries a
+    /// non-inert [`crate::config::FaultPlan`]. Built from the same pure
+    /// derivation as [`KernelAccumulator`]'s engine, so system-level
+    /// (transfer) and kernel-level (DPU) fault decisions agree.
+    faults: Option<FaultEngine>,
 }
 
 impl PimSystem {
@@ -51,7 +62,12 @@ impl PimSystem {
     /// configurations (zero DPUs, more than 24 tasklets, …).
     pub fn new(cfg: PimConfig) -> Result<Self, String> {
         cfg.validate()?;
-        Ok(PimSystem { cfg, energy: EnergyModel::default() })
+        let faults = cfg
+            .faults
+            .as_ref()
+            .filter(|plan| !plan.is_inert())
+            .map(|plan| FaultEngine::new(plan.clone(), cfg.num_dpus));
+        Ok(PimSystem { cfg, energy: EnergyModel::default(), faults })
     }
 
     /// The system configuration.
@@ -79,6 +95,50 @@ impl PimSystem {
         KernelAccumulator::new(&self.cfg)
     }
 
+    /// The active fault oracle, if the configuration injects faults.
+    pub fn fault_engine(&self) -> Option<&FaultEngine> {
+        self.faults.as_ref()
+    }
+
+    /// Whether `dpu`'s partition was lost without redistribution under the
+    /// active fault plan. Kernels consult this after merging a DPU's
+    /// evaluation and skip applying its functional results, completing the
+    /// launch gracefully degraded.
+    pub fn dpu_is_lost(&self, dpu: u32) -> bool {
+        self.faults.as_ref().is_some_and(|e| e.dpu_is_dropped(dpu))
+    }
+
+    /// Applies the fault plan's transfer-timeout draw to one counted batch:
+    /// `seq`/`bytes_before` snapshot the batch counter and traffic counters
+    /// from before the batch, `base` is its clean duration. On a timeout
+    /// the batch is retransmitted with exponential backoff and the retries
+    /// are recorded in `counters`; returns the total duration.
+    fn with_timeouts(
+        &self,
+        seq: u64,
+        bytes_before: u64,
+        base: f64,
+        counters: &mut CounterSet,
+    ) -> f64 {
+        let Some(engine) = &self.faults else { return base };
+        if counters.get(CounterId::XferBatches) == seq {
+            // Empty batch: the SDK skips it entirely, nothing to time out.
+            return base;
+        }
+        let bytes = counters.sum(&XFER_BYTES) - bytes_before;
+        let retries = engine.transfer_timeout_retries(seq, bytes);
+        if retries == 0 {
+            return base;
+        }
+        resilience::record_timeout(counters, retries);
+        base + resilience::timeout_penalty_seconds(
+            engine.policy(),
+            base,
+            retries,
+            self.cfg.cycle_seconds(),
+        )
+    }
+
     /// Seconds to scatter distinct payloads to the DPUs (CPU→DPU).
     pub fn scatter_time(&self, per_dpu_bytes: &[u64]) -> f64 {
         transfer::scatter(&self.cfg.transfer, per_dpu_bytes)
@@ -104,24 +164,33 @@ impl PimSystem {
         host::scan_time(&self.cfg.host, elements, bytes_per_element)
     }
 
-    /// [`Self::scatter_time`] that records bus traffic into `counters`.
+    /// [`Self::scatter_time`] that records bus traffic into `counters`,
+    /// including timeout retransmissions under an active fault plan.
     pub fn scatter_time_counted(&self, per_dpu_bytes: &[u64], counters: &mut CounterSet) -> f64 {
-        transfer::scatter_counted(&self.cfg.transfer, per_dpu_bytes, counters)
+        let (seq, bytes) = (counters.get(CounterId::XferBatches), counters.sum(&XFER_BYTES));
+        let base = transfer::scatter_counted(&self.cfg.transfer, per_dpu_bytes, counters);
+        self.with_timeouts(seq, bytes, base, counters)
     }
 
-    /// [`Self::broadcast_time`] that records bus traffic into `counters`.
+    /// [`Self::broadcast_time`] that records bus traffic into `counters`,
+    /// including timeout retransmissions under an active fault plan.
     pub fn broadcast_time_counted(
         &self,
         bytes: u64,
         num_dpus: u32,
         counters: &mut CounterSet,
     ) -> f64 {
-        transfer::broadcast_counted(&self.cfg.transfer, bytes, num_dpus, counters)
+        let (seq, before) = (counters.get(CounterId::XferBatches), counters.sum(&XFER_BYTES));
+        let base = transfer::broadcast_counted(&self.cfg.transfer, bytes, num_dpus, counters);
+        self.with_timeouts(seq, before, base, counters)
     }
 
-    /// [`Self::gather_time`] that records bus traffic into `counters`.
+    /// [`Self::gather_time`] that records bus traffic into `counters`,
+    /// including timeout retransmissions under an active fault plan.
     pub fn gather_time_counted(&self, per_dpu_bytes: &[u64], counters: &mut CounterSet) -> f64 {
-        transfer::gather_counted(&self.cfg.transfer, per_dpu_bytes, counters)
+        let (seq, bytes) = (counters.get(CounterId::XferBatches), counters.sum(&XFER_BYTES));
+        let base = transfer::gather_counted(&self.cfg.transfer, per_dpu_bytes, counters);
+        self.with_timeouts(seq, bytes, base, counters)
     }
 
     /// [`Self::merge_time`] that records host-side work into `counters`.

@@ -92,6 +92,13 @@ pub fn gather_counted(
     gather(cfg, per_dpu_bytes)
 }
 
+/// Extra bus seconds `retries` retransmissions of a timed-out batch cost:
+/// each retry re-sends the whole padded batch. Backoff waits between
+/// retries are charged separately by [`crate::resilience`].
+pub fn retransmit_seconds(batch_seconds: f64, retries: u32) -> f64 {
+    retries as f64 * batch_seconds
+}
+
 /// Bus bytes one padded parallel batch moves, or `None` for an empty batch
 /// (which the SDK skips entirely).
 fn batch_bus_bytes(per_dpu_bytes: &[u64]) -> Option<u64> {

@@ -26,6 +26,10 @@ cargo test -q --offline --release -p alpha-pim --test cycle_invariants
 cargo test -q --offline --release -p alpha-pim-bench --test differential
 cargo test -q --offline --release -p alpha-pim-bench --test golden_reports
 
+echo "==> fault audit (ledger/partition invariants + app-level chaos suite)"
+cargo test -q --offline --release -p alpha-pim-sim --test fault_invariants
+cargo test -q --offline --release -p alpha-pim-bench --test chaos
+
 echo "==> perfsmoke (parallel replay: bit-identical reports + speedup)"
 cargo run --release --offline -p alpha-pim-bench --bin perfsmoke
 echo "==> BENCH_parallel_sim.json:"

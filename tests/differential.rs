@@ -77,6 +77,67 @@ fn ppr_matches_cpu_grid_on_every_catalog_graph() {
     }
 }
 
+/// Empty-frontier edge cases: a source with no out-edges drains the
+/// frontier after the first multiply, and an entirely edgeless graph never
+/// produces one at all. Both must terminate promptly and agree with the
+/// CPU grid on every app.
+#[test]
+fn isolated_source_and_edgeless_graph_match_cpu_grid() {
+    use alpha_pim_sparse::Coo;
+    let eng = engine();
+    // Vertex 0 is isolated; vertices 1..100 form a directed ring.
+    let mut ring = Coo::new(100, 100);
+    for v in 1u32..100 {
+        let w = if v + 1 < 100 { v + 1 } else { 1 };
+        ring.push(v, w, 1u32).expect("in bounds");
+    }
+    let edgeless: Coo<u32> = Coo::new(64, 64);
+    for (name, graph) in
+        [("isolated-source", Graph::from_coo(ring)), ("edgeless", Graph::from_coo(edgeless))]
+    {
+        let pim = eng.bfs(&graph, 0, &AppOptions::default()).expect("bfs terminates");
+        let (cpu, _) = GridEngine::new(&graph, 8, 2).bfs(0);
+        assert_eq!(pim.levels, cpu, "BFS levels diverged on {name}");
+        assert!(pim.report.converged, "BFS must converge on {name}, not hit the cap");
+        let weighted = graph.with_random_weights(9);
+        let pim = eng.sssp(&weighted, 0, &AppOptions::default()).expect("sssp terminates");
+        let (cpu, _) = GridEngine::new(&weighted, 8, 2).sssp(0);
+        assert_eq!(pim.distances, cpu, "SSSP distances diverged on {name}");
+        let pim = eng.ppr(&graph, 0, &PprOptions::default()).expect("ppr terminates");
+        let (cpu, _) = GridEngine::new(&graph, 8, 2).ppr(0, 0.85, 1e-4, 50);
+        for (v, (a, b)) in pim.scores.iter().zip(&cpu).enumerate() {
+            assert!((a - b).abs() < 1e-3, "PPR diverged on {name} at vertex {v}: {a} vs {b}");
+        }
+    }
+}
+
+/// The degenerate single-DPU configuration: no cross-rank partitioning at
+/// all, every kernel runs on one partition at full fidelity, and results
+/// still match the CPU grid.
+#[test]
+fn single_dpu_engine_matches_cpu_grid() {
+    let eng = AlphaPim::new(PimConfig {
+        num_dpus: 1,
+        fidelity: SimFidelity::Full,
+        observability: ObservabilityLevel::PerDpu,
+        ..Default::default()
+    })
+    .expect("one DPU is a valid system");
+    let (abbrev, graph) = catalog_graphs().swap_remove(1);
+    let pim = eng.bfs(&graph, 0, &AppOptions::default()).expect("bfs runs");
+    let (cpu, _) = GridEngine::new(&graph, 8, 2).bfs(0);
+    assert_eq!(pim.levels, cpu, "single-DPU BFS diverged on {abbrev}");
+    let weighted = graph.with_random_weights(9);
+    let pim = eng.sssp(&weighted, 0, &AppOptions::default()).expect("sssp runs");
+    let (cpu, _) = GridEngine::new(&weighted, 8, 2).sssp(0);
+    assert_eq!(pim.distances, cpu, "single-DPU SSSP diverged on {abbrev}");
+    let pim = eng.ppr(&graph, 0, &PprOptions::default()).expect("ppr runs");
+    let (cpu, _) = GridEngine::new(&graph, 8, 2).ppr(0, 0.85, 1e-4, 50);
+    for (v, (a, b)) in pim.scores.iter().zip(&cpu).enumerate() {
+        assert!((a - b).abs() < 1e-3, "single-DPU PPR diverged on {abbrev} at vertex {v}");
+    }
+}
+
 /// The observability layer rides along on real app runs: every iteration's
 /// kernel report carries a counter rollup that satisfies the partition
 /// invariants, and per-DPU details are retained at `PerDpu`.

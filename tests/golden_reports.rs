@@ -8,7 +8,9 @@ use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
 use alpha_pim_bench::harness::striped_vector;
 use alpha_pim_sim::report::KernelReport;
-use alpha_pim_sim::{CounterId, ObservabilityLevel, PimConfig, PimSystem, SimFidelity};
+use alpha_pim_sim::{
+    CounterId, FaultPlan, ObservabilityLevel, PimConfig, PimSystem, ResiliencePolicy, SimFidelity,
+};
 use alpha_pim_sparse::{gen, Coo};
 
 fn system() -> PimSystem {
@@ -16,6 +18,27 @@ fn system() -> PimSystem {
         num_dpus: 16,
         fidelity: SimFidelity::Full,
         observability: ObservabilityLevel::PerTasklet,
+        ..Default::default()
+    })
+    .expect("valid config")
+}
+
+/// The same machine under the canonical chaos plan the faulty goldens
+/// freeze: a survivable fixed-seed mix of every fault kind.
+fn faulty_system() -> PimSystem {
+    PimSystem::new(PimConfig {
+        num_dpus: 16,
+        fidelity: SimFidelity::Full,
+        observability: ObservabilityLevel::PerTasklet,
+        faults: Some(FaultPlan {
+            seed: 0xFA_0173,
+            dpu_loss_rate: 0.10,
+            straggler_rate: 0.20,
+            straggler_multiplier: 1.5,
+            bitflip_rate: 0.10,
+            timeout_rate: 0.25,
+            policy: ResiliencePolicy::default(),
+        }),
         ..Default::default()
     })
     .expect("valid config")
@@ -94,6 +117,47 @@ fn spmm_report_matches_golden_snapshot() {
     assert_golden(&fingerprint(&outcome.kernel), SPMM_GOLDEN, "SpMM");
 }
 
+/// A faulty run's digest additionally freezes the degraded flag.
+fn faulty_fingerprint(r: &KernelReport) -> String {
+    format!("degraded={}\n{}", r.degraded, fingerprint(r))
+}
+
+#[test]
+fn spmv_faulty_report_matches_golden_snapshot() {
+    let sys = faulty_system();
+    let m = matrix();
+    let x = striped_vector(3_000, 1.0).to_dense(0u32);
+    let outcome = PreparedSpmv::<BoolOrAnd>::prepare(&m, SpmvVariant::Dcoo2d, &sys)
+        .expect("fits")
+        .run(&x, &sys)
+        .expect("dims");
+    assert_golden(&faulty_fingerprint(&outcome.kernel), SPMV_FAULTY_GOLDEN, "faulty SpMV");
+}
+
+#[test]
+fn spmspv_faulty_report_matches_golden_snapshot() {
+    let sys = faulty_system();
+    let m = matrix();
+    let x = striped_vector(3_000, 0.1);
+    let outcome = PreparedSpmspv::<BoolOrAnd>::prepare(&m, SpmspvVariant::Csc2d, &sys)
+        .expect("fits")
+        .run(&x, &sys)
+        .expect("dims");
+    assert_golden(&faulty_fingerprint(&outcome.kernel), SPMSPV_FAULTY_GOLDEN, "faulty SpMSpV");
+}
+
+#[test]
+fn spmm_faulty_report_matches_golden_snapshot() {
+    let sys = faulty_system();
+    let m = matrix();
+    let x = MultiVector::filled(3_000, 4, 1u32);
+    let outcome = PreparedSpmm::<BoolOrAnd>::prepare(&m, 4, &sys)
+        .expect("fits")
+        .run(&x, &sys)
+        .expect("dims");
+    assert_golden(&faulty_fingerprint(&outcome.kernel), SPMM_FAULTY_GOLDEN, "faulty SpMM");
+}
+
 /// The exporters stay aligned with the frozen taxonomy: the CSV header
 /// carries one column per registry counter, and every data row has the
 /// same arity.
@@ -151,7 +215,18 @@ xfer.gather_bytes=48000
 xfer.batches=2
 host.merge_bytes=48000
 host.scan_bytes=0
-host.reductions=1";
+host.reductions=1
+slot.fault=0
+tasklet.fault=0
+fault.injected=0
+fault.detected=0
+fault.recovered=0
+fault.lost_dpus=0
+fault.retries=0
+fault.redistributions=0
+fault.straggler_cycles=0
+fault.retry_cycles=0
+fault.timeouts=0";
 
 const SPMSPV_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=20107 instr=77984
@@ -184,7 +259,18 @@ xfer.gather_bytes=16640
 xfer.batches=2
 host.merge_bytes=11760
 host.scan_bytes=0
-host.reductions=1";
+host.reductions=1
+slot.fault=0
+tasklet.fault=0
+fault.injected=0
+fault.detected=0
+fault.recovered=0
+fault.lost_dpus=0
+fault.retries=0
+fault.redistributions=0
+fault.straggler_cycles=0
+fault.retry_cycles=0
+fault.timeouts=0";
 
 const SPMM_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=69619 instr=762288
@@ -217,4 +303,150 @@ xfer.gather_bytes=192000
 xfer.batches=2
 host.merge_bytes=192000
 host.scan_bytes=0
-host.reductions=1";
+host.reductions=1
+slot.fault=0
+tasklet.fault=0
+fault.injected=0
+fault.detected=0
+fault.recovered=0
+fault.lost_dpus=0
+fault.retries=0
+fault.redistributions=0
+fault.straggler_cycles=0
+fault.retry_cycles=0
+fault.timeouts=0";
+
+const SPMV_FAULTY_GOLDEN: &str = "\
+degraded=false
+num_dpus=16 detailed=16 max_cycles=82844 instr=409904
+active=409904 memory=95752 revolver=22533 rf=1351
+details=16 tasklets_each=16
+slot.issue=409904
+slot.memory=95752
+slot.revolver=22533
+slot.rf=1351
+dpu.cycles=594986
+tasklet.issue=409904
+tasklet.dispatch=1300884
+tasklet.revolver=4084880
+tasklet.rf=27747
+tasklet.dma_queue=984913
+tasklet.dma_startup=66176
+tasklet.dma_transfer=228064
+tasklet.mutex=0
+tasklet.barrier=447648
+tasklet.tail=922424
+tasklet.budget=9519776
+event.spin_retries=0
+event.dma_transfers=752
+event.dma_bytes=455872
+event.mutex_acquires=256
+event.barrier_crossings=768
+xfer.scatter_bytes=48000
+xfer.broadcast_bytes=0
+xfer.gather_bytes=48000
+xfer.batches=2
+host.merge_bytes=48000
+host.scan_bytes=0
+host.reductions=1
+slot.fault=65446
+tasklet.fault=1047136
+fault.injected=6
+fault.detected=6
+fault.recovered=6
+fault.lost_dpus=0
+fault.retries=9
+fault.redistributions=1
+fault.straggler_cycles=20143
+fault.retry_cycles=45303
+fault.timeouts=0";
+
+const SPMSPV_FAULTY_GOLDEN: &str = "\
+degraded=false
+num_dpus=16 detailed=16 max_cycles=38658 instr=77984
+active=80084 memory=199194 revolver=7936 rf=67
+details=16 tasklets_each=16
+slot.issue=80084
+slot.memory=199194
+slot.revolver=7936
+slot.rf=67
+dpu.cycles=320588
+tasklet.issue=80084
+tasklet.dispatch=80462
+tasklet.revolver=750980
+tasklet.rf=4108
+tasklet.dma_queue=2653069
+tasklet.dma_startup=216656
+tasklet.dma_transfer=45272
+tasklet.mutex=90300
+tasklet.barrier=1984
+tasklet.tail=673581
+tasklet.budget=5129408
+event.spin_retries=2100
+event.dma_transfers=2462
+event.dma_bytes=90288
+event.mutex_acquires=3262
+event.barrier_crossings=512
+xfer.scatter_bytes=9600
+xfer.broadcast_bytes=0
+xfer.gather_bytes=16640
+xfer.batches=2
+host.merge_bytes=11760
+host.scan_bytes=0
+host.reductions=1
+slot.fault=33307
+tasklet.fault=532912
+fault.injected=6
+fault.detected=6
+fault.recovered=6
+fault.lost_dpus=0
+fault.retries=9
+fault.redistributions=1
+fault.straggler_cycles=9754
+fault.retry_cycles=23553
+fault.timeouts=0";
+
+const SPMM_FAULTY_GOLDEN: &str = "\
+degraded=false
+num_dpus=16 detailed=16 max_cycles=139080 instr=762288
+active=762288 memory=102923 revolver=4662 rf=413
+details=16 tasklets_each=16
+slot.issue=762288
+slot.memory=102923
+slot.revolver=4662
+slot.rf=413
+dpu.cycles=975782
+tasklet.issue=762288
+tasklet.dispatch=3034592
+tasklet.revolver=7613280
+tasklet.rf=55172
+tasklet.dma_queue=1078486
+tasklet.dma_startup=61952
+tasklet.dma_transfer=276000
+tasklet.mutex=0
+tasklet.barrier=0
+tasklet.tail=1042806
+tasklet.budget=15612512
+event.spin_retries=0
+event.dma_transfers=704
+event.dma_bytes=552000
+event.mutex_acquires=0
+event.barrier_crossings=256
+xfer.scatter_bytes=192000
+xfer.broadcast_bytes=0
+xfer.gather_bytes=192000
+xfer.batches=2
+host.merge_bytes=192000
+host.scan_bytes=0
+host.reductions=1
+slot.fault=105496
+tasklet.fault=1687936
+fault.injected=7
+fault.detected=7
+fault.recovered=7
+fault.lost_dpus=0
+fault.retries=11
+fault.redistributions=1
+fault.straggler_cycles=33309
+fault.retry_cycles=72187
+fault.timeouts=1";
