@@ -5,24 +5,30 @@
 //! alpha_pim_cli <bfs|sssp|ppr|wcc|widest> <graph> [options]
 //! alpha_pim_cli top <graph> [options]        per-DPU/per-tasklet cycle attribution
 //! alpha_pim_cli chaos <graph> [options]      fault-injection sweep vs fault-free BFS
+//! alpha_pim_cli serve <graph> [options]      batched multi-query serving vs sequential
 //!
 //! <graph>     path to a .mtx file, or a catalog abbreviation (e.g. A302)
 //! --source N      source vertex (default 0)
 //! --dpus N        DPU count (default 2048)
 //! --scale F       catalog scale factor in (0,1] (default 0.1)
 //! --seed N        generator seed (default 42)
-//! --policy P      adaptive | spmv | spmspv | threshold:<0..1> (default adaptive)
+//! --policy P      adaptive | spmv | spmv1d | spmspv | threshold:<0..1> (default adaptive)
 //! --max-weight W  synthetic edge weights in [1,W] for sssp/widest (default 16)
 //! --kernel K      top only: spmv | spmspv (default spmv)
 //! --density F     top only: input-vector density (default 0.1)
 //! --limit N       top only: rows in the per-DPU table (default 10)
 //! --fault-seed N  chaos only: seed of the fault draws (default 0xC4A05)
+//! --queries N     serve only: queries in the seeded trace (default 64)
+//! --batch N       serve only: queries per batch (default 16)
+//! --trace-seed N  serve only: seed of the query trace (default 0x5EED)
+//! --json PATH     serve only: also write the amortization record as JSON
 //! ```
 
 use std::process::ExitCode;
 
 use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
 use alpha_pim::semiring::{BoolOrAnd, Semiring};
+use alpha_pim::serve::{seeded_trace, QueryResult, ServeConfig, ServeEngine};
 use alpha_pim::{AlphaPim, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
 use alpha_pim_bench::harness::striped_vector;
 use alpha_pim_sim::host::detect_faults;
@@ -30,6 +36,12 @@ use alpha_pim_sim::{
     CounterId, CounterSet, FaultPlan, ObservabilityLevel, PimConfig, ResiliencePolicy, SimFidelity,
 };
 use alpha_pim_sparse::{datasets, mtx, Graph};
+
+/// Every subcommand the CLI accepts; anything else is rejected *before*
+/// graph loading so typos exit non-zero with usage instead of part-running.
+const ALGORITHMS: &[&str] = &[
+    "bfs", "sssp", "ppr", "wcc", "widest", "triangles", "msbfs", "kcore", "top", "chaos", "serve",
+];
 
 struct Args {
     algo: String,
@@ -44,11 +56,20 @@ struct Args {
     density: f64,
     limit: usize,
     fault_seed: u64,
+    queries: usize,
+    batch: u32,
+    trace_seed: u64,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut raw = std::env::args().skip(1);
-    let algo = raw.next().ok_or("missing algorithm (bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos)")?;
+    let algo = raw
+        .next()
+        .ok_or_else(|| format!("missing algorithm ({})", ALGORITHMS.join("|")))?;
+    if !ALGORITHMS.contains(&algo.as_str()) {
+        return Err(format!("unknown algorithm {algo:?} (expected {})", ALGORITHMS.join("|")));
+    }
     let graph = raw.next().ok_or("missing graph (path.mtx or catalog abbrev)")?;
     let mut args = Args {
         algo,
@@ -63,6 +84,10 @@ fn parse_args() -> Result<Args, String> {
         density: 0.1,
         limit: 10,
         fault_seed: 0xC4A05,
+        queries: 64,
+        batch: 16,
+        trace_seed: 0x5EED,
+        json: None,
     };
     while let Some(flag) = raw.next() {
         let value = raw.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -76,10 +101,15 @@ fn parse_args() -> Result<Args, String> {
             "--density" => args.density = value.parse().map_err(|e| format!("{e}"))?,
             "--limit" => args.limit = value.parse().map_err(|e| format!("{e}"))?,
             "--fault-seed" => args.fault_seed = value.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => args.queries = value.parse().map_err(|e| format!("{e}"))?,
+            "--batch" => args.batch = value.parse().map_err(|e| format!("{e}"))?,
+            "--trace-seed" => args.trace_seed = value.parse().map_err(|e| format!("{e}"))?,
+            "--json" => args.json = Some(value),
             "--policy" => {
                 args.policy = match value.as_str() {
                     "adaptive" => KernelPolicy::Adaptive,
                     "spmv" => KernelPolicy::SpmvOnly(SpmvVariant::Dcoo2d),
+                    "spmv1d" => KernelPolicy::SpmvOnly(SpmvVariant::Coo1d),
                     "spmspv" => KernelPolicy::SpmspvOnly(SpmspvVariant::Csc2d),
                     other => {
                         let t = other
@@ -120,7 +150,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N]");
+            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH]");
             return ExitCode::FAILURE;
         }
     };
@@ -140,6 +170,9 @@ fn run(args: &Args) -> Result<(), String> {
     }
     if args.algo == "chaos" {
         return run_chaos(args, &graph);
+    }
+    if args.algo == "serve" {
+        return run_serve(args, &graph);
     }
     let engine = AlphaPim::new(PimConfig {
         num_dpus: args.dpus,
@@ -242,6 +275,155 @@ fn run(args: &Args) -> Result<(), String> {
             s.kernel.to_string(),
             s.phases.total() * 1e3,
         );
+    }
+    Ok(())
+}
+
+fn fnv(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(0x100_0000_01b3)
+}
+
+/// Order-sensitive fingerprint over every answer bit of a result set, so
+/// batched and sequential replays can be compared with one number.
+fn fingerprint_results(results: &[QueryResult]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for r in results {
+        match r {
+            QueryResult::Bfs(b) => {
+                h = fnv(h, 1);
+                for &l in &b.levels {
+                    h = fnv(h, u64::from(l));
+                }
+            }
+            QueryResult::Sssp(s) => {
+                h = fnv(h, 2);
+                for &d in &s.distances {
+                    h = fnv(h, u64::from(d));
+                }
+            }
+            QueryResult::Ppr(p) => {
+                h = fnv(h, 3);
+                for &v in &p.scores {
+                    h = fnv(h, u64::from(v.to_bits()));
+                }
+            }
+        }
+    }
+    h
+}
+
+/// `serve`: replay a seeded trace of mixed BFS/SSSP/PPR queries through the
+/// batched serving engine and through a sequential (batch size 1) replay,
+/// then verify both produce bit-identical answers and report what batching
+/// amortized. Exits non-zero on any fingerprint mismatch, so CI can use
+/// this command directly as a smoke check.
+fn run_serve(args: &Args, graph: &Graph) -> Result<(), String> {
+    let weighted = graph.with_random_weights(args.max_weight);
+    let engine = AlphaPim::new(PimConfig {
+        num_dpus: args.dpus,
+        fidelity: SimFidelity::Sampled(64),
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let options = AppOptions { policy: args.policy, ..Default::default() };
+    let config = ServeConfig { batch_size: args.batch, options, ..Default::default() };
+    let trace = seeded_trace(weighted.nodes(), args.queries, args.trace_seed);
+    println!(
+        "serve — {} queries on {} ({} nodes, {} edges, {} DPUs, batch {}, trace seed {:#x})",
+        trace.len(),
+        args.graph,
+        weighted.nodes(),
+        weighted.edges(),
+        args.dpus,
+        args.batch,
+        args.trace_seed,
+    );
+
+    let mut batched = ServeEngine::new(&engine, config);
+    let (results, batches) = batched.serve(&weighted, &trace).map_err(|e| e.to_string())?;
+    let mut sequential =
+        ServeEngine::new(&engine, ServeConfig { batch_size: 1, ..config });
+    let (seq_results, _) = sequential.serve(&weighted, &trace).map_err(|e| e.to_string())?;
+
+    println!(
+        "\n{:>5} {:>7} {:>6} {:>10} {:>12} {:>10} {:>12} {:>8} {:>5} {:>7}",
+        "batch", "queries", "steps", "seq ms", "batched ms", "saved ms", "bytes saved", "batches", "hits", "misses"
+    );
+    for (i, b) in batches.iter().enumerate() {
+        println!(
+            "{:>5} {:>7} {:>6} {:>10.3} {:>12.3} {:>10.3} {:>12} {:>8} {:>5} {:>7}",
+            i,
+            b.queries,
+            b.supersteps,
+            b.seq_seconds * 1e3,
+            b.batched_seconds * 1e3,
+            b.seconds_saved() * 1e3,
+            b.broadcast_bytes_saved,
+            b.transfer_batches_saved,
+            b.cache_hits,
+            b.cache_misses,
+        );
+    }
+    let seq_total: f64 = batches.iter().map(|b| b.seq_seconds).sum();
+    let batched_total: f64 = batches.iter().map(|b| b.batched_seconds).sum();
+    let bytes_saved: u64 = batches.iter().map(|b| b.broadcast_bytes_saved).sum();
+    let batches_saved: u64 = batches.iter().map(|b| b.transfer_batches_saved).sum();
+    // Host→DPU broadcast bus traffic of the sequential replay, from the
+    // per-iteration counter rollups; batching removes `bytes_saved` of it.
+    let broadcast_seq: u64 = results
+        .iter()
+        .flat_map(|r| &r.report().iterations)
+        .map(|s| s.kernel_report.breakdown.counters.get(CounterId::XferBroadcastBytes))
+        .sum();
+    let broadcast_batched = broadcast_seq - bytes_saved;
+    println!(
+        "\ntotals: sequential {:.3} ms → batched {:.3} ms ({:.2}x), \
+         {bytes_saved} broadcast bytes and {batches_saved} transfer batches saved",
+        seq_total * 1e3,
+        batched_total * 1e3,
+        seq_total / batched_total.max(f64::MIN_POSITIVE),
+    );
+    println!(
+        "broadcast bus bytes: sequential {broadcast_seq} → batched {broadcast_batched}"
+    );
+    println!(
+        "partition cache: {} misses, {} hits, {} resident",
+        batched.cache_misses(),
+        batched.cache_hits(),
+        batched.cache_len(),
+    );
+
+    let fp_batched = fingerprint_results(&results);
+    let fp_seq = fingerprint_results(&seq_results);
+    if fp_batched != fp_seq {
+        return Err(format!(
+            "batched/sequential answers diverge: fingerprint {fp_batched:#018x} vs {fp_seq:#018x}"
+        ));
+    }
+    println!("fingerprint: {fp_batched:#018x} (batched == sequential)");
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\"graph\": \"{}\", \"queries\": {}, \"batch_size\": {}, \"dpus\": {}, \
+             \"trace_seed\": {}, \"seq_seconds\": {seq_total:.6}, \
+             \"batched_seconds\": {batched_total:.6}, \"speedup\": {:.3}, \
+             \"broadcast_bytes_seq\": {broadcast_seq}, \
+             \"broadcast_bytes_batched\": {broadcast_batched}, \
+             \"broadcast_bytes_saved\": {bytes_saved}, \
+             \"transfer_batches_saved\": {batches_saved}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"fingerprint\": \"{fp_batched:#018x}\"}}\n",
+            args.graph,
+            trace.len(),
+            args.batch,
+            args.dpus,
+            args.trace_seed,
+            seq_total / batched_total.max(f64::MIN_POSITIVE),
+            batched.cache_hits(),
+            batched.cache_misses(),
+        );
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
     }
     Ok(())
 }

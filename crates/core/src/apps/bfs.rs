@@ -6,6 +6,8 @@
 //! non-zero and its density trajectory drives the SpMSpV→SpMV switch of
 //! §4.2 (Fig 4, left).
 
+use std::rc::Rc;
+
 use alpha_pim_sim::PimSystem;
 use alpha_pim_sparse::{Coo, SparseVector};
 
@@ -42,20 +44,84 @@ pub fn run(
     threshold: f64,
     sys: &PimSystem,
 ) -> Result<BfsResult, AlphaPimError> {
-    let engine: MvEngine<BoolOrAnd> = MvEngine::new(matrix, options, threshold, sys)?;
-    let n = engine.n();
-    check_source(source, n)?;
+    let engine: Rc<MvEngine<BoolOrAnd>> = Rc::new(MvEngine::new(matrix, options, threshold, sys)?);
+    let mut stepper = BfsStepper::new(engine, source, options.max_iterations)?;
+    while stepper.step(sys)? {}
+    Ok(stepper.into_result())
+}
 
-    let mut levels = vec![UNREACHED; n as usize];
-    levels[source as usize] = 0;
-    let mut visited = vec![false; n as usize];
-    visited[source as usize] = true;
-    let mut frontier = SparseVector::one_hot(n as usize, source, BoolOrAnd::one());
-    let mut report = AppReport::default();
+/// Resumable BFS: one [`Self::step`] call runs exactly one superstep of
+/// [`run`]'s loop, against a (possibly shared, cached) prepared engine.
+/// Driving a stepper to completion is bit-identical to [`run`] — the
+/// serving engine interleaves steppers of many queries without perturbing
+/// any one query's answer or its per-iteration record.
+pub(crate) struct BfsStepper {
+    engine: Rc<MvEngine<BoolOrAnd>>,
+    n: u32,
+    levels: Vec<u32>,
+    visited: Vec<bool>,
+    frontier: SparseVector<u32>,
+    report: AppReport,
+    iter: u32,
+    max_iterations: u32,
+    done: bool,
+}
 
-    for iter in 0..options.max_iterations {
-        let density = frontier.density();
-        let (outcome, kernel) = engine.multiply(&frontier, sys)?;
+impl BfsStepper {
+    pub(crate) fn new(
+        engine: Rc<MvEngine<BoolOrAnd>>,
+        source: u32,
+        max_iterations: u32,
+    ) -> Result<Self, AlphaPimError> {
+        let n = engine.n();
+        check_source(source, n)?;
+        let mut levels = vec![UNREACHED; n as usize];
+        levels[source as usize] = 0;
+        let mut visited = vec![false; n as usize];
+        visited[source as usize] = true;
+        let frontier = SparseVector::one_hot(n as usize, source, BoolOrAnd::one());
+        Ok(BfsStepper {
+            engine,
+            n,
+            levels,
+            visited,
+            frontier,
+            report: AppReport::default(),
+            iter: 0,
+            max_iterations,
+            done: false,
+        })
+    }
+
+    /// Whether the query has finished (converged or hit its iteration cap).
+    pub(crate) fn is_done(&self) -> bool {
+        self.done || self.iter >= self.max_iterations
+    }
+
+    /// Non-zeros in the frontier the *next* step will multiply by.
+    pub(crate) fn frontier_nnz(&self) -> u64 {
+        self.frontier.nnz() as u64
+    }
+
+    /// The dense vector length (the matrix dimension).
+    pub(crate) fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The performance record accumulated so far.
+    pub(crate) fn report(&self) -> &AppReport {
+        &self.report
+    }
+
+    /// Runs one superstep. Returns `true` while more steps remain.
+    pub(crate) fn step(&mut self, sys: &PimSystem) -> Result<bool, AlphaPimError> {
+        if self.is_done() {
+            return Ok(false);
+        }
+        let iter = self.iter;
+        let n = self.n;
+        let density = self.frontier.density();
+        let (outcome, kernel) = self.engine.multiply(&self.frontier, sys)?;
         // Host-side frontier update: scan the returned vector, mask the
         // visited set (folded into the merge phase, like the paper's
         // convergence checks, §6.3.1).
@@ -64,13 +130,13 @@ pub fn run(
 
         let mut next_idx = Vec::new();
         for (i, v) in outcome.y.values().iter().enumerate() {
-            if !BoolOrAnd::is_zero(v) && !visited[i] {
-                visited[i] = true;
-                levels[i] = iter + 1;
+            if !BoolOrAnd::is_zero(v) && !self.visited[i] {
+                self.visited[i] = true;
+                self.levels[i] = iter + 1;
                 next_idx.push(i as u32);
             }
         }
-        report.push(IterationStats {
+        self.report.push(IterationStats {
             index: iter,
             input_density: density,
             kernel,
@@ -78,15 +144,22 @@ pub fn run(
             kernel_report: outcome.kernel,
             useful_ops: outcome.useful_ops,
         });
+        self.iter += 1;
         if next_idx.is_empty() {
-            report.converged = true;
-            break;
+            self.report.converged = true;
+            self.done = true;
+            return Ok(false);
         }
         let vals = vec![BoolOrAnd::one(); next_idx.len()];
-        frontier = SparseVector::from_pairs(n as usize, next_idx, vals)
+        self.frontier = SparseVector::from_pairs(n as usize, next_idx, vals)
             .expect("frontier indices are unique and in range");
+        Ok(!self.is_done())
     }
-    Ok(BfsResult { levels, report })
+
+    /// Finishes the query, yielding the result and its record.
+    pub(crate) fn into_result(self) -> BfsResult {
+        BfsResult { levels: self.levels, report: self.report }
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! (§5.1). The heavy use of software-emulated floating-point makes PPR
 //! kernel-dominated on UPMEM (Fig 8, observation 2).
 
+use std::rc::Rc;
+
 use alpha_pim_sim::PimSystem;
 use alpha_pim_sparse::{Coo, SparseVector};
 
@@ -75,19 +77,87 @@ pub fn run(
     threshold: f64,
     sys: &PimSystem,
 ) -> Result<PprResult, AlphaPimError> {
-    let engine: MvEngine<PlusTimes> = MvEngine::new(matrix, &options.app, threshold, sys)?;
-    let n = engine.n();
-    check_source(source, n)?;
-    let eps = options.epsilon;
+    let engine: Rc<MvEngine<PlusTimes>> =
+        Rc::new(MvEngine::new(matrix, &options.app, threshold, sys)?);
+    let mut stepper = PprStepper::new(engine, source, options)?;
+    while stepper.step(sys)? {}
+    Ok(stepper.into_result())
+}
 
-    let mut scores = vec![0.0f32; n as usize];
-    scores[source as usize] = 1.0;
-    let mut x = SparseVector::one_hot(n as usize, source, 1.0f32);
-    let mut report = AppReport::default();
+/// Resumable PPR: one [`Self::step`] call runs exactly one power iteration
+/// of [`run`]'s loop. Driving a stepper to completion is bit-identical to
+/// [`run`] (see [`crate::apps::bfs::BfsStepper`]).
+pub(crate) struct PprStepper {
+    engine: Rc<MvEngine<PlusTimes>>,
+    n: u32,
+    source: u32,
+    alpha: f32,
+    tolerance: f32,
+    epsilon: f32,
+    scores: Vec<f32>,
+    x: SparseVector<f32>,
+    report: AppReport,
+    iter: u32,
+    max_iterations: u32,
+    done: bool,
+}
 
-    for iter in 0..options.app.max_iterations {
-        let density = x.density();
-        let (outcome, kernel) = engine.multiply(&x, sys)?;
+impl PprStepper {
+    pub(crate) fn new(
+        engine: Rc<MvEngine<PlusTimes>>,
+        source: u32,
+        options: &PprOptions,
+    ) -> Result<Self, AlphaPimError> {
+        let n = engine.n();
+        check_source(source, n)?;
+        let mut scores = vec![0.0f32; n as usize];
+        scores[source as usize] = 1.0;
+        let x = SparseVector::one_hot(n as usize, source, 1.0f32);
+        Ok(PprStepper {
+            engine,
+            n,
+            source,
+            alpha: options.alpha,
+            tolerance: options.tolerance,
+            epsilon: options.epsilon,
+            scores,
+            x,
+            report: AppReport::default(),
+            iter: 0,
+            max_iterations: options.app.max_iterations,
+            done: false,
+        })
+    }
+
+    /// Whether the query has finished (converged or hit its iteration cap).
+    pub(crate) fn is_done(&self) -> bool {
+        self.done || self.iter >= self.max_iterations
+    }
+
+    /// Non-zeros in the score vector the *next* step will multiply by.
+    pub(crate) fn frontier_nnz(&self) -> u64 {
+        self.x.nnz() as u64
+    }
+
+    /// The dense vector length (the matrix dimension).
+    pub(crate) fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The performance record accumulated so far.
+    pub(crate) fn report(&self) -> &AppReport {
+        &self.report
+    }
+
+    /// Runs one power iteration. Returns `true` while more steps remain.
+    pub(crate) fn step(&mut self, sys: &PimSystem) -> Result<bool, AlphaPimError> {
+        if self.is_done() {
+            return Ok(false);
+        }
+        let iter = self.iter;
+        let n = self.n;
+        let density = self.x.density();
+        let (outcome, kernel) = self.engine.multiply(&self.x, sys)?;
         // Host-side α-blend and convergence check: two streaming passes,
         // charged like the paper's merge-phase bookkeeping.
         let mut phases = outcome.phases;
@@ -96,13 +166,13 @@ pub fn run(
         let mut delta = 0.0f32;
         let mut next = vec![0.0f32; n as usize];
         for (i, &yi) in outcome.y.values().iter().enumerate() {
-            let teleport = if i as u32 == source { 1.0 - options.alpha } else { 0.0 };
-            let v = options.alpha * yi + teleport;
-            delta += (v - scores[i]).abs();
+            let teleport = if i as u32 == self.source { 1.0 - self.alpha } else { 0.0 };
+            let v = self.alpha * yi + teleport;
+            delta += (v - self.scores[i]).abs();
             next[i] = v;
         }
-        scores = next;
-        report.push(IterationStats {
+        self.scores = next;
+        self.report.push(IterationStats {
             index: iter,
             input_density: density,
             kernel,
@@ -110,22 +180,29 @@ pub fn run(
             kernel_report: outcome.kernel,
             useful_ops: outcome.useful_ops,
         });
-        if delta <= options.tolerance {
-            report.converged = true;
-            break;
+        self.iter += 1;
+        if delta <= self.tolerance {
+            self.report.converged = true;
+            self.done = true;
+            return Ok(false);
         }
         let mut idx = Vec::new();
         let mut vals = Vec::new();
-        for (i, &v) in scores.iter().enumerate() {
-            if v.abs() > eps {
+        for (i, &v) in self.scores.iter().enumerate() {
+            if v.abs() > self.epsilon {
                 idx.push(i as u32);
                 vals.push(v);
             }
         }
-        x = SparseVector::from_pairs(n as usize, idx, vals)
+        self.x = SparseVector::from_pairs(n as usize, idx, vals)
             .expect("score indices are unique and in range");
+        Ok(!self.is_done())
     }
-    Ok(PprResult { scores, report })
+
+    /// Finishes the query, yielding the result and its record.
+    pub(crate) fn into_result(self) -> PprResult {
+        PprResult { scores: self.scores, report: self.report }
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //! distance `y[i] = min over edges (j→i) of (dist[j] + w)`. The frontier
 //! shrinks as distances settle, so density falls over time (Fig 4, right).
 
+use std::rc::Rc;
+
 use alpha_pim_sim::PimSystem;
 use alpha_pim_sparse::{Coo, SparseVector};
 
@@ -38,18 +40,78 @@ pub fn run(
     threshold: f64,
     sys: &PimSystem,
 ) -> Result<SsspResult, AlphaPimError> {
-    let engine: MvEngine<MinPlus> = MvEngine::new(matrix, options, threshold, sys)?;
-    let n = engine.n();
-    check_source(source, n)?;
+    let engine: Rc<MvEngine<MinPlus>> = Rc::new(MvEngine::new(matrix, options, threshold, sys)?);
+    let mut stepper = SsspStepper::new(engine, source, options.max_iterations)?;
+    while stepper.step(sys)? {}
+    Ok(stepper.into_result())
+}
 
-    let mut dist = vec![INF; n as usize];
-    dist[source as usize] = 0;
-    let mut frontier = SparseVector::one_hot(n as usize, source, 0u32);
-    let mut report = AppReport::default();
+/// Resumable SSSP: one [`Self::step`] call runs exactly one Bellman-Ford
+/// round of [`run`]'s loop. Driving a stepper to completion is bit-identical
+/// to [`run`] (see [`crate::apps::bfs::BfsStepper`]).
+pub(crate) struct SsspStepper {
+    engine: Rc<MvEngine<MinPlus>>,
+    n: u32,
+    dist: Vec<u32>,
+    frontier: SparseVector<u32>,
+    report: AppReport,
+    iter: u32,
+    max_iterations: u32,
+    done: bool,
+}
 
-    for iter in 0..options.max_iterations {
-        let density = frontier.density();
-        let (outcome, kernel) = engine.multiply(&frontier, sys)?;
+impl SsspStepper {
+    pub(crate) fn new(
+        engine: Rc<MvEngine<MinPlus>>,
+        source: u32,
+        max_iterations: u32,
+    ) -> Result<Self, AlphaPimError> {
+        let n = engine.n();
+        check_source(source, n)?;
+        let mut dist = vec![INF; n as usize];
+        dist[source as usize] = 0;
+        let frontier = SparseVector::one_hot(n as usize, source, 0u32);
+        Ok(SsspStepper {
+            engine,
+            n,
+            dist,
+            frontier,
+            report: AppReport::default(),
+            iter: 0,
+            max_iterations,
+            done: false,
+        })
+    }
+
+    /// Whether the query has finished (converged or hit its iteration cap).
+    pub(crate) fn is_done(&self) -> bool {
+        self.done || self.iter >= self.max_iterations
+    }
+
+    /// Non-zeros in the frontier the *next* step will multiply by.
+    pub(crate) fn frontier_nnz(&self) -> u64 {
+        self.frontier.nnz() as u64
+    }
+
+    /// The dense vector length (the matrix dimension).
+    pub(crate) fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The performance record accumulated so far.
+    pub(crate) fn report(&self) -> &AppReport {
+        &self.report
+    }
+
+    /// Runs one relaxation round. Returns `true` while more steps remain.
+    pub(crate) fn step(&mut self, sys: &PimSystem) -> Result<bool, AlphaPimError> {
+        if self.is_done() {
+            return Ok(false);
+        }
+        let iter = self.iter;
+        let n = self.n;
+        let density = self.frontier.density();
+        let (outcome, kernel) = self.engine.multiply(&self.frontier, sys)?;
         let mut phases = outcome.phases;
         phases.merge += sys.scan_time(n as u64, 4);
 
@@ -57,13 +119,13 @@ pub fn run(
         let mut improved_idx = Vec::new();
         let mut improved_val = Vec::new();
         for (i, &cand) in outcome.y.values().iter().enumerate() {
-            if cand < dist[i] {
-                dist[i] = cand;
+            if cand < self.dist[i] {
+                self.dist[i] = cand;
                 improved_idx.push(i as u32);
                 improved_val.push(cand);
             }
         }
-        report.push(IterationStats {
+        self.report.push(IterationStats {
             index: iter,
             input_density: density,
             kernel,
@@ -71,14 +133,21 @@ pub fn run(
             kernel_report: outcome.kernel,
             useful_ops: outcome.useful_ops,
         });
+        self.iter += 1;
         if improved_idx.is_empty() {
-            report.converged = true;
-            break;
+            self.report.converged = true;
+            self.done = true;
+            return Ok(false);
         }
-        frontier = SparseVector::from_pairs(n as usize, improved_idx, improved_val)
+        self.frontier = SparseVector::from_pairs(n as usize, improved_idx, improved_val)
             .expect("improved indices are unique and in range");
+        Ok(!self.is_done())
     }
-    Ok(SsspResult { distances: dist, report })
+
+    /// Finishes the query, yielding the result and its record.
+    pub(crate) fn into_result(self) -> SsspResult {
+        SsspResult { distances: self.dist, report: self.report }
+    }
 }
 
 #[cfg(test)]

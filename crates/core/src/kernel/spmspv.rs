@@ -271,10 +271,13 @@ impl<S: Semiring> PreparedSpmspv<S> {
         }
         let mut kernel = acc.finish();
         let mut host = CounterSet::new();
+        // Zero-length bands (`parts > n`) hold no rows: the compressed
+        // vector is only broadcast to the DPUs that compute.
+        let live = (0..num_parts).filter(|&p| !kind.band(p).0.is_empty()).count() as u32;
         let phases = PhaseBreakdown {
             load: sys.broadcast_time_counted(
                 x.compressed_bytes(eb as usize) as u64,
-                num_parts as u32,
+                live,
                 &mut host,
             ),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
@@ -337,10 +340,11 @@ impl<S: Semiring> PreparedSpmspv<S> {
         }
         let mut kernel = acc.finish();
         let mut host = CounterSet::new();
+        let live = bands.iter().filter(|b| !b.rows.is_empty()).count() as u32;
         let phases = PhaseBreakdown {
             load: sys.broadcast_time_counted(
                 x.compressed_bytes(eb as usize) as u64,
-                bands.len() as u32,
+                live,
                 &mut host,
             ),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
@@ -550,6 +554,11 @@ fn coo_matched_traces<S: Semiring>(
     tasklets: u32,
     ops: &mut u64,
 ) -> Vec<TaskletTrace> {
+    // Zero-length band (`parts > n`): a true no-op — no kernel launch, no
+    // events, no fault site.
+    if local_y.is_empty() {
+        return Vec::new();
+    }
     let entry_bytes = coo_entry_bytes(S::elem_bytes());
     let per_chunk = (CHUNK_BYTES / entry_bytes).max(1) as usize;
     let ranges = tasklet_ranges(m.nnz(), tasklets);
@@ -593,6 +602,10 @@ fn csr_matched_traces<S: Semiring>(
     tasklets: u32,
     ops: &mut u64,
 ) -> Vec<TaskletTrace> {
+    // Zero-length band (`parts > n`): a true no-op, see coo_matched_traces.
+    if local_y.is_empty() {
+        return Vec::new();
+    }
     let ranges = tasklet_ranges(m.n_rows() as usize, tasklets);
     let elem_dma = vec_entry_bytes(S::elem_bytes()).max(8);
     let mut traces = Vec::with_capacity(tasklets as usize);
@@ -650,6 +663,13 @@ fn csc_active_traces<S: Semiring>(
     apply: &mut dyn FnMut(u32, S::Elem),
     ops: &mut u64,
 ) -> Vec<TaskletTrace> {
+    // Structurally empty partition: a zero-length row band (`band_bytes ==
+    // 0`) or a zero-width column band (no matrix entries and no input
+    // segment). Nothing resides on the DPU, so no kernel is launched and
+    // no events, cycles, or fault sites may appear.
+    if m.nnz() == 0 && (band_bytes == 0 || x_entries.is_empty()) {
+        return Vec::new();
+    }
     let eb = S::elem_bytes();
     let ventry = vec_entry_bytes(eb);
     // The shared-WRAM accumulator needs the whole band plus streaming room.

@@ -213,8 +213,11 @@ impl<S: Semiring> PreparedSpmv<S> {
                 }
                 let mut kernel = acc.finish();
                 let mut host = CounterSet::new();
+                // Zero-length bands (`parts > n`) hold no rows, so the
+                // vector is only broadcast to the DPUs that compute.
+                let live = parts.iter().filter(|p| !p.row_range.is_empty()).count() as u32;
                 let phases = PhaseBreakdown {
-                    load: sys.broadcast_time_counted(self.n as u64 * eb, parts.len() as u32, &mut host),
+                    load: sys.broadcast_time_counted(self.n as u64 * eb, live, &mut host),
                     kernel: kernel.seconds + KERNEL_LAUNCH_S,
                     retrieve: sys.gather_time_counted(&retrieve, &mut host),
                     merge: 0.0,
@@ -250,8 +253,9 @@ impl<S: Semiring> PreparedSpmv<S> {
                 }
                 let mut kernel = acc.finish();
                 let mut host = CounterSet::new();
+                let live = bands.iter().filter(|b| !b.rows.is_empty()).count() as u32;
                 let phases = PhaseBreakdown {
-                    load: sys.broadcast_time_counted(self.n as u64 * eb, bands.len() as u32, &mut host),
+                    load: sys.broadcast_time_counted(self.n as u64 * eb, live, &mut host),
                     kernel: kernel.seconds + KERNEL_LAUNCH_S,
                     retrieve: sys.gather_time_counted(&retrieve, &mut host),
                     merge: 0.0,
@@ -272,6 +276,12 @@ impl<S: Semiring> PreparedSpmv<S> {
                 let evals = par_map_indexed(&grid.tiles, |_, t| {
                     let rows = (t.row_range.end - t.row_range.start) as usize;
                     let seg = &x.values()[t.col_range.start as usize..t.col_range.end as usize];
+                    if rows == 0 || seg.is_empty() {
+                        // Degenerate tile (more grid rows/cols than
+                        // indices): no input segment is scattered to it
+                        // and no kernel is launched on it.
+                        return (acc.evaluate(t.part, &[]), Vec::new(), 0u64);
+                    }
                     let seg_bytes = seg.len() as u64 * eb;
                     let access = if seg_bytes <= cache_budget {
                         XAccess::WramCached { preload_bytes: seg_bytes }
@@ -355,6 +365,12 @@ fn coo_band_traces<S: Semiring>(
     access: XAccess,
     wram_bytes: u32,
 ) -> Vec<TaskletTrace> {
+    // Structurally empty partition (zero-length band from `parts > n`, or
+    // a degenerate tile): nothing resides on the DPU, so no kernel is
+    // launched and no events, cycles, or fault sites may appear.
+    if m.nnz() == 0 && (local_y.is_empty() || xs.is_empty()) {
+        return Vec::new();
+    }
     let eb = S::elem_bytes();
     let entry_bytes = coo_entry_bytes(eb);
     let entries_per_chunk = (CHUNK_BYTES / entry_bytes).max(1) as usize;
@@ -433,6 +449,10 @@ fn csr_band_traces<S: Semiring>(
     tasklets: u32,
     wram_bytes: u32,
 ) -> Vec<TaskletTrace> {
+    // Zero-length band (`parts > n`): a true no-op, see coo_band_traces.
+    if local_y.is_empty() {
+        return Vec::new();
+    }
     let eb = S::elem_bytes();
     let ventry = 4 + eb;
     let band_bytes = local_y.len() as u64 * eb as u64;

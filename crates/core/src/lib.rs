@@ -53,6 +53,7 @@ pub mod framework;
 pub mod gblas;
 pub mod kernel;
 pub mod semiring;
+pub mod serve;
 
 pub use adaptive::{DecisionTree, GraphFeatures};
 pub use cost_model::EmpiricalCostModel;

@@ -1,0 +1,655 @@
+//! Batched multi-query serving engine.
+//!
+//! Interactive graph services answer many traversal queries against the
+//! same (slowly changing) graph: BFS reachability probes, shortest-path
+//! lookups, personalized-PageRank recommendations. Running each query
+//! through [`crate::AlphaPim`] alone repeats two costs that the queries
+//! could share:
+//!
+//! 1. **Partitioning + MRAM load** — the matrix is re-partitioned and
+//!    re-checked against DPU capacity for every query, even though every
+//!    query of one application multiplies by the *same* prepared matrix.
+//!    [`ServeEngine`] keeps prepared kernels in a bounded, deterministic
+//!    LRU cache keyed by graph structure, application, DPU count, and
+//!    kernel policy.
+//! 2. **Per-superstep transfer startup** — each query's frontier is a
+//!    separate host→DPU batch, paying the fixed SDK batch-startup window
+//!    once per query per superstep. The batched executor advances every
+//!    live query by one superstep at a time and packs their frontiers into
+//!    a single transfer, paying the startup once per superstep and
+//!    shipping dense 1D-SpMV broadcasts in compressed form when the
+//!    frontier is sparse.
+//!
+//! The batch is a *cost-model overlay*: every query still executes its
+//! exact standalone superstep sequence (same kernels, same fault
+//! verdicts), so batched answers are bit-identical to sequential ones at
+//! any host thread count and under any survivable
+//! [`alpha_pim_sim::FaultPlan`] — faults cost time, never answers. Only
+//! the accounted makespan changes, and only downward.
+
+use std::rc::Rc;
+
+use alpha_pim_sim::report::BatchReport;
+use alpha_pim_sim::{host, transfer, CounterId, CounterSet, PimSystem};
+use alpha_pim_sparse::partition::structural_fingerprint;
+use alpha_pim_sparse::Graph;
+
+use crate::apps::bfs::BfsStepper;
+use crate::apps::ppr::{self, PprStepper};
+use crate::apps::sssp::SsspStepper;
+use crate::apps::{
+    AppOptions, AppReport, BfsResult, KernelPolicy, MvEngine, PprOptions, PprResult, SsspResult,
+};
+use crate::error::AlphaPimError;
+use crate::framework::AlphaPim;
+use crate::kernel::{KernelKind, SpmvVariant};
+use crate::semiring::{BoolOrAnd, MinPlus, PlusTimes, Semiring};
+
+/// Bytes per dense input-vector element (u32 levels/distances, f32 scores).
+const ELEM_BYTES: u64 = 4;
+/// Bytes per packed `(index, value)` frontier entry.
+const PACKED_ENTRY_BYTES: u64 = 4 + ELEM_BYTES;
+
+/// One query admitted to the serving queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Breadth-first search from `source`.
+    Bfs {
+        /// Start vertex.
+        source: u32,
+    },
+    /// Single-source shortest paths from `source`.
+    Sssp {
+        /// Start vertex.
+        source: u32,
+    },
+    /// Personalized PageRank concentrated on `source`.
+    Ppr {
+        /// Personalization vertex.
+        source: u32,
+    },
+}
+
+impl Query {
+    fn app_kind(self) -> AppKind {
+        match self {
+            Query::Bfs { .. } => AppKind::Bfs,
+            Query::Sssp { .. } => AppKind::Sssp,
+            Query::Ppr { .. } => AppKind::Ppr,
+        }
+    }
+}
+
+/// One query's answer, carrying its full standalone [`AppReport`].
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// Answer to a [`Query::Bfs`].
+    Bfs(BfsResult),
+    /// Answer to a [`Query::Sssp`].
+    Sssp(SsspResult),
+    /// Answer to a [`Query::Ppr`].
+    Ppr(PprResult),
+}
+
+impl QueryResult {
+    /// The per-iteration performance record of this query.
+    pub fn report(&self) -> &AppReport {
+        match self {
+            QueryResult::Bfs(r) => &r.report,
+            QueryResult::Sssp(r) => &r.report,
+            QueryResult::Ppr(r) => &r.report,
+        }
+    }
+}
+
+/// Serving-engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Queries executed together per batch (≥ 1).
+    pub batch_size: u32,
+    /// Prepared-kernel cache entries kept before LRU eviction (≥ 1).
+    pub cache_capacity: usize,
+    /// Application options every query runs under.
+    pub options: AppOptions,
+    /// PPR-specific parameters for [`Query::Ppr`] queries.
+    pub ppr: PprOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_size: 16,
+            cache_capacity: 4,
+            options: AppOptions::default(),
+            ppr: PprOptions::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AppKind {
+    Bfs,
+    Sssp,
+    Ppr,
+}
+
+/// What identifies a prepared, MRAM-resident matrix: the graph's exact
+/// structure and weights, the application's lifting, the DPU count, and
+/// every policy knob that changes partitioning or kernel choice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CacheKey {
+    graph_fp: u64,
+    app: AppKind,
+    dpus: u32,
+    policy_bits: u64,
+    threshold_bits: u64,
+}
+
+enum CachedEngine {
+    Bfs(Rc<MvEngine<BoolOrAnd>>),
+    Sssp(Rc<MvEngine<MinPlus>>),
+    Ppr(Rc<MvEngine<PlusTimes>>),
+}
+
+struct CacheEntry {
+    key: CacheKey,
+    engine: CachedEngine,
+    last_used: u64,
+}
+
+/// Encodes every policy field that affects the prepared kernels into a
+/// stable bit pattern for the cache key.
+fn policy_bits(options: &AppOptions) -> u64 {
+    let (tag, payload) = match options.policy {
+        KernelPolicy::SpmvOnly(v) => (1u64, v as u64),
+        KernelPolicy::SpmspvOnly(v) => (2, v as u64),
+        KernelPolicy::FixedThreshold(t) => (3, t.to_bits()),
+        KernelPolicy::Adaptive => (4, 0),
+    };
+    (tag << 60)
+        ^ (payload.rotate_left(16))
+        ^ ((options.spmv_variant as u64) << 8)
+        ^ (options.spmspv_variant as u64)
+}
+
+/// The batched multi-query serving engine. Wraps an [`AlphaPim`] engine
+/// with a partition cache and the shared-transfer batch executor.
+///
+/// # Example
+///
+/// ```
+/// use alpha_pim::serve::{Query, ServeConfig, ServeEngine};
+/// use alpha_pim::AlphaPim;
+/// use alpha_pim_sim::{PimConfig, SimFidelity};
+/// use alpha_pim_sparse::{gen, Graph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = AlphaPim::new(PimConfig {
+///     num_dpus: 8,
+///     fidelity: SimFidelity::Full,
+///     ..Default::default()
+/// })?;
+/// let graph = Graph::from_coo(gen::erdos_renyi(200, 1500, 42)?).with_random_weights(9);
+/// let mut serve = ServeEngine::new(&engine, ServeConfig::default());
+/// let queries = [Query::Bfs { source: 0 }, Query::Sssp { source: 3 }, Query::Bfs { source: 7 }];
+/// let (results, batch) = serve.run_batch(&graph, &queries)?;
+/// assert_eq!(results.len(), 3);
+/// assert!(batch.batched_seconds < batch.seq_seconds);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ServeEngine<'a> {
+    engine: &'a AlphaPim,
+    config: ServeConfig,
+    cache: Vec<CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Creates a serving engine over `engine`'s PIM system and classifier.
+    pub fn new(engine: &'a AlphaPim, config: ServeConfig) -> Self {
+        assert!(config.batch_size >= 1, "batch_size must be at least 1");
+        assert!(config.cache_capacity >= 1, "cache_capacity must be at least 1");
+        ServeEngine { engine, config, cache: Vec::new(), tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Lifetime partition-cache hits.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime partition-cache misses.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Prepared engines currently resident in the cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Serves a whole query trace: splits `queries` into batches of
+    /// [`ServeConfig::batch_size`] and executes each with [`Self::run_batch`].
+    /// Results are returned in query order alongside one [`BatchReport`]
+    /// per batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source-validation, capacity, and kernel errors.
+    pub fn serve(
+        &mut self,
+        graph: &Graph,
+        queries: &[Query],
+    ) -> Result<(Vec<QueryResult>, Vec<BatchReport>), AlphaPimError> {
+        let mut results = Vec::with_capacity(queries.len());
+        let mut batches = Vec::new();
+        for chunk in queries.chunks(self.config.batch_size as usize) {
+            let (rs, batch) = self.run_batch(graph, chunk)?;
+            results.extend(rs);
+            batches.push(batch);
+        }
+        Ok((results, batches))
+    }
+
+    /// Executes one batch of queries against `graph`, sharing one packed
+    /// host→DPU transfer per superstep across every live query.
+    ///
+    /// Answers and per-query [`AppReport`]s are bit-identical to running
+    /// each query alone; the returned [`BatchReport`] additionally accounts
+    /// the batch's amortized makespan and what batching saved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source-validation, capacity, and kernel errors.
+    pub fn run_batch(
+        &mut self,
+        graph: &Graph,
+        queries: &[Query],
+    ) -> Result<(Vec<QueryResult>, BatchReport), AlphaPimError> {
+        let sys = self.engine.system();
+        let graph_fp = structural_fingerprint(graph.adjacency(), u64::from);
+        let hits_before = self.hits;
+        let misses_before = self.misses;
+
+        let mut steppers = Vec::with_capacity(queries.len());
+        for q in queries {
+            steppers.push(self.make_stepper(graph, graph_fp, *q)?);
+        }
+
+        let mut counters = CounterSet::new();
+        counters.add(CounterId::ServeCacheHits, self.hits - hits_before);
+        counters.add(CounterId::ServeCacheMisses, self.misses - misses_before);
+
+        // The batched superstep loop: every live query advances together;
+        // the amortization model credits the transfers the shared batch
+        // elides and charges the host packing pass once, up front (the
+        // packed buffers double-buffer with the DPU kernels afterwards).
+        let tcfg = &sys.config().transfer;
+        let hcfg = &sys.config().host;
+        let dpus = sys.num_dpus();
+        // A lone query has no shared transfer to pack into: it runs (and
+        // costs) exactly its standalone superstep sequence.
+        let shared = queries.len() > 1;
+        let mut savings = 0.0f64;
+        let mut pack_cost = 0.0f64;
+        let mut supersteps = 0u32;
+        loop {
+            let live: Vec<usize> =
+                (0..steppers.len()).filter(|&i| !steppers[i].is_done()).collect();
+            if live.is_empty() {
+                break;
+            }
+            if supersteps == 0 && live.len() > 1 {
+                for &i in &live {
+                    pack_cost += host::pack_time_counted(
+                        hcfg,
+                        steppers[i].frontier_nnz(),
+                        PACKED_ENTRY_BYTES as u32,
+                        &mut counters,
+                    );
+                }
+            }
+            savings += transfer::batched_startup_savings(tcfg, live.len() as u32, &mut counters);
+            for &i in &live {
+                let s = &mut steppers[i];
+                let nnz = s.frontier_nnz();
+                s.step(sys)?;
+                // Dense 1D-SpMV supersteps broadcast the full vector when
+                // standalone; inside the shared batch a sparse frontier
+                // ships packed instead.
+                if !shared {
+                    continue;
+                }
+                if let Some(n) = s.last_step_dense_broadcast() {
+                    let full = u64::from(n) * ELEM_BYTES;
+                    let packed = (nnz * PACKED_ENTRY_BYTES).min(full);
+                    savings +=
+                        transfer::packed_broadcast_savings(tcfg, full, packed, dpus, &mut counters);
+                }
+            }
+            supersteps += 1;
+        }
+
+        let results: Vec<QueryResult> = steppers.into_iter().map(AnyStepper::finish).collect();
+        let seq_seconds: f64 = results.iter().map(|r| r.report().total_seconds()).sum();
+        let degraded = results.iter().any(|r| r.report().degraded);
+        let batched_seconds = seq_seconds - savings + pack_cost;
+        let batch = BatchReport {
+            queries: queries.len() as u32,
+            supersteps,
+            seq_seconds,
+            batched_seconds,
+            broadcast_bytes_saved: counters.get(CounterId::ServeBroadcastSavedBytes),
+            transfer_batches_saved: counters.get(CounterId::ServeBatchesSaved),
+            cache_hits: self.hits - hits_before,
+            cache_misses: self.misses - misses_before,
+            counters,
+            degraded,
+        };
+        Ok((results, batch))
+    }
+
+    fn make_stepper(
+        &mut self,
+        graph: &Graph,
+        graph_fp: u64,
+        query: Query,
+    ) -> Result<AnyStepper, AlphaPimError> {
+        let sys = self.engine.system();
+        let threshold = self.engine.switch_threshold(graph);
+        let key = CacheKey {
+            graph_fp,
+            app: query.app_kind(),
+            dpus: sys.num_dpus(),
+            policy_bits: policy_bits(&self.config.options),
+            threshold_bits: threshold.to_bits(),
+        };
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.cache.iter_mut().find(|e| e.key == key) {
+            entry.last_used = tick;
+            self.hits += 1;
+            return stepper_from(&entry.engine, query, &self.config);
+        }
+        self.misses += 1;
+        let engine = match query.app_kind() {
+            AppKind::Bfs => {
+                let matrix = graph.transposed().map(BoolOrAnd::from_weight);
+                CachedEngine::Bfs(Rc::new(MvEngine::new(
+                    &matrix,
+                    &self.config.options,
+                    threshold,
+                    sys,
+                )?))
+            }
+            AppKind::Sssp => {
+                let matrix = graph.transposed().map(MinPlus::from_weight);
+                CachedEngine::Sssp(Rc::new(MvEngine::new(
+                    &matrix,
+                    &self.config.options,
+                    threshold,
+                    sys,
+                )?))
+            }
+            AppKind::Ppr => {
+                let matrix = ppr::transition_transpose(graph);
+                CachedEngine::Ppr(Rc::new(MvEngine::new(
+                    &matrix,
+                    &self.config.options,
+                    threshold,
+                    sys,
+                )?))
+            }
+        };
+        if self.cache.len() >= self.config.cache_capacity {
+            // Deterministic LRU: ticks are unique, so the victim is too.
+            let victim = self
+                .cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty cache");
+            self.cache.swap_remove(victim);
+        }
+        let stepper = stepper_from(&engine, query, &self.config)?;
+        self.cache.push(CacheEntry { key, engine, last_used: tick });
+        Ok(stepper)
+    }
+}
+
+fn stepper_from(
+    engine: &CachedEngine,
+    query: Query,
+    config: &ServeConfig,
+) -> Result<AnyStepper, AlphaPimError> {
+    Ok(match (engine, query) {
+        (CachedEngine::Bfs(e), Query::Bfs { source }) => AnyStepper::Bfs(BfsStepper::new(
+            Rc::clone(e),
+            source,
+            config.options.max_iterations,
+        )?),
+        (CachedEngine::Sssp(e), Query::Sssp { source }) => AnyStepper::Sssp(SsspStepper::new(
+            Rc::clone(e),
+            source,
+            config.options.max_iterations,
+        )?),
+        (CachedEngine::Ppr(e), Query::Ppr { source }) => {
+            AnyStepper::Ppr(PprStepper::new(Rc::clone(e), source, &config.ppr)?)
+        }
+        _ => unreachable!("cache key pins the application kind"),
+    })
+}
+
+/// A type-erased stepper: one live query of any application.
+enum AnyStepper {
+    Bfs(BfsStepper),
+    Sssp(SsspStepper),
+    Ppr(PprStepper),
+}
+
+impl AnyStepper {
+    fn is_done(&self) -> bool {
+        match self {
+            AnyStepper::Bfs(s) => s.is_done(),
+            AnyStepper::Sssp(s) => s.is_done(),
+            AnyStepper::Ppr(s) => s.is_done(),
+        }
+    }
+
+    fn frontier_nnz(&self) -> u64 {
+        match self {
+            AnyStepper::Bfs(s) => s.frontier_nnz(),
+            AnyStepper::Sssp(s) => s.frontier_nnz(),
+            AnyStepper::Ppr(s) => s.frontier_nnz(),
+        }
+    }
+
+    fn step(&mut self, sys: &PimSystem) -> Result<bool, AlphaPimError> {
+        match self {
+            AnyStepper::Bfs(s) => s.step(sys),
+            AnyStepper::Sssp(s) => s.step(sys),
+            AnyStepper::Ppr(s) => s.step(sys),
+        }
+    }
+
+    /// When the just-executed superstep loaded its input as a full dense
+    /// broadcast (1D SpMV), the vector length — the packing opportunity.
+    /// `None` for 2D/SpMSpV supersteps, whose loads are already segmented
+    /// or compressed.
+    fn last_step_dense_broadcast(&self) -> Option<u32> {
+        let report = match self {
+            AnyStepper::Bfs(s) => s.report(),
+            AnyStepper::Sssp(s) => s.report(),
+            AnyStepper::Ppr(s) => s.report(),
+        };
+        let stats = report.iterations.last()?;
+        match stats.kernel {
+            KernelKind::Spmv(SpmvVariant::Coo1d)
+            | KernelKind::Spmv(SpmvVariant::CsrRow1d)
+            | KernelKind::Spmv(SpmvVariant::CsrNnz1d) => Some(match self {
+                AnyStepper::Bfs(s) => s.n(),
+                AnyStepper::Sssp(s) => s.n(),
+                AnyStepper::Ppr(s) => s.n(),
+            }),
+            _ => None,
+        }
+    }
+
+    fn finish(self) -> QueryResult {
+        match self {
+            AnyStepper::Bfs(s) => QueryResult::Bfs(s.into_result()),
+            AnyStepper::Sssp(s) => QueryResult::Sssp(s.into_result()),
+            AnyStepper::Ppr(s) => QueryResult::Ppr(s.into_result()),
+        }
+    }
+}
+
+/// Generates a seeded, reproducible trace of `count` mixed queries over a
+/// graph with `nodes` vertices — the workload the CLI's `serve` subcommand
+/// and the CI smoke stage replay.
+pub fn seeded_trace(nodes: u32, count: usize, seed: u64) -> Vec<Query> {
+    let mut rng = alpha_pim_sparse::gen::rng::SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            let source = rng.u32_below(nodes.max(1));
+            match rng.u32_below(3) {
+                0 => Query::Bfs { source },
+                1 => Query::Sssp { source },
+                _ => Query::Ppr { source },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_pim_sim::{PimConfig, SimFidelity};
+    use alpha_pim_sparse::gen;
+
+    fn engine(dpus: u32) -> AlphaPim {
+        AlphaPim::new(PimConfig {
+            num_dpus: dpus,
+            fidelity: SimFidelity::Full,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn graph() -> Graph {
+        Graph::from_coo(gen::erdos_renyi(120, 900, 77).unwrap()).with_random_weights(9)
+    }
+
+    #[test]
+    fn batched_answers_match_standalone_runs() {
+        let engine = engine(6);
+        let g = graph();
+        let mut serve = ServeEngine::new(&engine, ServeConfig::default());
+        let queries = [
+            Query::Bfs { source: 0 },
+            Query::Sssp { source: 5 },
+            Query::Ppr { source: 9 },
+            Query::Bfs { source: 33 },
+        ];
+        let (results, batch) = serve.run_batch(&g, &queries).unwrap();
+        assert_eq!(batch.queries, 4);
+        let bfs0 = engine.bfs(&g, 0, &AppOptions::default()).unwrap();
+        let sssp5 = engine.sssp(&g, 5, &AppOptions::default()).unwrap();
+        let ppr9 = engine.ppr(&g, 9, &PprOptions::default()).unwrap();
+        match (&results[0], &results[1], &results[2]) {
+            (QueryResult::Bfs(a), QueryResult::Sssp(b), QueryResult::Ppr(c)) => {
+                assert_eq!(a.levels, bfs0.levels);
+                assert_eq!(b.distances, sssp5.distances);
+                assert_eq!(c.scores, ppr9.scores);
+            }
+            other => panic!("wrong result kinds: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batching_strictly_beats_sequential_makespan() {
+        let engine = engine(6);
+        let g = graph();
+        let mut serve = ServeEngine::new(&engine, ServeConfig::default());
+        let queries = seeded_trace(g.nodes(), 8, 0x5EED_5EED);
+        let (_, batch) = serve.run_batch(&g, &queries).unwrap();
+        assert!(
+            batch.batched_seconds < batch.seq_seconds,
+            "batched {} must beat sequential {}",
+            batch.batched_seconds,
+            batch.seq_seconds,
+        );
+        assert!(batch.transfer_batches_saved > 0);
+    }
+
+    #[test]
+    fn single_query_batches_cost_exactly_the_standalone_run() {
+        let engine = engine(6);
+        let g = graph();
+        let mut serve = ServeEngine::new(&engine, ServeConfig::default());
+        let (_, batch) = serve.run_batch(&g, &[Query::Bfs { source: 0 }]).unwrap();
+        assert_eq!(batch.batched_seconds, batch.seq_seconds);
+        assert_eq!(batch.broadcast_bytes_saved, 0);
+        assert_eq!(batch.transfer_batches_saved, 0);
+    }
+
+    #[test]
+    fn cache_hits_skip_preparation_and_evictions_are_deterministic() {
+        let engine = engine(6);
+        let g = graph();
+        let mut serve =
+            ServeEngine::new(&engine, ServeConfig { cache_capacity: 2, ..Default::default() });
+        let q = [
+            Query::Bfs { source: 0 },
+            Query::Bfs { source: 1 },
+            Query::Sssp { source: 2 },
+            Query::Sssp { source: 3 },
+        ];
+        serve.run_batch(&g, &q).unwrap();
+        assert_eq!(serve.cache_misses(), 2, "one preparation per application");
+        assert_eq!(serve.cache_hits(), 2, "repeat queries reuse the cache");
+        assert_eq!(serve.cache_len(), 2);
+        // A third application evicts the least-recently-used entry (BFS,
+        // whose last use predates SSSP's).
+        serve.run_batch(&g, &[Query::Ppr { source: 0 }]).unwrap();
+        assert_eq!(serve.cache_len(), 2);
+        assert_eq!(serve.cache_misses(), 3);
+        // BFS must now re-prepare; SSSP must still hit.
+        serve.run_batch(&g, &[Query::Sssp { source: 1 }]).unwrap();
+        assert_eq!(serve.cache_misses(), 3, "SSSP survived the eviction");
+        serve.run_batch(&g, &[Query::Bfs { source: 2 }]).unwrap();
+        assert_eq!(serve.cache_misses(), 4, "BFS was the LRU victim");
+    }
+
+    #[test]
+    fn serve_splits_traces_into_batches() {
+        let engine = engine(6);
+        let g = graph();
+        let mut serve =
+            ServeEngine::new(&engine, ServeConfig { batch_size: 3, ..Default::default() });
+        let queries = seeded_trace(g.nodes(), 7, 1);
+        let (results, batches) = serve.serve(&g, &queries).unwrap();
+        assert_eq!(results.len(), 7);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches.iter().map(|b| b.queries).sum::<u32>(), 7);
+    }
+
+    #[test]
+    fn seeded_traces_are_reproducible_and_mixed() {
+        let a = seeded_trace(100, 64, 42);
+        let b = seeded_trace(100, 64, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|q| matches!(q, Query::Bfs { .. })));
+        assert!(a.iter().any(|q| matches!(q, Query::Sssp { .. })));
+        assert!(a.iter().any(|q| matches!(q, Query::Ppr { .. })));
+        assert_ne!(a, seeded_trace(100, 64, 43));
+    }
+}

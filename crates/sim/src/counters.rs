@@ -21,9 +21,13 @@
 //!   recovery cycles they add, extending both cycle partitions so the
 //!   zero-remainder invariants keep holding under any
 //!   [`crate::config::FaultPlan`].
+//! * **Serving** (`serve.*`) — amortization bookkeeping of the batched
+//!   multi-query engine: partition-cache hits/misses and the bus bytes and
+//!   transfer batches the shared per-superstep broadcast saved relative to
+//!   running each query alone. Event-like: outside both cycle partitions.
 
 /// Number of distinct counters in the registry.
-pub const NUM_COUNTERS: usize = 39;
+pub const NUM_COUNTERS: usize = 43;
 
 /// Identifier of one observability counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,6 +125,18 @@ pub enum CounterId {
     FaultRetryCycles,
     /// CPU↔DPU transfer batches that timed out and were retransmitted.
     FaultTimeouts,
+    /// Partitioned-matrix cache hits in the serving engine (queries that
+    /// skipped re-partitioning and MRAM reload entirely).
+    ServeCacheHits,
+    /// Partitioned-matrix cache misses (partition + load paid once, then
+    /// reused by every subsequent query on the same graph).
+    ServeCacheMisses,
+    /// Bus bytes the batched per-superstep broadcast saved versus issuing
+    /// each live query's input-vector load as its own full transfer.
+    ServeBroadcastSavedBytes,
+    /// Host→DPU transfer batches the serving engine elided by packing the
+    /// live queries' frontiers into one batch per superstep.
+    ServeBatchesSaved,
 }
 
 impl CounterId {
@@ -165,6 +181,10 @@ impl CounterId {
         CounterId::FaultStragglerCycles,
         CounterId::FaultRetryCycles,
         CounterId::FaultTimeouts,
+        CounterId::ServeCacheHits,
+        CounterId::ServeCacheMisses,
+        CounterId::ServeBroadcastSavedBytes,
+        CounterId::ServeBatchesSaved,
     ];
 
     /// The slot-level cycle categories (sum to [`CounterId::DpuCycles`]).
@@ -243,6 +263,10 @@ impl CounterId {
             CounterId::FaultStragglerCycles => "fault.straggler_cycles",
             CounterId::FaultRetryCycles => "fault.retry_cycles",
             CounterId::FaultTimeouts => "fault.timeouts",
+            CounterId::ServeCacheHits => "serve.cache_hits",
+            CounterId::ServeCacheMisses => "serve.cache_misses",
+            CounterId::ServeBroadcastSavedBytes => "serve.saved_broadcast_bytes",
+            CounterId::ServeBatchesSaved => "serve.saved_batches",
         }
     }
 }

@@ -62,6 +62,24 @@ pub fn scan_time_counted(
     scan_time(cfg, elements, bytes_per_element)
 }
 
+/// Seconds for the host to pack a sparse frontier of `elements` entries
+/// into the shared per-superstep transfer buffer of the serving engine —
+/// one streaming compaction pass, same cost model as a scan.
+pub fn pack_time(cfg: &HostConfig, elements: u64, bytes_per_element: u32) -> f64 {
+    scan_time(cfg, elements, bytes_per_element)
+}
+
+/// [`pack_time`] that also records the bytes streamed and the reduction
+/// into `counters`.
+pub fn pack_time_counted(
+    cfg: &HostConfig,
+    elements: u64,
+    bytes_per_element: u32,
+    counters: &mut CounterSet,
+) -> f64 {
+    scan_time_counted(cfg, elements, bytes_per_element, counters)
+}
+
 /// The host's aggregate merge throughput in bytes/second.
 pub fn aggregate_bandwidth(cfg: &HostConfig) -> f64 {
     cfg.merge_bytes_per_s_per_thread * cfg.threads as f64

@@ -82,8 +82,8 @@ pub use energy::EnergyModel;
 pub use instr::{InstrClass, InstrMix};
 pub use par::{par_map_indexed, set_sim_threads, sim_threads, SimThreads};
 pub use report::{
-    CycleBreakdown, DpuDetail, DpuEval, DpuProfile, DpuReport, KernelAccumulator, KernelReport,
-    PhaseBreakdown,
+    BatchReport, CycleBreakdown, DpuDetail, DpuEval, DpuProfile, DpuReport, KernelAccumulator,
+    KernelReport, PhaseBreakdown,
 };
 pub use resilience::FaultSummary;
 pub use system::PimSystem;

@@ -452,6 +452,21 @@ impl KernelAccumulator {
     /// order so floating-point reductions stay bit-identical to a
     /// sequential run.
     pub fn evaluate(&self, dpu_id: u32, traces: &[TaskletTrace]) -> DpuEval {
+        if traces.is_empty() {
+            // Structurally empty partition (e.g. more DPUs than index
+            // ranges): nothing was loaded and no kernel is launched, so no
+            // cycles accrue, no events are recorded, and no fault verdict
+            // is drawn — an idle DPU cannot be a fault site.
+            return DpuEval {
+                dpu_id,
+                mix: InstrMix::new(),
+                instructions: 0,
+                est_cycles: 0,
+                detailed: None,
+                fault_events: CounterSet::new(),
+                lost: false,
+            };
+        }
         let mut fault_events = CounterSet::new();
         let verdict = match &self.faults {
             Some(engine) => {
@@ -598,6 +613,67 @@ impl KernelAccumulator {
             degraded: self.degraded,
             dpu_details: self.details,
         }
+    }
+}
+
+/// Aggregate record of one batch executed by the multi-query serving
+/// engine: what the batch cost, what running each query alone would have
+/// cost, and where the amortization came from.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BatchReport {
+    /// Queries executed in this batch.
+    pub queries: u32,
+    /// Supersteps the batch ran (the longest query's iteration count).
+    pub supersteps: u32,
+    /// Sum of the queries' standalone simulated seconds — what a
+    /// sequential, one-query-at-a-time run of the same trace costs.
+    pub seq_seconds: f64,
+    /// Simulated makespan of the batched execution: the sequential cost
+    /// minus the per-superstep startup and broadcast amortization, plus the
+    /// host-side frontier packing charged to the first superstep.
+    pub batched_seconds: f64,
+    /// Bus bytes the shared per-superstep broadcast saved.
+    pub broadcast_bytes_saved: u64,
+    /// Host→DPU transfer batches elided by frontier packing.
+    pub transfer_batches_saved: u64,
+    /// Partition-cache hits across the batch's queries.
+    pub cache_hits: u64,
+    /// Partition-cache misses across the batch's queries.
+    pub cache_misses: u64,
+    /// Serving-layer counter rollup (`serve.*` plus the host packing work).
+    pub counters: CounterSet,
+    /// Whether any query in the batch completed degraded (a DPU lost
+    /// without redistribution under the active fault plan).
+    pub degraded: bool,
+}
+
+impl BatchReport {
+    /// Seconds saved by batching, `seq_seconds - batched_seconds`.
+    pub fn seconds_saved(&self) -> f64 {
+        self.seq_seconds - self.batched_seconds
+    }
+
+    /// The report as a JSON object with deterministic key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"queries\":{},\"supersteps\":{},\"seq_seconds\":{},\"batched_seconds\":{},\
+             \"broadcast_bytes_saved\":{},\"transfer_batches_saved\":{},\"cache_hits\":{},\
+             \"cache_misses\":{},\"degraded\":{},\"counters\":",
+            self.queries,
+            self.supersteps,
+            json_f64(self.seq_seconds),
+            json_f64(self.batched_seconds),
+            self.broadcast_bytes_saved,
+            self.transfer_batches_saved,
+            self.cache_hits,
+            self.cache_misses,
+            self.degraded,
+        ));
+        out.push_str(&counters_json(&self.counters));
+        out.push('}');
+        out
     }
 }
 

@@ -92,6 +92,40 @@ pub fn gather_counted(
     gather(cfg, per_dpu_bytes)
 }
 
+/// Seconds the serving engine saves by folding `live` queries' input-vector
+/// loads for one superstep into a single parallel batch: the fixed batch
+/// startup window is paid once instead of `live` times. Records the elided
+/// batches into `counters`. Zero when fewer than two queries are live.
+pub fn batched_startup_savings(cfg: &TransferConfig, live: u32, counters: &mut CounterSet) -> f64 {
+    if live < 2 {
+        return 0.0;
+    }
+    let elided = u64::from(live - 1);
+    counters.add(CounterId::ServeBatchesSaved, elided);
+    elided as f64 * cfg.batch_overhead_s
+}
+
+/// Bus seconds the serving engine saves by shipping one query's frontier in
+/// compressed `(index, value)` form (`packed_bytes`) inside the shared
+/// per-superstep batch instead of re-broadcasting the full dense vector
+/// (`full_bytes`) to all `num_dpus` DPUs. Records the saved bus bytes into
+/// `counters`. Zero when packing does not help (dense frontier) — the
+/// engine then ships the dense vector exactly as the standalone run would.
+pub fn packed_broadcast_savings(
+    cfg: &TransferConfig,
+    full_bytes: u64,
+    packed_bytes: u64,
+    num_dpus: u32,
+    counters: &mut CounterSet,
+) -> f64 {
+    if num_dpus == 0 || packed_bytes >= full_bytes {
+        return 0.0;
+    }
+    let saved_bus = (full_bytes - packed_bytes) * num_dpus as u64;
+    counters.add(CounterId::ServeBroadcastSavedBytes, saved_bus);
+    saved_bus as f64 / effective_bandwidth(cfg, num_dpus)
+}
+
 /// Extra bus seconds `retries` retransmissions of a timed-out batch cost:
 /// each retry re-sends the whole padded batch. Backoff waits between
 /// retries are charged separately by [`crate::resilience`].

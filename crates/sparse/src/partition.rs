@@ -114,38 +114,83 @@ pub fn equal_ranges(n: u32, parts: u32) -> Vec<Range<u32>> {
 }
 
 /// Splits `0..counts.len()` into `parts` contiguous ranges whose summed
-/// counts are as even as possible (greedy prefix walk toward the ideal
-/// per-part share).
+/// counts are as even as possible.
+///
+/// Each part's band ends at the prefix whose summed count lands closest to
+/// the part's ideal share — `remaining_total / remaining_parts`, re-planned
+/// after every boundary so one heavy index cannot starve later parts into
+/// forced single-index bands (ties keep the boundary early). Every part
+/// keeps at least one index while indices remain, so the ranges always
+/// tile `0..n` exactly, never overlap, and only trailing ranges can be
+/// empty, mirroring [`equal_ranges`] when `parts > n`. All-zero counts
+/// fall back to equal-width ranges.
 pub fn nnz_balanced_ranges(counts: &[u32], parts: u32) -> Vec<Range<u32>> {
     assert!(parts > 0, "parts must be positive");
     let n = counts.len() as u32;
     let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return equal_ranges(n, parts);
+    }
     let mut out = Vec::with_capacity(parts as usize);
     let mut start = 0u32;
     let mut consumed = 0u64;
-    for p in 0..parts {
-        let remaining_parts = (parts - p) as u64;
-        let target = (total - consumed).div_ceil(remaining_parts);
+    for p in 0..parts - 1 {
+        // Take at least one index and reserve one for each later part
+        // while indices remain, so empty ranges only ever trail.
+        let min_end = if start < n { start + 1 } else { n };
+        let max_end = n.saturating_sub(parts - 1 - p).clamp(min_end, n);
+        let remaining = u128::from(total - consumed);
+        let den = u128::from(parts - p);
         let mut end = start;
         let mut acc = 0u64;
-        // Leave at least one index per remaining part when possible.
-        let max_end = n.saturating_sub(parts - p - 1).max(start);
-        while end < max_end && (acc < target || end == start) {
+        while end < min_end {
             acc += counts[end as usize] as u64;
             end += 1;
-            if acc >= target && end > start {
+        }
+        // While the band undershoots its ideal share `remaining / den`,
+        // keep extending: zero counts ride along for free, and the index
+        // that crosses the ideal is included only when it lands closer
+        // than stopping short (cross-multiplied; ties keep the boundary
+        // early).
+        while end < max_end && u128::from(acc) * den < remaining {
+            let c = u64::from(counts[end as usize]);
+            let next = acc + c;
+            let d_now = (u128::from(acc) * den).abs_diff(remaining);
+            let d_next = (u128::from(next) * den).abs_diff(remaining);
+            if c > 0 && d_next >= d_now {
                 break;
             }
-        }
-        if p == parts - 1 {
-            end = n;
-            acc = counts[start as usize..].iter().map(|&c| c as u64).sum();
+            acc = next;
+            end += 1;
         }
         consumed += acc;
         out.push(start..end);
         start = end;
     }
+    out.push(start..n);
     out
+}
+
+/// A stable 64-bit fingerprint of a matrix — dimensions, nnz, and every
+/// entry's coordinates and value bit pattern folded through a
+/// SplitMix64-style mixer — for keying partition caches: two matrices with
+/// the same fingerprint partition identically under any strategy here.
+/// `value_bits` projects an element to its canonical bit pattern (e.g.
+/// identity for integer weights, `f64::to_bits` for scores).
+pub fn structural_fingerprint<V: Copy, F: Fn(V) -> u64>(coo: &Coo<V>, value_bits: F) -> u64 {
+    fn mix(h: u64, w: u64) -> u64 {
+        let mut z = h.wrapping_add(w).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(0x5EED_0F1A_6E12_0B57, u64::from(coo.n_rows()) << 32 | u64::from(coo.n_cols()));
+    h = mix(h, coo.nnz() as u64);
+    for (r, c, v) in coo.iter() {
+        h = mix(h, u64::from(r) << 32 | u64::from(c));
+        h = mix(h, value_bits(v));
+    }
+    h
 }
 
 fn ranges_for<V: Copy>(coo: &Coo<V>, parts: u32, balance: Balance, by_rows: bool) -> Vec<Range<u32>> {
@@ -436,9 +481,67 @@ mod tests {
     #[test]
     fn more_parts_than_rows_yields_empty_bands() {
         let coo = Coo::from_entries(2, 2, vec![(0, 0, 1u32), (1, 1, 1)]).unwrap();
-        let parts = partition_rows(&coo, 5, Balance::EqualRange).unwrap();
-        assert_eq!(parts.len(), 5);
-        let total: usize = parts.iter().map(|p| p.matrix.nnz()).sum();
-        assert_eq!(total, 2);
+        for balance in [Balance::EqualRange, Balance::Nnz] {
+            let parts = partition_rows(&coo, 5, balance).unwrap();
+            assert_eq!(parts.len(), 5);
+            let total: usize = parts.iter().map(|p| p.matrix.nnz()).sum();
+            assert_eq!(total, 2);
+            // Only trailing bands may be empty, and they sit at the end of
+            // the index space.
+            for p in &parts[2..] {
+                assert_eq!(p.row_range, 2..2, "{balance:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_counts_fall_back_to_equal_ranges() {
+        assert_eq!(nnz_balanced_ranges(&[0; 10], 3), equal_ranges(10, 3));
+        assert_eq!(nnz_balanced_ranges(&[], 4), equal_ranges(0, 4));
+    }
+
+    #[test]
+    fn skewed_counts_do_not_starve_later_parts() {
+        // One index holds nearly all the mass; the remaining parts must
+        // still receive their index share instead of forced 1-wide bands.
+        let mut counts = vec![1u32; 12];
+        counts[0] = 1000;
+        let rs = nnz_balanced_ranges(&counts, 4);
+        assert_eq!(rs[0], 0..1, "the heavy index is its own band");
+        let widths: Vec<u32> = rs[1..].iter().map(|r| r.end - r.start).collect();
+        assert!(widths.iter().all(|&w| w >= 3), "widths {widths:?}");
+    }
+
+    #[test]
+    fn structural_fingerprint_discriminates() {
+        let a = sample();
+        let fp = |c: &Coo<u32>| structural_fingerprint(c, u64::from);
+        assert_eq!(fp(&a), fp(&a.clone()));
+        let mut b = sample();
+        b.push(3, 3, 1).unwrap();
+        assert_ne!(fp(&a), fp(&b), "extra entry must change the fingerprint");
+        let c = Coo::from_entries(
+            6,
+            6,
+            vec![
+                (0, 0, 2u32),
+                (0, 1, 1),
+                (1, 1, 1),
+                (2, 3, 1),
+                (5, 0, 1),
+                (5, 2, 1),
+                (5, 4, 1),
+                (5, 5, 1),
+            ],
+        )
+        .unwrap();
+        assert_ne!(fp(&a), fp(&c), "changed value must change the fingerprint");
+        let d: Coo<u32> = Coo::new(7, 6);
+        let e: Coo<u32> = Coo::new(6, 7);
+        assert_ne!(
+            structural_fingerprint(&d, u64::from),
+            structural_fingerprint(&e, u64::from),
+            "dimensions must be mixed in"
+        );
     }
 }

@@ -1,0 +1,117 @@
+//! Seeded property sweep over the band-splitting primitives: for skewed,
+//! zero-laden, all-zero, `parts == n`, and `parts > n` count vectors, both
+//! [`equal_ranges`] and [`nnz_balanced_ranges`] must tile the index space
+//! exactly, keep bands non-overlapping with empties only trailing, and —
+//! for the nnz-balanced splitter — keep the heaviest band within a tight
+//! bound of the ideal per-part share.
+
+use std::ops::Range;
+
+use alpha_pim_sparse::gen::rng::SplitMix64;
+use alpha_pim_sparse::partition::{equal_ranges, nnz_balanced_ranges};
+
+/// The structural invariants every splitter must satisfy: `parts` ranges,
+/// exact non-overlapping tiling of `0..n`, and empty ranges only as a
+/// trailing run pinned at `n`.
+fn check_tiling(ranges: &[Range<u32>], n: u32, parts: u32, ctx: &str) {
+    assert_eq!(ranges.len(), parts as usize, "{ctx}: wrong part count");
+    assert_eq!(ranges[0].start, 0, "{ctx}: first range must start at 0");
+    assert_eq!(ranges.last().unwrap().end, n, "{ctx}: last range must end at n");
+    for (i, w) in ranges.windows(2).enumerate() {
+        assert_eq!(w[0].end, w[1].start, "{ctx}: gap/overlap after range {i}");
+    }
+    for (i, r) in ranges.iter().enumerate() {
+        assert!(r.start <= r.end, "{ctx}: inverted range {i}");
+        if r.is_empty() {
+            assert_eq!(r.start, n, "{ctx}: empty range {i} must trail at n, got {r:?}");
+        }
+    }
+}
+
+/// The balance bound for [`nnz_balanced_ranges`]: no band may exceed the
+/// ideal share by more than twice the heaviest single count (a single
+/// index is indivisible, and the adaptive re-planning can carry at most
+/// one more count of drift).
+fn check_balance(ranges: &[Range<u32>], counts: &[u32], parts: u32, ctx: &str) {
+    let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+    let max_count = u64::from(counts.iter().copied().max().unwrap_or(0));
+    let bound = total.div_ceil(u64::from(parts)) + 2 * max_count;
+    for (i, r) in ranges.iter().enumerate() {
+        let sum: u64 =
+            counts[r.start as usize..r.end as usize].iter().map(|&c| u64::from(c)).sum();
+        assert!(sum <= bound, "{ctx}: band {i} holds {sum} nnz, bound {bound}");
+    }
+}
+
+fn sweep_counts(rng: &mut SplitMix64, n: usize) -> Vec<Vec<u32>> {
+    let uniform: Vec<u32> = (0..n).map(|_| rng.u32_below(100)).collect();
+    // One index holds ~90% of all mass.
+    let mut spiked = vec![1u32; n];
+    if n > 0 {
+        spiked[rng.usize_below(n)] = 9 * n as u32;
+    }
+    // Zipf-ish decay with a shuffled-in zero run.
+    let mut zipfish: Vec<u32> = (0..n).map(|i| (10 * n / (i + 1)) as u32).collect();
+    for v in zipfish.iter_mut() {
+        if rng.u32_below(10) < 7 {
+            *v = 0;
+        }
+    }
+    vec![uniform, spiked, zipfish, vec![0; n], vec![1; n]]
+}
+
+#[test]
+fn seeded_sweep_covers_skew_zeros_and_degenerate_part_counts() {
+    let mut rng = SplitMix64::new(0x5EED_BA1A_4CE5);
+    for n in [0usize, 1, 2, 7, 64, 257, 1000] {
+        for counts in sweep_counts(&mut rng, n) {
+            let parts_cases = [
+                1u32,
+                2,
+                3,
+                (n as u32).max(1) - (n > 1) as u32, // parts == n - 1 (or 1)
+                (n as u32).max(1),                  // parts == n
+                n as u32 + 3,                       // parts > n
+                2 * n as u32 + 1,                   // parts >> n
+            ];
+            for parts in parts_cases {
+                let ctx = format!("n={n} parts={parts} counts[..4]={:?}", &counts[..n.min(4)]);
+                check_tiling(&equal_ranges(n as u32, parts), n as u32, parts, &ctx);
+                let rs = nnz_balanced_ranges(&counts, parts);
+                check_tiling(&rs, n as u32, parts, &ctx);
+                check_balance(&rs, &counts, parts, &ctx);
+            }
+        }
+    }
+}
+
+/// With more parts than indices, the non-empty prefix must hand each part
+/// exactly one index — matching `equal_ranges` — so kernel consumers see
+/// the same degenerate shape from both strategies.
+#[test]
+fn parts_beyond_n_degenerate_identically() {
+    let counts = [5u32, 0, 9, 1];
+    let rs = nnz_balanced_ranges(&counts, 9);
+    for (i, r) in rs.iter().take(4).enumerate() {
+        assert_eq!(*r, i as u32..i as u32 + 1);
+    }
+    for r in &rs[4..] {
+        assert_eq!(*r, 4..4);
+    }
+    assert_eq!(equal_ranges(4, 9).len(), rs.len());
+}
+
+/// A heavy head must not starve the tail: after the spike is isolated,
+/// remaining bands re-plan against the remaining mass rather than the
+/// long-gone global ideal.
+#[test]
+fn heavy_head_still_balances_the_tail() {
+    let mut counts = vec![2u32; 40];
+    counts[0] = 100_000;
+    let rs = nnz_balanced_ranges(&counts, 5);
+    assert_eq!(rs[0], 0..1, "the spike is its own band");
+    for (i, r) in rs[1..].iter().enumerate() {
+        let w = r.end - r.start;
+        assert!((8..=12).contains(&w), "tail band {i} has width {w}, expected ~39/4");
+    }
+}

@@ -34,3 +34,10 @@ echo "==> perfsmoke (parallel replay: bit-identical reports + speedup)"
 cargo run --release --offline -p alpha-pim-bench --bin perfsmoke
 echo "==> BENCH_parallel_sim.json:"
 cat BENCH_parallel_sim.json
+
+echo "==> serve smoke (seeded 64-query trace: batched == sequential fingerprints)"
+cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
+    serve A302 --scale 0.02 --dpus 64 --policy spmv1d \
+    --queries 64 --batch 16 --json BENCH_batched_serve.json
+echo "==> BENCH_batched_serve.json:"
+cat BENCH_batched_serve.json

@@ -7,6 +7,7 @@
 //! CPU engine — so agreement here certifies the whole algebraic stack.
 
 use alpha_pim::apps::{AppOptions, PprOptions};
+use alpha_pim::serve::{Query, QueryResult, ServeConfig, ServeEngine};
 use alpha_pim::AlphaPim;
 use alpha_pim_baselines::cpu::GridEngine;
 use alpha_pim_sim::{ObservabilityLevel, PimConfig, SimFidelity};
@@ -135,6 +136,51 @@ fn single_dpu_engine_matches_cpu_grid() {
     let (cpu, _) = GridEngine::new(&graph, 8, 2).ppr(0, 0.85, 1e-4, 50);
     for (v, (a, b)) in pim.scores.iter().zip(&cpu).enumerate() {
         assert!((a - b).abs() < 1e-3, "single-DPU PPR diverged on {abbrev} at vertex {v}");
+    }
+}
+
+/// Partition-cache differential: on every catalog graph, a cold serving
+/// run (cache miss → fresh partitioning) and a warm rerun (cache hit →
+/// reused MRAM-resident partitions) must produce bit-identical answers,
+/// which must in turn match the standalone engine that re-partitions per
+/// call. One small shared cache across all 13 graphs also forces steady
+/// evictions, so hit/miss accounting is checked under realistic churn.
+#[test]
+fn partition_cache_reuse_is_bit_identical_on_every_catalog_graph() {
+    let eng = engine();
+    let mut serve = ServeEngine::new(
+        &eng,
+        ServeConfig { batch_size: 2, cache_capacity: 2, ..Default::default() },
+    );
+    for (abbrev, graph) in catalog_graphs() {
+        let weighted = graph.with_random_weights(9);
+        let queries = [Query::Bfs { source: 0 }, Query::Sssp { source: 0 }];
+        let (cold, cold_batch) = serve.run_batch(&weighted, &queries).expect("cold batch");
+        let (warm, warm_batch) = serve.run_batch(&weighted, &queries).expect("warm batch");
+        // Earlier graphs' entries were evicted (capacity 2, 2 apps per
+        // graph), so the cold run misses twice; the warm rerun never does.
+        assert_eq!(cold_batch.cache_misses, 2, "{abbrev}: cold run must prepare both apps");
+        assert_eq!(warm_batch.cache_misses, 0, "{abbrev}: warm run must not re-partition");
+        assert_eq!(warm_batch.cache_hits, 2, "{abbrev}: warm run must hit both entries");
+        let fresh_bfs = eng.bfs(&weighted, 0, &AppOptions::default()).expect("bfs runs");
+        let fresh_sssp = eng.sssp(&weighted, 0, &AppOptions::default()).expect("sssp runs");
+        for (label, results) in [("cold", &cold), ("warm", &warm)] {
+            match (&results[0], &results[1]) {
+                (QueryResult::Bfs(b), QueryResult::Sssp(s)) => {
+                    assert_eq!(b.levels, fresh_bfs.levels, "{abbrev}: {label} BFS diverged");
+                    assert_eq!(
+                        s.distances, fresh_sssp.distances,
+                        "{abbrev}: {label} SSSP diverged"
+                    );
+                    assert_eq!(
+                        b.report.total_seconds().to_bits(),
+                        fresh_bfs.report.total_seconds().to_bits(),
+                        "{abbrev}: {label} BFS simulated time diverged"
+                    );
+                }
+                other => panic!("{abbrev}: wrong result kinds: {other:?}"),
+            }
+        }
     }
 }
 

@@ -3,6 +3,10 @@
 //! the pipeline timing model, the counter taxonomy, or the attribution
 //! walk shows up here as a diff against the frozen fingerprint — update
 //! the constants only when the model change is intentional.
+//!
+//! Last regeneration: the serving engine added four event counters
+//! (`serve.*`) to the registry, which appear as trailing zero entries in
+//! every kernel fingerprint; no pre-existing value changed.
 
 use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
@@ -226,7 +230,11 @@ fault.retries=0
 fault.redistributions=0
 fault.straggler_cycles=0
 fault.retry_cycles=0
-fault.timeouts=0";
+fault.timeouts=0
+serve.cache_hits=0
+serve.cache_misses=0
+serve.saved_broadcast_bytes=0
+serve.saved_batches=0";
 
 const SPMSPV_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=20107 instr=77984
@@ -270,7 +278,11 @@ fault.retries=0
 fault.redistributions=0
 fault.straggler_cycles=0
 fault.retry_cycles=0
-fault.timeouts=0";
+fault.timeouts=0
+serve.cache_hits=0
+serve.cache_misses=0
+serve.saved_broadcast_bytes=0
+serve.saved_batches=0";
 
 const SPMM_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=69619 instr=762288
@@ -314,7 +326,11 @@ fault.retries=0
 fault.redistributions=0
 fault.straggler_cycles=0
 fault.retry_cycles=0
-fault.timeouts=0";
+fault.timeouts=0
+serve.cache_hits=0
+serve.cache_misses=0
+serve.saved_broadcast_bytes=0
+serve.saved_batches=0";
 
 const SPMV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -359,7 +375,11 @@ fault.retries=9
 fault.redistributions=1
 fault.straggler_cycles=20143
 fault.retry_cycles=45303
-fault.timeouts=0";
+fault.timeouts=0
+serve.cache_hits=0
+serve.cache_misses=0
+serve.saved_broadcast_bytes=0
+serve.saved_batches=0";
 
 const SPMSPV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -404,7 +424,11 @@ fault.retries=9
 fault.redistributions=1
 fault.straggler_cycles=9754
 fault.retry_cycles=23553
-fault.timeouts=0";
+fault.timeouts=0
+serve.cache_hits=0
+serve.cache_misses=0
+serve.saved_broadcast_bytes=0
+serve.saved_batches=0";
 
 const SPMM_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -449,4 +473,8 @@ fault.retries=11
 fault.redistributions=1
 fault.straggler_cycles=33309
 fault.retry_cycles=72187
-fault.timeouts=1";
+fault.timeouts=1
+serve.cache_hits=0
+serve.cache_misses=0
+serve.saved_broadcast_bytes=0
+serve.saved_batches=0";

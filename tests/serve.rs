@@ -1,0 +1,182 @@
+//! End-to-end contract of the batched serving engine (`alpha_pim::serve`):
+//! a mixed BFS/SSSP/PPR query batch on a Table 2 catalog graph must return
+//! answers bit-identical to running each query alone — at any host thread
+//! count, and under a survivable fault plan — while the accounted batch
+//! makespan and host→DPU broadcast bytes come in strictly below the sum of
+//! the standalone runs.
+
+use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
+use alpha_pim::serve::{seeded_trace, Query, QueryResult, ServeConfig, ServeEngine};
+use alpha_pim::{AlphaPim, SpmvVariant};
+use alpha_pim_sim::par::SimThreads;
+use alpha_pim_sim::{FaultPlan, ObservabilityLevel, PimConfig, SimFidelity};
+use alpha_pim_sparse::{datasets, Graph};
+
+const SEED: u64 = 0x5E4E;
+const QUERIES: usize = 10;
+
+fn engine(faults: Option<FaultPlan>) -> AlphaPim {
+    AlphaPim::new(PimConfig {
+        num_dpus: 64,
+        fidelity: SimFidelity::Sampled(8),
+        observability: ObservabilityLevel::PerDpu,
+        faults,
+        ..Default::default()
+    })
+    .expect("valid config")
+}
+
+/// A Table 2 graph scaled to test size (≥ 2,000 nodes), with weights so
+/// SSSP queries are non-trivial.
+fn table2_graph() -> Graph {
+    let spec = &datasets::table2()[1];
+    let scale = (2_000.0 / spec.nodes as f64).min(1.0).max(0.02);
+    spec.generate_scaled(scale, SEED).expect("catalog recipe is valid").with_random_weights(9)
+}
+
+/// Exact (bit-level) equality of two query answers, including the
+/// simulated-time record — the serving engine promises identical execution,
+/// not merely close results.
+fn assert_bit_identical(a: &QueryResult, b: &QueryResult, ctx: &str) {
+    match (a, b) {
+        (QueryResult::Bfs(x), QueryResult::Bfs(y)) => assert_eq!(x.levels, y.levels, "{ctx}"),
+        (QueryResult::Sssp(x), QueryResult::Sssp(y)) => {
+            assert_eq!(x.distances, y.distances, "{ctx}")
+        }
+        (QueryResult::Ppr(x), QueryResult::Ppr(y)) => {
+            let xb: Vec<u32> = x.scores.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u32> = y.scores.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb, "{ctx}");
+        }
+        _ => panic!("{ctx}: result kinds diverged"),
+    }
+    assert_eq!(
+        a.report().total_seconds().to_bits(),
+        b.report().total_seconds().to_bits(),
+        "{ctx}: simulated time diverged",
+    );
+    assert_eq!(a.report().num_iterations(), b.report().num_iterations(), "{ctx}");
+}
+
+fn run_trace(
+    engine: &AlphaPim,
+    graph: &Graph,
+    config: ServeConfig,
+    trace: &[Query],
+) -> (Vec<QueryResult>, Vec<alpha_pim_sim::BatchReport>) {
+    ServeEngine::new(engine, config).serve(graph, trace).expect("trace serves")
+}
+
+#[test]
+fn batched_equals_sequential_at_any_thread_count_and_beats_it() {
+    let eng = engine(None);
+    let graph = table2_graph();
+    let trace = seeded_trace(graph.nodes(), QUERIES, SEED);
+    assert!(trace.len() >= 8);
+    // Force the full-broadcast 1D SpMV so byte packing has work to do.
+    let options =
+        AppOptions { policy: KernelPolicy::SpmvOnly(SpmvVariant::Coo1d), ..Default::default() };
+    let batched_cfg = ServeConfig { batch_size: QUERIES as u32, options, ..Default::default() };
+    let seq_cfg = ServeConfig { batch_size: 1, ..batched_cfg };
+
+    SimThreads::set(1);
+    let (batched_1, reports_1) = run_trace(&eng, &graph, batched_cfg, &trace);
+    let (seq_1, seq_reports_1) = run_trace(&eng, &graph, seq_cfg, &trace);
+    SimThreads::set(4);
+    let (batched_n, reports_n) = run_trace(&eng, &graph, batched_cfg, &trace);
+    let (seq_n, _) = run_trace(&eng, &graph, seq_cfg, &trace);
+
+    for i in 0..trace.len() {
+        assert_bit_identical(&batched_1[i], &seq_1[i], &format!("query {i}, 1 thread"));
+        assert_bit_identical(&batched_1[i], &batched_n[i], &format!("query {i}, 1 vs 4 threads"));
+        assert_bit_identical(&seq_1[i], &seq_n[i], &format!("query {i}, sequential 1 vs 4"));
+    }
+    assert_eq!(reports_1, reports_n, "batch accounting must not depend on threads");
+
+    // One batch of B queries; sequential replay = B single-query batches.
+    let batch = &reports_1[0];
+    assert_eq!(batch.queries, QUERIES as u32);
+    assert_eq!(seq_reports_1.len(), QUERIES);
+    let single_query_cost: f64 = seq_reports_1.iter().map(|b| b.batched_seconds).sum();
+    assert_eq!(
+        batch.seq_seconds.to_bits(),
+        single_query_cost.to_bits(),
+        "the batch's sequential baseline is exactly B × the single-query cost",
+    );
+    assert!(
+        batch.batched_seconds < batch.seq_seconds,
+        "batched makespan {} must be strictly below sequential {}",
+        batch.batched_seconds,
+        batch.seq_seconds,
+    );
+    assert!(batch.broadcast_bytes_saved > 0, "1D broadcasts must ship packed");
+    assert!(batch.transfer_batches_saved > 0, "shared supersteps must elide batch startups");
+    assert!(batch.seconds_saved() > 0.0);
+}
+
+#[test]
+fn batched_equals_sequential_under_a_survivable_fault_plan() {
+    let plan = FaultPlan::uniform(0xFA17_5EED, 0.05);
+    let eng = engine(Some(plan));
+    let graph = table2_graph();
+    let trace = seeded_trace(graph.nodes(), QUERIES, SEED ^ 1);
+    let batched_cfg = ServeConfig { batch_size: QUERIES as u32, ..Default::default() };
+    let seq_cfg = ServeConfig { batch_size: 1, ..batched_cfg };
+
+    let (batched, reports) = run_trace(&eng, &graph, batched_cfg, &trace);
+    let (seq, _) = run_trace(&eng, &graph, seq_cfg, &trace);
+    for i in 0..trace.len() {
+        assert_bit_identical(&batched[i], &seq[i], &format!("query {i} under faults"));
+    }
+    let batch = &reports[0];
+    assert!(!batch.degraded, "a 5% fault rate with redistribution must stay survivable");
+    assert!(batch.batched_seconds < batch.seq_seconds, "faults cost time, batching still wins");
+
+    // Answers must also match a fault-free engine: faults never change results.
+    let clean = engine(None);
+    let (clean_results, _) = run_trace(&clean, &graph, batched_cfg, &trace);
+    for (i, (a, b)) in batched.iter().zip(&clean_results).enumerate() {
+        match (a, b) {
+            (QueryResult::Bfs(x), QueryResult::Bfs(y)) => {
+                assert_eq!(x.levels, y.levels, "faulty query {i} lost its answer")
+            }
+            (QueryResult::Sssp(x), QueryResult::Sssp(y)) => {
+                assert_eq!(x.distances, y.distances, "faulty query {i} lost its answer")
+            }
+            (QueryResult::Ppr(x), QueryResult::Ppr(y)) => {
+                for (u, v) in x.scores.iter().zip(&y.scores) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "faulty query {i} lost its answer");
+                }
+            }
+            _ => panic!("result kinds diverged on query {i}"),
+        }
+    }
+}
+
+#[test]
+fn mixed_trace_reports_carry_per_query_records() {
+    let eng = engine(None);
+    let graph = table2_graph();
+    let trace = seeded_trace(graph.nodes(), QUERIES, SEED ^ 2);
+    let (results, reports) = run_trace(
+        &eng,
+        &graph,
+        ServeConfig { batch_size: 4, ..Default::default() },
+        &trace,
+    );
+    assert_eq!(results.len(), QUERIES);
+    assert_eq!(reports.len(), QUERIES.div_ceil(4));
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.report().num_iterations() > 0, "query {i} recorded no iterations");
+        assert!(r.report().total_seconds() > 0.0, "query {i} recorded no time");
+    }
+    // PprOptions defaults apply to PPR queries: they converge under the cap.
+    for (q, r) in trace.iter().zip(&results) {
+        if matches!(q, Query::Ppr { .. }) {
+            assert!(
+                r.report().num_iterations() <= PprOptions::default().app.max_iterations,
+                "PPR overran its iteration cap",
+            );
+        }
+    }
+}
