@@ -22,18 +22,26 @@
 //! --batch N       serve only: queries per batch (default 16)
 //! --trace-seed N  serve only: seed of the query trace (default 0x5EED)
 //! --json PATH     serve only: also write the amortization record as JSON
+//! --checkpoint-dir DIR  serve only: persist crash-recovery snapshots to DIR
+//! --resume              serve only: resume an interrupted trace from DIR
+//! --deadline-cycles N   serve only: shed queries over this cycle budget
+//! --crash-after K       serve only: kill the first batch at boundary K
 //! ```
 
 use std::process::ExitCode;
 
 use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
 use alpha_pim::semiring::{BoolOrAnd, Semiring};
-use alpha_pim::serve::{seeded_trace, QueryResult, ServeConfig, ServeEngine};
-use alpha_pim::{AlphaPim, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
+use alpha_pim::serve::{seeded_trace, BatchOutcome, Query, QueryResult, ServeConfig, ServeEngine};
+use alpha_pim::{
+    AlphaPim, CheckpointPolicy, CheckpointStore, PreparedSpmspv, PreparedSpmv, SpmspvVariant,
+    SpmvVariant,
+};
 use alpha_pim_bench::harness::striped_vector;
 use alpha_pim_sim::host::detect_faults;
 use alpha_pim_sim::{
-    CounterId, CounterSet, FaultPlan, ObservabilityLevel, PimConfig, ResiliencePolicy, SimFidelity,
+    CounterId, CounterSet, FaultPlan, HostCrashPlan, ObservabilityLevel, PimConfig,
+    RecoverySummary, ResiliencePolicy, SimFidelity,
 };
 use alpha_pim_sparse::{datasets, mtx, Graph};
 
@@ -60,6 +68,10 @@ struct Args {
     batch: u32,
     trace_seed: u64,
     json: Option<String>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
+    deadline_cycles: Option<u64>,
+    crash_after: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,8 +100,16 @@ fn parse_args() -> Result<Args, String> {
         batch: 16,
         trace_seed: 0x5EED,
         json: None,
+        checkpoint_dir: None,
+        resume: false,
+        deadline_cycles: None,
+        crash_after: None,
     };
     while let Some(flag) = raw.next() {
+        if flag == "--resume" {
+            args.resume = true;
+            continue;
+        }
         let value = raw.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
         match flag.as_str() {
             "--source" => args.source = value.parse().map_err(|e| format!("{e}"))?,
@@ -105,6 +125,13 @@ fn parse_args() -> Result<Args, String> {
             "--batch" => args.batch = value.parse().map_err(|e| format!("{e}"))?,
             "--trace-seed" => args.trace_seed = value.parse().map_err(|e| format!("{e}"))?,
             "--json" => args.json = Some(value),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value),
+            "--deadline-cycles" => {
+                args.deadline_cycles = Some(value.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--crash-after" => {
+                args.crash_after = Some(value.parse().map_err(|e| format!("{e}"))?);
+            }
             "--policy" => {
                 args.policy = match value.as_str() {
                     "adaptive" => KernelPolicy::Adaptive,
@@ -150,7 +177,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH]");
+            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH] [--checkpoint-dir DIR] [--resume] [--deadline-cycles N] [--crash-after K]");
             return ExitCode::FAILURE;
         }
     };
@@ -326,8 +353,25 @@ fn run_serve(args: &Args, graph: &Graph) -> Result<(), String> {
     })
     .map_err(|e| e.to_string())?;
     let options = AppOptions { policy: args.policy, ..Default::default() };
-    let config = ServeConfig { batch_size: args.batch, options, ..Default::default() };
+    let checkpoint = if args.checkpoint_dir.is_some() {
+        CheckpointPolicy::EveryN(1)
+    } else {
+        CheckpointPolicy::Disabled
+    };
+    let config = ServeConfig {
+        batch_size: args.batch,
+        options,
+        checkpoint,
+        deadline_cycles: args.deadline_cycles,
+        ..Default::default()
+    };
     let trace = seeded_trace(weighted.nodes(), args.queries, args.trace_seed);
+    if let Some(dir) = &args.checkpoint_dir {
+        return run_serve_checkpointed(args, &weighted, &engine, config, &trace, dir);
+    }
+    if args.crash_after.is_some() {
+        return Err("--crash-after requires --checkpoint-dir".into());
+    }
     println!(
         "serve — {} queries on {} ({} nodes, {} edges, {} DPUs, batch {}, trace seed {:#x})",
         trace.len(),
@@ -401,6 +445,13 @@ fn run_serve(args: &Args, graph: &Graph) -> Result<(), String> {
         ));
     }
     println!("fingerprint: {fp_batched:#018x} (batched == sequential)");
+    if config.deadline_cycles.is_some() {
+        let degraded = results.iter().filter(|r| r.report().degraded).count();
+        println!(
+            "deadline: {degraded} of {} queries shed to degraded partial results",
+            results.len()
+        );
+    }
 
     if let Some(path) = &args.json {
         let json = format!(
@@ -421,6 +472,130 @@ fn run_serve(args: &Args, graph: &Graph) -> Result<(), String> {
             seq_total / batched_total.max(f64::MIN_POSITIVE),
             batched.cache_hits(),
             batched.cache_misses(),
+        );
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `serve --checkpoint-dir`: the crash-consistent serving path. Batches run
+/// through the resilient executor with an every-superstep snapshot cadence
+/// persisted to `dir`. `--crash-after K` kills the first batch at superstep
+/// boundary `K`, leaves the snapshot and write-ahead journal on disk, and
+/// exits zero (the "dead host"); a later `--resume` invocation picks the
+/// interrupted batch up from disk, finishes the trace, and reports a
+/// fingerprint bit-identical to an uninterrupted run.
+fn run_serve_checkpointed(
+    args: &Args,
+    graph: &Graph,
+    engine: &AlphaPim,
+    config: ServeConfig,
+    trace: &[Query],
+    dir: &str,
+) -> Result<(), String> {
+    let store = CheckpointStore::open(dir).map_err(|e| e.to_string())?;
+    let chunks: Vec<&[Query]> = trace.chunks(config.batch_size as usize).collect();
+    let mut serve = ServeEngine::new(engine, config);
+    let mut results: Vec<QueryResult> = Vec::new();
+    let mut reports = Vec::new();
+
+    // On --resume, the persisted tag names the batch that died; batches
+    // before it re-run deterministically, the tagged one resumes from its
+    // snapshot + journal.
+    let resumed = if args.resume {
+        match store.load().map_err(|e| e.to_string())? {
+            Some(ck) => {
+                let tag = ck.tag().map_err(|e| e.to_string())? as usize;
+                if tag >= chunks.len() {
+                    return Err(format!(
+                        "checkpoint tag {tag} is outside the {}-batch trace (wrong trace flags?)",
+                        chunks.len()
+                    ));
+                }
+                Some((tag, ck))
+            }
+            None => {
+                println!("--resume: no checkpoint in {dir}; serving from scratch");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    for (i, chunk) in chunks.iter().enumerate() {
+        let outcome = match &resumed {
+            Some((tag, ck)) if i == *tag => {
+                println!("batch {i}: resuming from {dir}");
+                serve.resume_batch(graph, ck, None, Some(&store)).map_err(|e| e.to_string())?
+            }
+            _ => {
+                let crash =
+                    args.crash_after.filter(|_| i == 0 && !args.resume).map(HostCrashPlan::at);
+                serve
+                    .run_batch_resilient(graph, chunk, i as u64, crash, Some(&store))
+                    .map_err(|e| e.to_string())?
+            }
+        };
+        match outcome {
+            BatchOutcome::Completed(rs, report) => {
+                results.extend(rs);
+                reports.push(report);
+            }
+            BatchOutcome::Crashed { superstep, .. } => {
+                println!(
+                    "batch {i}: host crash injected after superstep boundary {superstep}; \
+                     checkpoint persisted to {dir}"
+                );
+                println!("restart with --resume to finish the trace");
+                return Ok(());
+            }
+        }
+    }
+    store.clear().map_err(|e| e.to_string())?;
+
+    let mut totals = CounterSet::new();
+    for r in &reports {
+        totals.merge(&r.counters);
+    }
+    let recovery = RecoverySummary::from_counters(&totals);
+    let seq_total: f64 = reports.iter().map(|b| b.seq_seconds).sum();
+    let batched_total: f64 = reports.iter().map(|b| b.batched_seconds).sum();
+    let degraded = results.iter().filter(|r| r.report().degraded).count();
+    println!(
+        "serve (checkpointed) — {} queries in {} batches: sequential {:.3} ms → batched {:.3} ms",
+        results.len(),
+        reports.len(),
+        seq_total * 1e3,
+        batched_total * 1e3,
+    );
+    println!(
+        "recovery: {} snapshots, {} checkpoint bytes, {} restores, {} queries shed \
+         ({degraded} degraded results)",
+        recovery.snapshots, recovery.bytes, recovery.restores, recovery.shed,
+    );
+    let fp = fingerprint_results(&results);
+    println!("fingerprint: {fp:#018x}");
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\"graph\": \"{}\", \"queries\": {}, \"batch_size\": {}, \"dpus\": {}, \
+             \"trace_seed\": {}, \"resumed\": {}, \"seq_seconds\": {seq_total:.6}, \
+             \"batched_seconds\": {batched_total:.6}, \
+             \"ckpt_snapshots\": {}, \"ckpt_bytes\": {}, \"ckpt_restores\": {}, \
+             \"serve_shed\": {}, \"degraded_results\": {degraded}, \
+             \"fingerprint\": \"{fp:#018x}\"}}\n",
+            args.graph,
+            results.len(),
+            args.batch,
+            args.dpus,
+            args.trace_seed,
+            resumed.is_some(),
+            recovery.snapshots,
+            recovery.bytes,
+            recovery.restores,
+            recovery.shed,
         );
         std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");

@@ -13,6 +13,7 @@ use alpha_pim_sparse::{Coo, SparseVector};
 
 use crate::apps::{check_source, AppOptions, AppReport, IterationStats, MvEngine};
 use crate::error::AlphaPimError;
+use crate::recover::{self, RecoverError};
 use crate::semiring::{BoolOrAnd, Semiring};
 
 /// Level assigned to vertices the search never reaches.
@@ -159,6 +160,60 @@ impl BfsStepper {
     /// Finishes the query, yielding the result and its record.
     pub(crate) fn into_result(self) -> BfsResult {
         BfsResult { levels: self.levels, report: self.report }
+    }
+
+    /// A result clone taken without consuming the stepper (the serving
+    /// engine journals completed queries while the batch keeps running).
+    pub(crate) fn result_snapshot(&self) -> BfsResult {
+        BfsResult { levels: self.levels.clone(), report: self.report.clone() }
+    }
+
+    /// Marks the query shed: done, `degraded` set, partial levels kept.
+    pub(crate) fn shed(&mut self) {
+        self.report.degraded = true;
+        self.done = true;
+    }
+
+    /// Serializes the full stepper state (bit-exact, including the report's
+    /// `f64` accumulators) into a checkpoint payload.
+    pub(crate) fn snapshot(&self, out: &mut Vec<u8>) {
+        recover::put_u32(out, self.n);
+        recover::put_u32_slice(out, &self.levels);
+        recover::put_bool_slice(out, &self.visited);
+        recover::put_sparse_u32(out, &self.frontier);
+        recover::put_app_report(out, &self.report);
+        recover::put_u32(out, self.iter);
+        recover::put_u32(out, self.max_iterations);
+        recover::put_bool(out, self.done);
+    }
+
+    /// Rebuilds a stepper from a [`Self::snapshot`] payload against a
+    /// freshly prepared (or cached) engine for the same graph.
+    pub(crate) fn restore(
+        engine: Rc<MvEngine<BoolOrAnd>>,
+        d: &mut recover::Dec,
+    ) -> Result<Self, RecoverError> {
+        let n = d.u32()?;
+        if n != engine.n() {
+            return Err(RecoverError::Mismatch(format!(
+                "BFS snapshot is for a {n}-node graph, engine has {}",
+                engine.n()
+            )));
+        }
+        let levels = recover::read_u32_vec(d)?;
+        let visited = recover::read_bool_vec(d)?;
+        if levels.len() != n as usize || visited.len() != n as usize {
+            return Err(RecoverError::Malformed("BFS state length != node count".into()));
+        }
+        let frontier = recover::read_sparse_u32(d)?;
+        if frontier.len() != n as usize {
+            return Err(RecoverError::Malformed("BFS frontier length != node count".into()));
+        }
+        let report = recover::read_app_report(d)?;
+        let iter = d.u32()?;
+        let max_iterations = d.u32()?;
+        let done = d.bool()?;
+        Ok(BfsStepper { engine, n, levels, visited, frontier, report, iter, max_iterations, done })
     }
 }
 

@@ -13,6 +13,7 @@ use alpha_pim_sparse::{Coo, SparseVector};
 
 use crate::apps::{check_source, AppOptions, AppReport, IterationStats, MvEngine};
 use crate::error::AlphaPimError;
+use crate::recover::{self, RecoverError};
 use crate::semiring::PlusTimes;
 
 /// PPR-specific parameters on top of [`AppOptions`].
@@ -202,6 +203,82 @@ impl PprStepper {
     /// Finishes the query, yielding the result and its record.
     pub(crate) fn into_result(self) -> PprResult {
         PprResult { scores: self.scores, report: self.report }
+    }
+
+    /// A result clone taken without consuming the stepper (the serving
+    /// engine journals completed queries while the batch keeps running).
+    pub(crate) fn result_snapshot(&self) -> PprResult {
+        PprResult { scores: self.scores.clone(), report: self.report.clone() }
+    }
+
+    /// Marks the query shed: done, `degraded` set, partial scores kept.
+    pub(crate) fn shed(&mut self) {
+        self.report.degraded = true;
+        self.done = true;
+    }
+
+    /// Serializes the full stepper state (bit-exact: `f32` scores and the
+    /// report's `f64` accumulators round-trip by bit pattern).
+    pub(crate) fn snapshot(&self, out: &mut Vec<u8>) {
+        recover::put_u32(out, self.n);
+        recover::put_u32(out, self.source);
+        recover::put_f32(out, self.alpha);
+        recover::put_f32(out, self.tolerance);
+        recover::put_f32(out, self.epsilon);
+        recover::put_f32_slice(out, &self.scores);
+        recover::put_sparse_f32(out, &self.x);
+        recover::put_app_report(out, &self.report);
+        recover::put_u32(out, self.iter);
+        recover::put_u32(out, self.max_iterations);
+        recover::put_bool(out, self.done);
+    }
+
+    /// Rebuilds a stepper from a [`Self::snapshot`] payload against a
+    /// freshly prepared (or cached) engine for the same graph.
+    pub(crate) fn restore(
+        engine: Rc<MvEngine<PlusTimes>>,
+        d: &mut recover::Dec,
+    ) -> Result<Self, RecoverError> {
+        let n = d.u32()?;
+        if n != engine.n() {
+            return Err(RecoverError::Mismatch(format!(
+                "PPR snapshot is for a {n}-node graph, engine has {}",
+                engine.n()
+            )));
+        }
+        let source = d.u32()?;
+        if source >= n {
+            return Err(RecoverError::Malformed("PPR source out of range".into()));
+        }
+        let alpha = d.f32()?;
+        let tolerance = d.f32()?;
+        let epsilon = d.f32()?;
+        let scores = recover::read_f32_vec(d)?;
+        if scores.len() != n as usize {
+            return Err(RecoverError::Malformed("PPR score length != node count".into()));
+        }
+        let x = recover::read_sparse_f32(d)?;
+        if x.len() != n as usize {
+            return Err(RecoverError::Malformed("PPR frontier length != node count".into()));
+        }
+        let report = recover::read_app_report(d)?;
+        let iter = d.u32()?;
+        let max_iterations = d.u32()?;
+        let done = d.bool()?;
+        Ok(PprStepper {
+            engine,
+            n,
+            source,
+            alpha,
+            tolerance,
+            epsilon,
+            scores,
+            x,
+            report,
+            iter,
+            max_iterations,
+            done,
+        })
     }
 }
 

@@ -4,6 +4,8 @@ use std::fmt;
 
 use alpha_pim_sparse::SparseError;
 
+use crate::recover::RecoverError;
+
 /// Errors produced while preparing or running kernels and applications.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -28,6 +30,8 @@ pub enum AlphaPimError {
         /// Number of vertices in the graph.
         nodes: u32,
     },
+    /// A checkpoint could not be written, validated, or resumed.
+    Recover(RecoverError),
 }
 
 impl fmt::Display for AlphaPimError {
@@ -42,6 +46,7 @@ impl fmt::Display for AlphaPimError {
             AlphaPimError::InvalidSource { source, nodes } => {
                 write!(f, "source vertex {source} out of range for {nodes}-node graph")
             }
+            AlphaPimError::Recover(e) => write!(f, "recovery error: {e}"),
         }
     }
 }
@@ -50,6 +55,7 @@ impl std::error::Error for AlphaPimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AlphaPimError::Sparse(e) => Some(e),
+            AlphaPimError::Recover(e) => Some(e),
             _ => None,
         }
     }
@@ -58,6 +64,12 @@ impl std::error::Error for AlphaPimError {
 impl From<SparseError> for AlphaPimError {
     fn from(e: SparseError) -> Self {
         AlphaPimError::Sparse(e)
+    }
+}
+
+impl From<RecoverError> for AlphaPimError {
+    fn from(e: RecoverError) -> Self {
+        AlphaPimError::Recover(e)
     }
 }
 

@@ -52,6 +52,7 @@ pub mod error;
 pub mod framework;
 pub mod gblas;
 pub mod kernel;
+pub mod recover;
 pub mod semiring;
 pub mod serve;
 
@@ -60,6 +61,7 @@ pub use cost_model::EmpiricalCostModel;
 pub use error::AlphaPimError;
 pub use framework::{AlphaPim, AlphaPimBuilder};
 pub use kernel::{KernelKind, MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
+pub use recover::{BatchCheckpoint, CheckpointPolicy, CheckpointStore, RecoverError};
 pub use semiring::{BoolOrAnd, CountPlus, MaxMin, MinPlus, OpCost, PlusTimes, PlusTimesHw, Semiring};
 
 /// Convenience alias for results returned by this crate.

@@ -27,10 +27,11 @@
 //! [`alpha_pim_sim::FaultPlan`] — faults cost time, never answers. Only
 //! the accounted makespan changes, and only downward.
 
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use alpha_pim_sim::report::BatchReport;
-use alpha_pim_sim::{host, transfer, CounterId, CounterSet, PimSystem};
+use alpha_pim_sim::{host, transfer, CounterId, CounterSet, HostCrashPlan, PimSystem};
 use alpha_pim_sparse::partition::structural_fingerprint;
 use alpha_pim_sparse::Graph;
 
@@ -43,6 +44,7 @@ use crate::apps::{
 use crate::error::AlphaPimError;
 use crate::framework::AlphaPim;
 use crate::kernel::{KernelKind, SpmvVariant};
+use crate::recover::{self, BatchCheckpoint, CheckpointPolicy, CheckpointStore, RecoverError};
 use crate::semiring::{BoolOrAnd, MinPlus, PlusTimes, Semiring};
 
 /// Bytes per dense input-vector element (u32 levels/distances, f32 scores).
@@ -100,19 +102,37 @@ impl QueryResult {
             QueryResult::Ppr(r) => &r.report,
         }
     }
+
+    fn app_kind(&self) -> AppKind {
+        match self {
+            QueryResult::Bfs(_) => AppKind::Bfs,
+            QueryResult::Sssp(_) => AppKind::Sssp,
+            QueryResult::Ppr(_) => AppKind::Ppr,
+        }
+    }
 }
 
 /// Serving-engine parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
-    /// Queries executed together per batch (≥ 1).
+    /// Queries executed together per batch (≥ 1; 0 is clamped to 1).
     pub batch_size: u32,
-    /// Prepared-kernel cache entries kept before LRU eviction (≥ 1).
+    /// Prepared-kernel cache entries kept before LRU eviction (≥ 1; 0 is
+    /// clamped to 1).
     pub cache_capacity: usize,
     /// Application options every query runs under.
     pub options: AppOptions,
     /// PPR-specific parameters for [`Query::Ppr`] queries.
     pub ppr: PprOptions,
+    /// When batches write crash-recovery snapshots. `Disabled` (the
+    /// default) makes the executor byte-identical to an engine without the
+    /// recovery layer.
+    pub checkpoint: CheckpointPolicy,
+    /// Per-query cycle deadline: a query whose accumulated kernel cycles
+    /// exceed this budget after a superstep is shed — finished early with
+    /// its report's `degraded` flag set and a `serve.shed` count, never a
+    /// panic. `None` disables shedding.
+    pub deadline_cycles: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +142,8 @@ impl Default for ServeConfig {
             cache_capacity: 4,
             options: AppOptions::default(),
             ppr: PprOptions::default(),
+            checkpoint: CheckpointPolicy::default(),
+            deadline_cycles: None,
         }
     }
 }
@@ -145,6 +167,7 @@ struct CacheKey {
     threshold_bits: u64,
 }
 
+#[derive(Clone)]
 enum CachedEngine {
     Bfs(Rc<MvEngine<BoolOrAnd>>),
     Sssp(Rc<MvEngine<MinPlus>>),
@@ -209,9 +232,14 @@ pub struct ServeEngine<'a> {
 
 impl<'a> ServeEngine<'a> {
     /// Creates a serving engine over `engine`'s PIM system and classifier.
+    /// Zero `batch_size`/`cache_capacity` are clamped to 1 — a serving
+    /// layer degrades gracefully instead of panicking on a bad knob.
     pub fn new(engine: &'a AlphaPim, config: ServeConfig) -> Self {
-        assert!(config.batch_size >= 1, "batch_size must be at least 1");
-        assert!(config.cache_capacity >= 1, "cache_capacity must be at least 1");
+        let config = ServeConfig {
+            batch_size: config.batch_size.max(1),
+            cache_capacity: config.cache_capacity.max(1),
+            ..config
+        };
         ServeEngine { engine, config, cache: Vec::new(), tick: 0, hits: 0, misses: 0 }
     }
 
@@ -263,7 +291,10 @@ impl<'a> ServeEngine<'a> {
     ///
     /// Answers and per-query [`AppReport`]s are bit-identical to running
     /// each query alone; the returned [`BatchReport`] additionally accounts
-    /// the batch's amortized makespan and what batching saved.
+    /// the batch's amortized makespan and what batching saved. With
+    /// [`ServeConfig::checkpoint`] enabled, in-memory snapshots are taken at
+    /// the configured boundaries and their overhead lands in the `ckpt.*`
+    /// counters; use [`Self::run_batch_resilient`] to persist them.
     ///
     /// # Errors
     ///
@@ -273,87 +304,353 @@ impl<'a> ServeEngine<'a> {
         graph: &Graph,
         queries: &[Query],
     ) -> Result<(Vec<QueryResult>, BatchReport), AlphaPimError> {
+        let mut run = self.fresh_run(graph, queries, 0)?;
+        self.execute(&mut run, None, None)?;
+        Ok(finish_run(run))
+    }
+
+    /// [`Self::run_batch`] with the full crash-recovery surface: a batch
+    /// `tag` recorded in every snapshot, an optional [`HostCrashPlan`]
+    /// (the deterministic host-death injector — the run stops dead at the
+    /// planned superstep boundary and returns what a restarted process
+    /// would find), and an optional [`CheckpointStore`] that persists
+    /// snapshots and the write-ahead journal to disk.
+    ///
+    /// With a crash plan or an enabled [`ServeConfig::checkpoint`] policy,
+    /// an initial snapshot is taken before the first superstep so any
+    /// crash — even at boundary 0 — leaves something to resume from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source-validation, capacity, kernel, and checkpoint-IO
+    /// errors. A planned crash is not an error: it returns
+    /// [`BatchOutcome::Crashed`].
+    pub fn run_batch_resilient(
+        &mut self,
+        graph: &Graph,
+        queries: &[Query],
+        tag: u64,
+        crash: Option<HostCrashPlan>,
+        store: Option<&CheckpointStore>,
+    ) -> Result<BatchOutcome, AlphaPimError> {
+        let mut run = self.fresh_run(graph, queries, tag)?;
+        match self.execute(&mut run, crash, store)? {
+            Some(superstep) => Ok(BatchOutcome::Crashed {
+                superstep,
+                checkpoint: BatchCheckpoint {
+                    snapshot: run.latest_snapshot.unwrap_or_default(),
+                    journal: run.journal,
+                },
+            }),
+            None => {
+                let (results, report) = finish_run(run);
+                Ok(BatchOutcome::Completed(results, report))
+            }
+        }
+    }
+
+    /// Resumes an interrupted batch from `checkpoint` and replays only the
+    /// remainder: journaled queries keep their recorded results, live
+    /// steppers continue from their snapshotted supersteps. Driven to
+    /// completion, every result, report, and counter is bit-identical to
+    /// the uninterrupted run — except `ckpt.restores`, which counts this
+    /// resume.
+    ///
+    /// The checkpoint is validated (checksum, version) and cross-checked
+    /// against this engine's world (graph fingerprint, DPU count, kernel
+    /// policy, switch threshold) before anything is deserialized into
+    /// steppers; a second `crash` plan may be injected to test repeated
+    /// failures.
+    ///
+    /// # Errors
+    ///
+    /// [`AlphaPimError::Recover`] on validation or mismatch failures, plus
+    /// the usual kernel errors while replaying.
+    pub fn resume_batch(
+        &mut self,
+        graph: &Graph,
+        checkpoint: &BatchCheckpoint,
+        crash: Option<HostCrashPlan>,
+        store: Option<&CheckpointStore>,
+    ) -> Result<BatchOutcome, AlphaPimError> {
+        let mut run = self.restore_run(graph, checkpoint)?;
+        match self.execute(&mut run, crash, store)? {
+            Some(superstep) => Ok(BatchOutcome::Crashed {
+                superstep,
+                checkpoint: BatchCheckpoint {
+                    snapshot: run.latest_snapshot.unwrap_or_default(),
+                    journal: run.journal,
+                },
+            }),
+            None => {
+                let (results, report) = finish_run(run);
+                Ok(BatchOutcome::Completed(results, report))
+            }
+        }
+    }
+
+    /// Builds the in-flight state of a fresh batch: one live stepper per
+    /// query plus the batch-local counter/amortization accumulators.
+    fn fresh_run(
+        &mut self,
+        graph: &Graph,
+        queries: &[Query],
+        tag: u64,
+    ) -> Result<BatchRun, AlphaPimError> {
         let sys = self.engine.system();
         let graph_fp = structural_fingerprint(graph.adjacency(), u64::from);
+        let threshold = self.engine.switch_threshold(graph);
         let hits_before = self.hits;
         let misses_before = self.misses;
-
-        let mut steppers = Vec::with_capacity(queries.len());
+        let mut slots = Vec::with_capacity(queries.len());
         for q in queries {
-            steppers.push(self.make_stepper(graph, graph_fp, *q)?);
+            slots.push(Slot::Live(self.make_stepper(graph, graph_fp, *q)?));
+        }
+        let hits_delta = self.hits - hits_before;
+        let misses_delta = self.misses - misses_before;
+        let mut counters = CounterSet::new();
+        counters.add(CounterId::ServeCacheHits, hits_delta);
+        counters.add(CounterId::ServeCacheMisses, misses_delta);
+        Ok(BatchRun {
+            tag,
+            graph_fp,
+            dpus: sys.num_dpus(),
+            policy_bits: policy_bits(&self.config.options),
+            threshold_bits: threshold.to_bits(),
+            queries: queries.to_vec(),
+            slots,
+            counters,
+            savings: 0.0,
+            pack_cost: 0.0,
+            supersteps: 0,
+            hits_delta,
+            misses_delta,
+            journal: Vec::new(),
+            latest_snapshot: None,
+            resumed: false,
+        })
+    }
+
+    /// Rebuilds the in-flight state of an interrupted batch from a sealed
+    /// snapshot and its write-ahead journal.
+    fn restore_run(
+        &mut self,
+        graph: &Graph,
+        checkpoint: &BatchCheckpoint,
+    ) -> Result<BatchRun, AlphaPimError> {
+        let sys = self.engine.system();
+        let payload = recover::unseal(&checkpoint.snapshot)?;
+        let mut d = recover::Dec::new(payload);
+        let tag = d.u64()?;
+        let graph_fp = d.u64()?;
+        let dpus = d.u32()?;
+        let pbits = d.u64()?;
+        let tbits = d.u64()?;
+        let want_fp = structural_fingerprint(graph.adjacency(), u64::from);
+        if graph_fp != want_fp {
+            return Err(RecoverError::Mismatch(format!(
+                "checkpoint graph fingerprint {graph_fp:#018x} != engine graph {want_fp:#018x}"
+            ))
+            .into());
+        }
+        if dpus != sys.num_dpus() {
+            return Err(RecoverError::Mismatch(format!(
+                "checkpoint taken with {dpus} DPUs, engine has {}",
+                sys.num_dpus()
+            ))
+            .into());
+        }
+        if pbits != policy_bits(&self.config.options) {
+            return Err(RecoverError::Mismatch(
+                "checkpoint taken under a different kernel policy".into(),
+            )
+            .into());
+        }
+        let threshold = self.engine.switch_threshold(graph);
+        if tbits != threshold.to_bits() {
+            return Err(RecoverError::Mismatch(
+                "checkpoint taken under a different switch threshold".into(),
+            )
+            .into());
+        }
+        let n_queries = d.seq_len(5, "queries")?;
+        let mut queries = Vec::with_capacity(n_queries);
+        for _ in 0..n_queries {
+            queries.push(read_query(&mut d)?);
+        }
+        let supersteps = d.u32()?;
+        let savings = d.f64()?;
+        let pack_cost = d.f64()?;
+        let hits_delta = d.u64()?;
+        let misses_delta = d.u64()?;
+        let mut counters = recover::read_counters(&mut d)?;
+
+        // The journal maps completed query indices to their recorded
+        // results; a torn tail record (crash mid-append) is dropped by
+        // `unseal_stream`, and replayed duplicates simply overwrite with
+        // bit-identical values.
+        let mut journaled: HashMap<u32, QueryResult> = HashMap::new();
+        for rec in recover::unseal_stream(&checkpoint.journal)? {
+            let mut jd = recover::Dec::new(rec);
+            let idx = jd.u32()?;
+            let result = read_query_result(&mut jd)?;
+            jd.finish()?;
+            journaled.insert(idx, result);
         }
 
-        let mut counters = CounterSet::new();
-        counters.add(CounterId::ServeCacheHits, self.hits - hits_before);
-        counters.add(CounterId::ServeCacheMisses, self.misses - misses_before);
+        let mut slots = Vec::with_capacity(n_queries);
+        for (i, q) in queries.iter().enumerate() {
+            match d.u8()? {
+                0 => {
+                    let r = journaled.remove(&(i as u32)).ok_or_else(|| {
+                        RecoverError::Malformed(format!(
+                            "snapshot marks query {i} done but its journal record is missing"
+                        ))
+                    })?;
+                    if r.app_kind() != q.app_kind() {
+                        return Err(RecoverError::Malformed(format!(
+                            "journal record for query {i} has the wrong application kind"
+                        ))
+                        .into());
+                    }
+                    slots.push(Slot::Done(r));
+                }
+                1 => {
+                    let engine = self.cached_engine(graph, graph_fp, q.app_kind())?;
+                    slots.push(Slot::Live(AnyStepper::restore(&engine, &mut d)?));
+                }
+                t => {
+                    return Err(
+                        RecoverError::Malformed(format!("unknown slot tag {t}")).into()
+                    )
+                }
+            }
+        }
+        d.finish()?;
+        counters.add(CounterId::CkptRestores, 1);
+        Ok(BatchRun {
+            tag,
+            graph_fp,
+            dpus,
+            policy_bits: pbits,
+            threshold_bits: tbits,
+            queries,
+            slots,
+            counters,
+            savings,
+            pack_cost,
+            supersteps,
+            hits_delta,
+            misses_delta,
+            journal: checkpoint.journal.clone(),
+            latest_snapshot: Some(checkpoint.snapshot.clone()),
+            resumed: true,
+        })
+    }
 
-        // The batched superstep loop: every live query advances together;
-        // the amortization model credits the transfers the shared batch
-        // elides and charges the host packing pass once, up front (the
-        // packed buffers double-buffer with the DPU kernels afterwards).
+    /// The batched superstep loop shared by fresh and resumed batches:
+    /// every live query advances together; the amortization model credits
+    /// the transfers the shared batch elides and charges the host packing
+    /// pass once, up front (the packed buffers double-buffer with the DPU
+    /// kernels afterwards). Returns `Some(boundary)` when a planned host
+    /// crash fired there.
+    fn execute(
+        &self,
+        run: &mut BatchRun,
+        crash: Option<HostCrashPlan>,
+        store: Option<&CheckpointStore>,
+    ) -> Result<Option<u32>, AlphaPimError> {
+        let sys = self.engine.system();
         let tcfg = &sys.config().transfer;
         let hcfg = &sys.config().host;
         let dpus = sys.num_dpus();
         // A lone query has no shared transfer to pack into: it runs (and
         // costs) exactly its standalone superstep sequence.
-        let shared = queries.len() > 1;
-        let mut savings = 0.0f64;
-        let mut pack_cost = 0.0f64;
-        let mut supersteps = 0u32;
+        let shared = run.queries.len() > 1;
+        // A crash plan arms checkpointing even under a Disabled policy, so
+        // there is always at least the initial snapshot to restart from.
+        let armed = self.config.checkpoint.is_enabled() || crash.is_some();
+        let deadline = self.config.deadline_cycles;
+
+        // Queries complete on arrival settle — and journal — up front.
+        for i in 0..run.slots.len() {
+            let done = matches!(&run.slots[i], Slot::Live(s) if s.is_done());
+            if done {
+                complete_slot(run, i, armed, store)?;
+            }
+        }
+        if armed && !run.resumed {
+            take_snapshot(run, store)?;
+        }
         loop {
-            let live: Vec<usize> =
-                (0..steppers.len()).filter(|&i| !steppers[i].is_done()).collect();
+            let live: Vec<usize> = (0..run.slots.len())
+                .filter(|&i| matches!(&run.slots[i], Slot::Live(_)))
+                .collect();
             if live.is_empty() {
                 break;
             }
-            if supersteps == 0 && live.len() > 1 {
+            if run.supersteps == 0 && live.len() > 1 {
                 for &i in &live {
-                    pack_cost += host::pack_time_counted(
+                    let nnz = match &run.slots[i] {
+                        Slot::Live(s) => s.frontier_nnz(),
+                        Slot::Done(_) => continue,
+                    };
+                    run.pack_cost += host::pack_time_counted(
                         hcfg,
-                        steppers[i].frontier_nnz(),
+                        nnz,
                         PACKED_ENTRY_BYTES as u32,
-                        &mut counters,
+                        &mut run.counters,
                     );
                 }
             }
-            savings += transfer::batched_startup_savings(tcfg, live.len() as u32, &mut counters);
+            run.savings +=
+                transfer::batched_startup_savings(tcfg, live.len() as u32, &mut run.counters);
             for &i in &live {
-                let s = &mut steppers[i];
+                let Slot::Live(s) = &mut run.slots[i] else { continue };
                 let nnz = s.frontier_nnz();
                 s.step(sys)?;
                 // Dense 1D-SpMV supersteps broadcast the full vector when
                 // standalone; inside the shared batch a sparse frontier
                 // ships packed instead.
-                if !shared {
-                    continue;
+                if shared {
+                    if let Some(n) = s.last_step_dense_broadcast() {
+                        let full = u64::from(n) * ELEM_BYTES;
+                        let packed = (nnz * PACKED_ENTRY_BYTES).min(full);
+                        run.savings += transfer::packed_broadcast_savings(
+                            tcfg,
+                            full,
+                            packed,
+                            dpus,
+                            &mut run.counters,
+                        );
+                    }
                 }
-                if let Some(n) = s.last_step_dense_broadcast() {
-                    let full = u64::from(n) * ELEM_BYTES;
-                    let packed = (nnz * PACKED_ENTRY_BYTES).min(full);
-                    savings +=
-                        transfer::packed_broadcast_savings(tcfg, full, packed, dpus, &mut counters);
+                if let Some(budget) = deadline {
+                    if !s.is_done() && s.kernel_cycles() > budget {
+                        s.shed();
+                        run.counters.add(CounterId::ServeShed, 1);
+                    }
+                }
+                let finished = s.is_done();
+                if finished {
+                    complete_slot(run, i, armed, store)?;
                 }
             }
-            supersteps += 1;
+            run.supersteps += 1;
+            let boundary = run.supersteps - 1;
+            if armed {
+                let any_degraded = run.slots.iter().any(slot_degraded);
+                if self.config.checkpoint.fires(run.supersteps, any_degraded) {
+                    take_snapshot(run, store)?;
+                }
+            }
+            if let Some(plan) = crash {
+                if plan.fires_after(u64::from(boundary)) {
+                    return Ok(Some(boundary));
+                }
+            }
         }
-
-        let results: Vec<QueryResult> = steppers.into_iter().map(AnyStepper::finish).collect();
-        let seq_seconds: f64 = results.iter().map(|r| r.report().total_seconds()).sum();
-        let degraded = results.iter().any(|r| r.report().degraded);
-        let batched_seconds = seq_seconds - savings + pack_cost;
-        let batch = BatchReport {
-            queries: queries.len() as u32,
-            supersteps,
-            seq_seconds,
-            batched_seconds,
-            broadcast_bytes_saved: counters.get(CounterId::ServeBroadcastSavedBytes),
-            transfer_batches_saved: counters.get(CounterId::ServeBatchesSaved),
-            cache_hits: self.hits - hits_before,
-            cache_misses: self.misses - misses_before,
-            counters,
-            degraded,
-        };
-        Ok((results, batch))
+        Ok(None)
     }
 
     fn make_stepper(
@@ -362,11 +659,23 @@ impl<'a> ServeEngine<'a> {
         graph_fp: u64,
         query: Query,
     ) -> Result<AnyStepper, AlphaPimError> {
+        let engine = self.cached_engine(graph, graph_fp, query.app_kind())?;
+        stepper_from(&engine, query, &self.config)
+    }
+
+    /// Looks up (or prepares, caches, and LRU-evicts for) the prepared
+    /// matrix engine serving `app` on `graph`.
+    fn cached_engine(
+        &mut self,
+        graph: &Graph,
+        graph_fp: u64,
+        app: AppKind,
+    ) -> Result<CachedEngine, AlphaPimError> {
         let sys = self.engine.system();
         let threshold = self.engine.switch_threshold(graph);
         let key = CacheKey {
             graph_fp,
-            app: query.app_kind(),
+            app,
             dpus: sys.num_dpus(),
             policy_bits: policy_bits(&self.config.options),
             threshold_bits: threshold.to_bits(),
@@ -376,10 +685,10 @@ impl<'a> ServeEngine<'a> {
         if let Some(entry) = self.cache.iter_mut().find(|e| e.key == key) {
             entry.last_used = tick;
             self.hits += 1;
-            return stepper_from(&entry.engine, query, &self.config);
+            return Ok(entry.engine.clone());
         }
         self.misses += 1;
-        let engine = match query.app_kind() {
+        let engine = match app {
             AppKind::Bfs => {
                 let matrix = graph.transposed().map(BoolOrAnd::from_weight);
                 CachedEngine::Bfs(Rc::new(MvEngine::new(
@@ -415,13 +724,13 @@ impl<'a> ServeEngine<'a> {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i)
-                .expect("non-empty cache");
-            self.cache.swap_remove(victim);
+                .map(|(i, _)| i);
+            if let Some(victim) = victim {
+                self.cache.swap_remove(victim);
+            }
         }
-        let stepper = stepper_from(&engine, query, &self.config)?;
-        self.cache.push(CacheEntry { key, engine, last_used: tick });
-        Ok(stepper)
+        self.cache.push(CacheEntry { key, engine: engine.clone(), last_used: tick });
+        Ok(engine)
     }
 }
 
@@ -444,7 +753,13 @@ fn stepper_from(
         (CachedEngine::Ppr(e), Query::Ppr { source }) => {
             AnyStepper::Ppr(PprStepper::new(Rc::clone(e), source, &config.ppr)?)
         }
-        _ => unreachable!("cache key pins the application kind"),
+        // The cache key pins the application kind, so this never fires in
+        // practice — but a serving path must not panic on an invariant.
+        _ => {
+            return Err(AlphaPimError::Config(
+                "cached engine does not match the query's application kind".into(),
+            ))
+        }
     })
 }
 
@@ -509,6 +824,305 @@ impl AnyStepper {
             AnyStepper::Sssp(s) => QueryResult::Sssp(s.into_result()),
             AnyStepper::Ppr(s) => QueryResult::Ppr(s.into_result()),
         }
+    }
+
+    fn report(&self) -> &AppReport {
+        match self {
+            AnyStepper::Bfs(s) => s.report(),
+            AnyStepper::Sssp(s) => s.report(),
+            AnyStepper::Ppr(s) => s.report(),
+        }
+    }
+
+    /// Kernel cycles this query has accumulated across its supersteps —
+    /// the quantity the per-query deadline budget is charged against.
+    fn kernel_cycles(&self) -> u64 {
+        self.report().iterations.iter().map(|s| s.kernel_report.max_cycles).sum()
+    }
+
+    /// Sheds the query: done, `degraded`, partial answer retained.
+    fn shed(&mut self) {
+        match self {
+            AnyStepper::Bfs(s) => s.shed(),
+            AnyStepper::Sssp(s) => s.shed(),
+            AnyStepper::Ppr(s) => s.shed(),
+        }
+    }
+
+    /// A result clone taken without consuming the stepper.
+    fn result_snapshot(&self) -> QueryResult {
+        match self {
+            AnyStepper::Bfs(s) => QueryResult::Bfs(s.result_snapshot()),
+            AnyStepper::Sssp(s) => QueryResult::Sssp(s.result_snapshot()),
+            AnyStepper::Ppr(s) => QueryResult::Ppr(s.result_snapshot()),
+        }
+    }
+
+    /// Serializes this stepper (application tag + state) into a snapshot.
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        match self {
+            AnyStepper::Bfs(s) => {
+                recover::put_u8(out, 0);
+                s.snapshot(out);
+            }
+            AnyStepper::Sssp(s) => {
+                recover::put_u8(out, 1);
+                s.snapshot(out);
+            }
+            AnyStepper::Ppr(s) => {
+                recover::put_u8(out, 2);
+                s.snapshot(out);
+            }
+        }
+    }
+
+    /// Rebuilds a stepper against the cached engine of the same kind.
+    fn restore(engine: &CachedEngine, d: &mut recover::Dec) -> Result<Self, RecoverError> {
+        match (d.u8()?, engine) {
+            (0, CachedEngine::Bfs(e)) => {
+                Ok(AnyStepper::Bfs(BfsStepper::restore(Rc::clone(e), d)?))
+            }
+            (1, CachedEngine::Sssp(e)) => {
+                Ok(AnyStepper::Sssp(SsspStepper::restore(Rc::clone(e), d)?))
+            }
+            (2, CachedEngine::Ppr(e)) => {
+                Ok(AnyStepper::Ppr(PprStepper::restore(Rc::clone(e), d)?))
+            }
+            (t, _) => Err(RecoverError::Malformed(format!(
+                "stepper tag {t} does not match the query's application kind"
+            ))),
+        }
+    }
+}
+
+/// One query's seat in a batch: still stepping, or finished with its
+/// (possibly journaled) result.
+enum Slot {
+    Live(AnyStepper),
+    Done(QueryResult),
+}
+
+fn slot_degraded(slot: &Slot) -> bool {
+    match slot {
+        Slot::Live(s) => s.report().degraded,
+        Slot::Done(r) => r.report().degraded,
+    }
+}
+
+/// The in-flight state of one batch — everything [`ServeEngine::execute`]
+/// needs to run, snapshot, crash, and resume it.
+struct BatchRun {
+    tag: u64,
+    graph_fp: u64,
+    dpus: u32,
+    policy_bits: u64,
+    threshold_bits: u64,
+    queries: Vec<Query>,
+    slots: Vec<Slot>,
+    counters: CounterSet,
+    savings: f64,
+    pack_cost: f64,
+    supersteps: u32,
+    hits_delta: u64,
+    misses_delta: u64,
+    /// In-memory mirror of the write-ahead journal (sealed records).
+    journal: Vec<u8>,
+    /// The latest sealed snapshot, if checkpointing is armed.
+    latest_snapshot: Option<Vec<u8>>,
+    /// Resumed runs restore the initial snapshot's accounting instead of
+    /// re-taking it.
+    resumed: bool,
+}
+
+/// How a resilient batch ended: completed with results, or dead at a
+/// planned superstep boundary with its durable state in hand.
+///
+/// One value exists per batch, so the size gap between the variants is
+/// irrelevant in practice.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum BatchOutcome {
+    /// The batch ran to completion.
+    Completed(Vec<QueryResult>, BatchReport),
+    /// A planned host crash fired after `superstep`; `checkpoint` is what a
+    /// restarted process would find (pass it to
+    /// [`ServeEngine::resume_batch`]).
+    Crashed {
+        /// The 0-based superstep boundary the crash fired at.
+        superstep: u32,
+        /// The latest snapshot plus the write-ahead journal.
+        checkpoint: BatchCheckpoint,
+    },
+}
+
+/// Finalizes a completed run into results (query order) and its report.
+fn finish_run(run: BatchRun) -> (Vec<QueryResult>, BatchReport) {
+    let queries = run.queries.len() as u32;
+    let results: Vec<QueryResult> = run
+        .slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Done(r) => r,
+            Slot::Live(s) => s.finish(),
+        })
+        .collect();
+    let seq_seconds: f64 = results.iter().map(|r| r.report().total_seconds()).sum();
+    let degraded = results.iter().any(|r| r.report().degraded);
+    let batched_seconds = seq_seconds - run.savings + run.pack_cost;
+    let batch = BatchReport {
+        queries,
+        supersteps: run.supersteps,
+        seq_seconds,
+        batched_seconds,
+        broadcast_bytes_saved: run.counters.get(CounterId::ServeBroadcastSavedBytes),
+        transfer_batches_saved: run.counters.get(CounterId::ServeBatchesSaved),
+        cache_hits: run.hits_delta,
+        cache_misses: run.misses_delta,
+        counters: run.counters,
+        degraded,
+    };
+    (results, batch)
+}
+
+/// Flips slot `i` to `Done`, journaling the result first when checkpointing
+/// is armed (write-ahead: the record is flushed before any snapshot can
+/// mark this query done).
+fn complete_slot(
+    run: &mut BatchRun,
+    i: usize,
+    armed: bool,
+    store: Option<&CheckpointStore>,
+) -> Result<(), AlphaPimError> {
+    let result = match &run.slots[i] {
+        Slot::Live(s) => s.result_snapshot(),
+        Slot::Done(_) => return Ok(()),
+    };
+    if armed {
+        let mut payload = Vec::new();
+        recover::put_u32(&mut payload, i as u32);
+        put_query_result(&mut payload, &result);
+        let sealed = recover::seal(&payload);
+        run.counters.add(CounterId::CkptBytes, sealed.len() as u64);
+        if let Some(store) = store {
+            store.append_journal(&sealed)?;
+        }
+        run.journal.extend_from_slice(&sealed);
+    }
+    run.slots[i] = Slot::Done(result);
+    Ok(())
+}
+
+/// Takes a snapshot of `run` and installs it as the latest (persisting it
+/// when a store is given).
+///
+/// The snapshot embeds its own accounting: `ckpt.snapshots`/`ckpt.bytes`
+/// are bumped *first*, and because every payload field is fixed-width the
+/// re-encoded payload has the same length as the probe used to learn it.
+/// A resumed run therefore restores counters that already include this
+/// snapshot, keeping resumed and uninterrupted ledgers bit-identical.
+fn take_snapshot(run: &mut BatchRun, store: Option<&CheckpointStore>) -> Result<(), AlphaPimError> {
+    run.counters.add(CounterId::CkptSnapshots, 1);
+    let sealed_len = encode_snapshot(run).len() + recover::HEADER_LEN;
+    run.counters.add(CounterId::CkptBytes, sealed_len as u64);
+    let sealed = recover::seal(&encode_snapshot(run));
+    debug_assert_eq!(sealed.len(), sealed_len, "snapshot length must be value-independent");
+    if let Some(store) = store {
+        store.write_snapshot(&sealed)?;
+    }
+    run.latest_snapshot = Some(sealed);
+    Ok(())
+}
+
+fn encode_snapshot(run: &BatchRun) -> Vec<u8> {
+    let mut out = Vec::new();
+    recover::put_u64(&mut out, run.tag);
+    recover::put_u64(&mut out, run.graph_fp);
+    recover::put_u32(&mut out, run.dpus);
+    recover::put_u64(&mut out, run.policy_bits);
+    recover::put_u64(&mut out, run.threshold_bits);
+    recover::put_u64(&mut out, run.queries.len() as u64);
+    for q in &run.queries {
+        put_query(&mut out, *q);
+    }
+    recover::put_u32(&mut out, run.supersteps);
+    recover::put_f64(&mut out, run.savings);
+    recover::put_f64(&mut out, run.pack_cost);
+    recover::put_u64(&mut out, run.hits_delta);
+    recover::put_u64(&mut out, run.misses_delta);
+    recover::put_counters(&mut out, &run.counters);
+    for slot in &run.slots {
+        match slot {
+            // Done slots carry no payload: the write-ahead journal holds
+            // their results, keyed by query index.
+            Slot::Done(_) => recover::put_u8(&mut out, 0),
+            Slot::Live(s) => {
+                recover::put_u8(&mut out, 1);
+                s.snapshot(&mut out);
+            }
+        }
+    }
+    out
+}
+
+fn put_query(out: &mut Vec<u8>, q: Query) {
+    let (tag, source) = match q {
+        Query::Bfs { source } => (0u8, source),
+        Query::Sssp { source } => (1, source),
+        Query::Ppr { source } => (2, source),
+    };
+    recover::put_u8(out, tag);
+    recover::put_u32(out, source);
+}
+
+fn read_query(d: &mut recover::Dec) -> Result<Query, RecoverError> {
+    let tag = d.u8()?;
+    let source = d.u32()?;
+    match tag {
+        0 => Ok(Query::Bfs { source }),
+        1 => Ok(Query::Sssp { source }),
+        2 => Ok(Query::Ppr { source }),
+        t => Err(RecoverError::Malformed(format!("unknown query tag {t}"))),
+    }
+}
+
+fn put_query_result(out: &mut Vec<u8>, r: &QueryResult) {
+    match r {
+        QueryResult::Bfs(b) => {
+            recover::put_u8(out, 0);
+            recover::put_u32_slice(out, &b.levels);
+            recover::put_app_report(out, &b.report);
+        }
+        QueryResult::Sssp(s) => {
+            recover::put_u8(out, 1);
+            recover::put_u32_slice(out, &s.distances);
+            recover::put_app_report(out, &s.report);
+        }
+        QueryResult::Ppr(p) => {
+            recover::put_u8(out, 2);
+            recover::put_f32_slice(out, &p.scores);
+            recover::put_app_report(out, &p.report);
+        }
+    }
+}
+
+fn read_query_result(d: &mut recover::Dec) -> Result<QueryResult, RecoverError> {
+    match d.u8()? {
+        0 => {
+            let levels = recover::read_u32_vec(d)?;
+            let report = recover::read_app_report(d)?;
+            Ok(QueryResult::Bfs(BfsResult { levels, report }))
+        }
+        1 => {
+            let distances = recover::read_u32_vec(d)?;
+            let report = recover::read_app_report(d)?;
+            Ok(QueryResult::Sssp(SsspResult { distances, report }))
+        }
+        2 => {
+            let scores = recover::read_f32_vec(d)?;
+            let report = recover::read_app_report(d)?;
+            Ok(QueryResult::Ppr(PprResult { scores, report }))
+        }
+        t => Err(RecoverError::Malformed(format!("unknown result tag {t}"))),
     }
 }
 

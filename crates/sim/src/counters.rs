@@ -25,9 +25,14 @@
 //!   multi-query engine: partition-cache hits/misses and the bus bytes and
 //!   transfer batches the shared per-superstep broadcast saved relative to
 //!   running each query alone. Event-like: outside both cycle partitions.
+//! * **Checkpointing** (`ckpt.*`, `serve.shed`) — crash-recovery
+//!   bookkeeping of the serving engine: snapshots written, snapshot bytes,
+//!   restores performed, and deadline-shed queries. Event-like: outside
+//!   both cycle partitions, so the zero-remainder invariants are
+//!   unaffected by any checkpoint policy.
 
 /// Number of distinct counters in the registry.
-pub const NUM_COUNTERS: usize = 43;
+pub const NUM_COUNTERS: usize = 47;
 
 /// Identifier of one observability counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,6 +142,15 @@ pub enum CounterId {
     /// Host→DPU transfer batches the serving engine elided by packing the
     /// live queries' frontiers into one batch per superstep.
     ServeBatchesSaved,
+    /// Checkpoint snapshots written at superstep boundaries.
+    CkptSnapshots,
+    /// Bytes of serialized checkpoint state written (snapshots + journal).
+    CkptBytes,
+    /// Batches resumed from a checkpoint instead of starting cold.
+    CkptRestores,
+    /// Queries shed because their cumulative kernel cycles exceeded the
+    /// configured per-query deadline budget (finished `degraded`).
+    ServeShed,
 }
 
 impl CounterId {
@@ -185,6 +199,10 @@ impl CounterId {
         CounterId::ServeCacheMisses,
         CounterId::ServeBroadcastSavedBytes,
         CounterId::ServeBatchesSaved,
+        CounterId::CkptSnapshots,
+        CounterId::CkptBytes,
+        CounterId::CkptRestores,
+        CounterId::ServeShed,
     ];
 
     /// The slot-level cycle categories (sum to [`CounterId::DpuCycles`]).
@@ -267,6 +285,10 @@ impl CounterId {
             CounterId::ServeCacheMisses => "serve.cache_misses",
             CounterId::ServeBroadcastSavedBytes => "serve.saved_broadcast_bytes",
             CounterId::ServeBatchesSaved => "serve.saved_batches",
+            CounterId::CkptSnapshots => "ckpt.snapshots",
+            CounterId::CkptBytes => "ckpt.bytes",
+            CounterId::CkptRestores => "ckpt.restores",
+            CounterId::ServeShed => "serve.shed",
         }
     }
 }

@@ -20,6 +20,8 @@ use crate::pipeline::{mix64, straggler_extra_cycles};
 
 /// Salt distinguishing the per-kind draw streams.
 const SALT_LOSS: u64 = 0x10_55;
+/// Salt for the host-crash superstep draw.
+const SALT_CRASH: u64 = 0xC4_A5;
 const SALT_FLIP: u64 = 0xF1_1B;
 const SALT_STRAGGLER: u64 = 0x57_4A;
 const SALT_TIMEOUT: u64 = 0x71_3E;
@@ -210,6 +212,42 @@ impl FaultEngine {
     }
 }
 
+/// A deterministic host-crash plan: the host process dies at the checkpoint
+/// boundary right after a given superstep of a serving batch completes.
+/// Unlike the DPU-level verdicts above, a host crash kills the *orchestrator*
+/// — all in-flight stepper state would be lost without the checkpoint layer
+/// (`alpha_pim::recover`). The crash superstep is either pinned explicitly
+/// or drawn as a pure SplitMix64 hash of the seed, so crash sweeps replay
+/// identically at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostCrashPlan {
+    /// Zero-based superstep index after which the host dies. The crash
+    /// happens *after* the superstep's checkpoint is durable, modeling a
+    /// write-ahead discipline: state reached before death is recoverable.
+    pub crash_after_superstep: u64,
+}
+
+impl HostCrashPlan {
+    /// A plan that crashes right after superstep `k` completes.
+    pub fn at(superstep: u64) -> Self {
+        HostCrashPlan { crash_after_superstep: superstep }
+    }
+
+    /// A seeded plan: draws the crash superstep uniformly from
+    /// `0..max_supersteps` (clamped to at least one boundary) as a pure
+    /// hash of `seed`, so the same seed always crashes at the same place.
+    pub fn seeded(seed: u64, max_supersteps: u64) -> Self {
+        let k = mix64(seed ^ mix64(SALT_CRASH.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            % max_supersteps.max(1);
+        HostCrashPlan { crash_after_superstep: k }
+    }
+
+    /// Whether the host dies at the boundary after `superstep`.
+    pub fn fires_after(self, superstep: u64) -> bool {
+        superstep == self.crash_after_superstep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +362,24 @@ mod tests {
         );
         assert_eq!(c.get(CounterId::FaultRetries), 2);
         assert_eq!(c.get(CounterId::FaultRedistributions), 1);
+    }
+
+    #[test]
+    fn host_crash_plans_are_pure_and_bounded() {
+        assert!(HostCrashPlan::at(3).fires_after(3));
+        assert!(!HostCrashPlan::at(3).fires_after(2));
+        for seed in 0..64u64 {
+            let a = HostCrashPlan::seeded(seed, 10);
+            let b = HostCrashPlan::seeded(seed, 10);
+            assert_eq!(a, b, "seed {seed}");
+            assert!(a.crash_after_superstep < 10, "seed {seed}");
+        }
+        // Zero supersteps clamps to one boundary rather than dividing by 0.
+        assert_eq!(HostCrashPlan::seeded(1, 0).crash_after_superstep, 0);
+        // Different seeds actually spread across the range.
+        let distinct: std::collections::HashSet<u64> =
+            (0..32).map(|s| HostCrashPlan::seeded(s, 8).crash_after_superstep).collect();
+        assert!(distinct.len() > 3, "draws collapsed: {distinct:?}");
     }
 
     #[test]

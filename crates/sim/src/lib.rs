@@ -77,7 +77,7 @@ pub use config::{
     ResiliencePolicy, SimFidelity, TransferConfig,
 };
 pub use counters::{CounterId, CounterSet, NUM_COUNTERS};
-pub use faults::{FaultEngine, FaultVerdict};
+pub use faults::{FaultEngine, FaultVerdict, HostCrashPlan};
 pub use energy::EnergyModel;
 pub use instr::{InstrClass, InstrMix};
 pub use par::{par_map_indexed, set_sim_threads, sim_threads, SimThreads};
@@ -85,6 +85,6 @@ pub use report::{
     BatchReport, CycleBreakdown, DpuDetail, DpuEval, DpuProfile, DpuReport, KernelAccumulator,
     KernelReport, PhaseBreakdown,
 };
-pub use resilience::FaultSummary;
+pub use resilience::{FaultSummary, RecoverySummary};
 pub use system::PimSystem;
 pub use trace::{TaskletTrace, TraceEvent};

@@ -108,6 +108,44 @@ pub fn fault_cycle_sum(c: &CounterSet) -> u64 {
     c.sum(&CounterId::FAULT_CYCLES)
 }
 
+/// The crash-recovery ledger of one serving batch, decoded from the
+/// `ckpt.*` / `serve.shed` counters the checkpointing engine maintains.
+///
+/// These are event counters, not cycle buckets: they sit outside the
+/// zero-remainder cycle partitions, and `restores` is the one counter
+/// allowed to differ between a resumed run and its uninterrupted twin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Snapshots taken at superstep boundaries.
+    pub snapshots: u64,
+    /// Bytes sealed into snapshots and journal records (checkpoint
+    /// overhead, headers included).
+    pub bytes: u64,
+    /// Batches restored from a checkpoint.
+    pub restores: u64,
+    /// Queries shed for blowing their cycle deadline budget.
+    pub shed: u64,
+}
+
+impl RecoverySummary {
+    /// Decodes the ledger from a merged counter set (e.g. a
+    /// `BatchReport`'s counters).
+    pub fn from_counters(c: &CounterSet) -> Self {
+        RecoverySummary {
+            snapshots: c.get(CounterId::CkptSnapshots),
+            bytes: c.get(CounterId::CkptBytes),
+            restores: c.get(CounterId::CkptRestores),
+            shed: c.get(CounterId::ServeShed),
+        }
+    }
+
+    /// Whether checkpointing and shedding never fired (the byte-identical
+    /// fast path).
+    pub fn is_empty(&self) -> bool {
+        *self == RecoverySummary::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +191,19 @@ mod tests {
         assert_eq!(s.timeouts, 2);
         assert_eq!(s.retries, 4);
         assert!(s.fully_recovered());
+    }
+
+    #[test]
+    fn recovery_summary_decodes_the_ckpt_counters() {
+        let mut c = CounterSet::new();
+        assert!(RecoverySummary::from_counters(&c).is_empty());
+        c.add(CounterId::CkptSnapshots, 3);
+        c.add(CounterId::CkptBytes, 4096);
+        c.add(CounterId::CkptRestores, 1);
+        c.add(CounterId::ServeShed, 2);
+        let s = RecoverySummary::from_counters(&c);
+        assert_eq!(s, RecoverySummary { snapshots: 3, bytes: 4096, restores: 1, shed: 2 });
+        assert!(!s.is_empty());
     }
 
     #[test]

@@ -277,10 +277,13 @@ pub fn by_abbrev(abbrev: &str) -> Option<&'static DatasetSpec> {
 }
 
 /// The six datasets used in Table 4's system-level comparison.
+///
+/// Abbreviations missing from the catalog are silently skipped rather than
+/// panicking; a unit test pins the expected count of six.
 pub fn table4_datasets() -> Vec<&'static DatasetSpec> {
     ["A302", "as00", "s-S11", "p2p-24", "e-En", "face"]
         .iter()
-        .map(|a| by_abbrev(a).expect("table 4 abbreviations are in the catalog"))
+        .filter_map(|a| by_abbrev(a))
         .collect()
 }
 

@@ -5,6 +5,7 @@
 //! `integer`, and `real` fields; `general` and `symmetric` symmetry) so
 //! real datasets can replace the synthetic catalog when present.
 
+use std::collections::HashSet;
 use std::io::{BufRead, BufReader, Read, Write};
 
 use crate::coo::Coo;
@@ -13,8 +14,23 @@ use crate::Result;
 
 /// Reads a MatrixMarket coordinate matrix with `u32` values.
 ///
-/// `pattern` entries get value 1; `real` values are rounded and clamped to
-/// `u32`. Symmetric matrices are expanded (both triangles stored).
+/// `pattern` entries get value 1; `integer` and `real` entries must carry a
+/// value in `[0, u32::MAX]` (`real` values are rounded first) — negative,
+/// overflowing, or non-finite values are rejected, not clamped. Symmetric
+/// matrices are expanded (both triangles stored).
+///
+/// The parser treats its input as untrusted:
+///
+/// * the size line is range-checked before anything is read — the entry
+///   count must fit `usize` and cannot exceed `rows × cols`, so a lying
+///   header can neither overflow arithmetic nor imply absurd allocation;
+/// * duplicate coordinates are rejected (the format leaves their meaning
+///   ambiguous — summing vs overwriting — so we refuse to guess; for
+///   `symmetric` files this also rejects an entry mirrored in both
+///   triangles);
+/// * entries beyond the promised count fail fast, truncated files fail the
+///   final count check, and every failure is a typed
+///   [`SparseError::Parse`] — never a panic or unbounded allocation.
 ///
 /// A `mut` reference can be passed as the reader.
 ///
@@ -65,15 +81,35 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo<u32>> {
     }
     let n_rows: u32 = parse_num(dims[0], size_no)?;
     let n_cols: u32 = parse_num(dims[1], size_no)?;
-    let nnz: usize = parse_num(dims[2], size_no)?;
+    let nnz_declared: u64 = parse_num(dims[2], size_no)?;
+    // Checked size-line arithmetic: the u32×u32 cell count cannot overflow
+    // u64, and an entry count beyond it (or beyond usize) is a lie no
+    // matter what follows — reject before reading a single entry.
+    let cells = u64::from(n_rows) * u64::from(n_cols);
+    if nnz_declared > cells {
+        return Err(parse_err(
+            size_no + 1,
+            format!("{nnz_declared} entries cannot fit a {n_rows}x{n_cols} matrix"),
+        ));
+    }
+    let Ok(nnz) = usize::try_from(nnz_declared) else {
+        return Err(parse_err(size_no + 1, format!("entry count {nnz_declared} overflows usize")));
+    };
 
     let mut coo = Coo::new(n_rows, n_cols);
+    let mut occupied: HashSet<u64> = HashSet::new();
     let mut seen = 0usize;
     for item in lines {
         let (no, line) = item.into_parsed()?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
+        }
+        if seen == nnz {
+            return Err(parse_err(
+                no + 1,
+                format!("more entries than the {nnz} the size line promised"),
+            ));
         }
         let fields: Vec<&str> = trimmed.split_whitespace().collect();
         if fields.len() < 2 {
@@ -86,19 +122,45 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo<u32>> {
         }
         let v = match field {
             "pattern" => 1u32,
-            "integer" => parse_num::<i64>(fields.get(2).copied().unwrap_or("1"), no)?
-                .clamp(0, u32::MAX as i64) as u32,
-            _ => fields
-                .get(2)
-                .copied()
-                .unwrap_or("1")
-                .parse::<f64>()
-                .map_err(|e| parse_err(no + 1, e.to_string()))?
-                .round()
-                .clamp(0.0, u32::MAX as f64) as u32,
+            "integer" => {
+                let raw = fields
+                    .get(2)
+                    .ok_or_else(|| parse_err(no + 1, "integer entry is missing its value"))?;
+                let parsed: i64 = parse_num(raw, no)?;
+                u32::try_from(parsed).map_err(|_| {
+                    parse_err(no + 1, format!("value {parsed} is outside the u32 range"))
+                })?
+            }
+            _ => {
+                let raw = fields
+                    .get(2)
+                    .ok_or_else(|| parse_err(no + 1, "real entry is missing its value"))?;
+                let parsed = raw
+                    .parse::<f64>()
+                    .map_err(|e| parse_err(no + 1, format!("{e} (token {raw:?})")))?;
+                let rounded = parsed.round();
+                if !rounded.is_finite() || !(0.0..=u32::MAX as f64).contains(&rounded) {
+                    return Err(parse_err(
+                        no + 1,
+                        format!("value {raw} is non-finite or outside the u32 range"),
+                    ));
+                }
+                rounded as u32
+            }
         };
+        let key = u64::from(r - 1) << 32 | u64::from(c - 1);
+        if !occupied.insert(key) {
+            return Err(parse_err(no + 1, format!("duplicate entry at ({r}, {c})")));
+        }
         coo.push(r - 1, c - 1, v).map_err(|e| parse_err(no + 1, e.to_string()))?;
         if symmetric && r != c {
+            let mirror = u64::from(c - 1) << 32 | u64::from(r - 1);
+            if !occupied.insert(mirror) {
+                return Err(parse_err(
+                    no + 1,
+                    format!("symmetric mirror of ({r}, {c}) duplicates an earlier entry"),
+                ));
+            }
             coo.push(c - 1, r - 1, v).map_err(|e| parse_err(no + 1, e.to_string()))?;
         }
         seen += 1;
@@ -212,5 +274,126 @@ mod tests {
         write_coo(&mut buf, &coo).unwrap();
         let back = read_coo(buf.as_slice()).unwrap();
         assert_eq!(coo, back);
+    }
+
+    /// Every entry in the adversarial corpus must come back as a typed
+    /// parse error — no panic, no clamping a bad value into a "valid" one.
+    #[test]
+    fn rejects_corrupt_corpus() {
+        let corpus: &[(&str, &str)] = &[
+            // Lying size lines: absurd preallocation requests and overflow.
+            ("nnz beyond capacity", "%%MatrixMarket matrix coordinate pattern general\n3 3 10\n"),
+            (
+                "nnz at u64::MAX",
+                "%%MatrixMarket matrix coordinate pattern general\n3 3 18446744073709551615\n",
+            ),
+            (
+                "nnz overflows u64",
+                "%%MatrixMarket matrix coordinate pattern general\n3 3 99999999999999999999\n",
+            ),
+            ("rows overflow u32", "%%MatrixMarket matrix coordinate pattern general\n4294967296 1 0\n"),
+            ("negative nnz", "%%MatrixMarket matrix coordinate pattern general\n3 3 -1\n"),
+            // Garbage tokens.
+            ("garbage row", "%%MatrixMarket matrix coordinate integer general\n3 3 1\nx 2 5\n"),
+            ("garbage col", "%%MatrixMarket matrix coordinate integer general\n3 3 1\n1 y 5\n"),
+            ("garbage value", "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 12.5.3\n"),
+            ("missing int value", "%%MatrixMarket matrix coordinate integer general\n3 3 1\n1 2\n"),
+            ("missing real value", "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2\n"),
+            // Out-of-range indices.
+            ("row beyond dims", "%%MatrixMarket matrix coordinate integer general\n3 3 1\n4 1 5\n"),
+            ("col beyond dims", "%%MatrixMarket matrix coordinate integer general\n3 3 1\n1 4 5\n"),
+            (
+                "huge row index",
+                "%%MatrixMarket matrix coordinate integer general\n3 3 1\n999999999 1 5\n",
+            ),
+            // Overflowing / non-finite values: rejected, never clamped.
+            ("negative int", "%%MatrixMarket matrix coordinate integer general\n3 3 1\n1 2 -3\n"),
+            (
+                "int beyond u32",
+                "%%MatrixMarket matrix coordinate integer general\n3 3 1\n1 2 99999999999\n",
+            ),
+            ("real overflow", "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 1e300\n"),
+            ("real inf", "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 inf\n"),
+            ("real nan", "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 NaN\n"),
+            ("real negative", "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 -2.0\n"),
+            // Explicit duplicate policy: repeated coordinates are refused.
+            (
+                "duplicate entry",
+                "%%MatrixMarket matrix coordinate integer general\n3 3 2\n1 1 1\n1 1 2\n",
+            ),
+            (
+                "symmetric mirror duplicate",
+                "%%MatrixMarket matrix coordinate integer symmetric\n3 3 2\n1 2 1\n2 1 1\n",
+            ),
+            // More entries than promised must fail fast.
+            (
+                "extra entries",
+                "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 2\n2 3\n",
+            ),
+        ];
+        for (name, text) in corpus {
+            let got = read_coo(text.as_bytes());
+            assert!(matches!(got, Err(SparseError::Parse { .. })), "{name}: got {got:?}");
+        }
+    }
+
+    /// Cutting the sample anywhere short of the final newline always yields
+    /// a typed error: either a malformed line or the final count check.
+    #[test]
+    fn rejects_every_truncation() {
+        let bytes = SAMPLE.as_bytes();
+        for cut in 1..bytes.len() - 1 {
+            let got = read_coo(&bytes[..cut]);
+            assert!(
+                matches!(got, Err(SparseError::Parse { .. })),
+                "truncation at byte {cut} gave {got:?}"
+            );
+        }
+    }
+
+    /// Seeded single-byte corruption never panics or over-allocates; it
+    /// either still parses or fails with a typed error.
+    #[test]
+    fn seeded_byte_corruption_never_panics() {
+        let mut rng = crate::gen::rng::SplitMix64::new(0x0004_d7c5);
+        let clean = SAMPLE.as_bytes();
+        for _ in 0..500 {
+            let mut bytes = clean.to_vec();
+            let pos = rng.u32_below(bytes.len() as u32) as usize;
+            bytes[pos] = (rng.next_u64() & 0xff) as u8;
+            match read_coo(bytes.as_slice()) {
+                Ok(coo) => assert!(coo.nnz() <= 3),
+                Err(SparseError::Parse { .. } | SparseError::Io(_)) => {}
+                Err(e) => panic!("unexpected error class: {e:?}"),
+            }
+        }
+    }
+
+    /// Property test over seeded generators: any duplicate-free weighted COO
+    /// survives a write → read round-trip exactly, including extreme values.
+    #[test]
+    fn seeded_generated_matrices_roundtrip() {
+        for seed in 0..24u64 {
+            let mut rng = crate::gen::rng::SplitMix64::new(seed ^ 0x9e37_79b9);
+            let n = 8 + (seed as u32 * 13) % 120;
+            let m = 1 + (seed as usize * 29) % (n as usize * 2);
+            let pattern = crate::gen::erdos_renyi(n, m, seed).unwrap();
+            let entries: Vec<(u32, u32, u32)> = pattern
+                .iter()
+                .map(|(r, c, _)| {
+                    let v = match rng.next_u64() % 4 {
+                        0 => 0,
+                        1 => u32::MAX,
+                        _ => (rng.next_u64() & 0xffff_ffff) as u32,
+                    };
+                    (r, c, v)
+                })
+                .collect();
+            let coo = Coo::from_entries(n, n, entries).unwrap();
+            let mut buf = Vec::new();
+            write_coo(&mut buf, &coo).unwrap();
+            let back = read_coo(buf.as_slice()).unwrap();
+            assert_eq!(coo, back, "seed {seed}");
+        }
     }
 }

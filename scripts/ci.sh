@@ -35,9 +35,56 @@ cargo run --release --offline -p alpha-pim-bench --bin perfsmoke
 echo "==> BENCH_parallel_sim.json:"
 cat BENCH_parallel_sim.json
 
+echo "==> panic-free lint (no unwrap/expect/panic in ingestion + serve paths)"
+# Library code that parses untrusted input or serves queries must return
+# typed errors, never panic. Test modules (everything from the first
+# `#[cfg(test)]` line down) are exempt.
+panic_lint() {
+    local file="$1"
+    local body
+    body="$(sed '/#\[cfg(test)\]/,$d' "$file")"
+    if printf '%s\n' "$body" | grep -nE '\.unwrap\(\)|\.expect\(|panic!|unreachable!|todo!|unimplemented!' ; then
+        echo "FAIL: panic path in non-test code of $file" >&2
+        return 1
+    fi
+}
+panic_lint crates/sparse/src/mtx.rs
+panic_lint crates/sparse/src/datasets.rs
+panic_lint crates/core/src/serve.rs
+panic_lint crates/core/src/recover.rs
+echo "panic-free lint ok"
+
+echo "==> crash recovery audit (checkpoint/restore bit-identity sweep)"
+cargo test -q --offline --release -p alpha-pim-bench --test crash_recovery
+
 echo "==> serve smoke (seeded 64-query trace: batched == sequential fingerprints)"
 cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
     serve A302 --scale 0.02 --dpus 64 --policy spmv1d \
     --queries 64 --batch 16 --json BENCH_batched_serve.json
 echo "==> BENCH_batched_serve.json:"
 cat BENCH_batched_serve.json
+
+echo "==> crash recovery smoke (kill a 64-query trace, resume it, diff fingerprints)"
+CKPT_DIR="$(mktemp -d)"
+trap 'rm -rf "$CKPT_DIR"' EXIT
+SERVE_FLAGS=(serve A302 --scale 0.02 --dpus 64 --policy spmv1d --queries 64 --batch 64)
+# The dead host: crash the batch at superstep boundary 3, leaving the
+# snapshot + write-ahead journal in $CKPT_DIR.
+cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
+    "${SERVE_FLAGS[@]}" --checkpoint-dir "$CKPT_DIR" --crash-after 3
+# The restarted host: resume from disk and finish the trace.
+cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
+    "${SERVE_FLAGS[@]}" --checkpoint-dir "$CKPT_DIR" --resume --json BENCH_crash_recovery.json
+# An uninterrupted run of the same trace for the fingerprint diff.
+cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
+    "${SERVE_FLAGS[@]}" --json BENCH_crash_recovery_base.json
+FP_RESUMED="$(grep -o '"fingerprint": "[^"]*"' BENCH_crash_recovery.json)"
+FP_BASE="$(grep -o '"fingerprint": "[^"]*"' BENCH_crash_recovery_base.json)"
+if [ "$FP_RESUMED" != "$FP_BASE" ]; then
+    echo "FAIL: resumed fingerprint $FP_RESUMED != uninterrupted $FP_BASE" >&2
+    exit 1
+fi
+rm -f BENCH_crash_recovery_base.json
+echo "crash recovery smoke ok: resumed == uninterrupted ($FP_RESUMED)"
+echo "==> BENCH_crash_recovery.json:"
+cat BENCH_crash_recovery.json

@@ -4,9 +4,10 @@
 //! walk shows up here as a diff against the frozen fingerprint — update
 //! the constants only when the model change is intentional.
 //!
-//! Last regeneration: the serving engine added four event counters
-//! (`serve.*`) to the registry, which appear as trailing zero entries in
-//! every kernel fingerprint; no pre-existing value changed.
+//! Last regeneration: the checkpoint/restore layer added four event
+//! counters (`ckpt.snapshots`, `ckpt.bytes`, `ckpt.restores`,
+//! `serve.shed`) to the registry, which appear as trailing zero entries
+//! in every kernel fingerprint; no pre-existing value changed.
 
 use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
@@ -234,7 +235,11 @@ fault.timeouts=0
 serve.cache_hits=0
 serve.cache_misses=0
 serve.saved_broadcast_bytes=0
-serve.saved_batches=0";
+serve.saved_batches=0
+ckpt.snapshots=0
+ckpt.bytes=0
+ckpt.restores=0
+serve.shed=0";
 
 const SPMSPV_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=20107 instr=77984
@@ -282,7 +287,11 @@ fault.timeouts=0
 serve.cache_hits=0
 serve.cache_misses=0
 serve.saved_broadcast_bytes=0
-serve.saved_batches=0";
+serve.saved_batches=0
+ckpt.snapshots=0
+ckpt.bytes=0
+ckpt.restores=0
+serve.shed=0";
 
 const SPMM_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=69619 instr=762288
@@ -330,7 +339,11 @@ fault.timeouts=0
 serve.cache_hits=0
 serve.cache_misses=0
 serve.saved_broadcast_bytes=0
-serve.saved_batches=0";
+serve.saved_batches=0
+ckpt.snapshots=0
+ckpt.bytes=0
+ckpt.restores=0
+serve.shed=0";
 
 const SPMV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -379,7 +392,11 @@ fault.timeouts=0
 serve.cache_hits=0
 serve.cache_misses=0
 serve.saved_broadcast_bytes=0
-serve.saved_batches=0";
+serve.saved_batches=0
+ckpt.snapshots=0
+ckpt.bytes=0
+ckpt.restores=0
+serve.shed=0";
 
 const SPMSPV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -428,7 +445,11 @@ fault.timeouts=0
 serve.cache_hits=0
 serve.cache_misses=0
 serve.saved_broadcast_bytes=0
-serve.saved_batches=0";
+serve.saved_batches=0
+ckpt.snapshots=0
+ckpt.bytes=0
+ckpt.restores=0
+serve.shed=0";
 
 const SPMM_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -477,4 +498,8 @@ fault.timeouts=1
 serve.cache_hits=0
 serve.cache_misses=0
 serve.saved_broadcast_bytes=0
-serve.saved_batches=0";
+serve.saved_batches=0
+ckpt.snapshots=0
+ckpt.bytes=0
+ckpt.restores=0
+serve.shed=0";

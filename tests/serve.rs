@@ -30,7 +30,7 @@ fn engine(faults: Option<FaultPlan>) -> AlphaPim {
 /// SSSP queries are non-trivial.
 fn table2_graph() -> Graph {
     let spec = &datasets::table2()[1];
-    let scale = (2_000.0 / spec.nodes as f64).min(1.0).max(0.02);
+    let scale = (2_000.0 / spec.nodes as f64).clamp(0.02, 1.0);
     spec.generate_scaled(scale, SEED).expect("catalog recipe is valid").with_random_weights(9)
 }
 
