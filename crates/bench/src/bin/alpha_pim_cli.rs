@@ -6,6 +6,7 @@
 //! alpha_pim_cli top <graph> [options]        per-DPU/per-tasklet cycle attribution
 //! alpha_pim_cli chaos <graph> [options]      fault-injection sweep vs fault-free BFS
 //! alpha_pim_cli serve <graph> [options]      batched multi-query serving vs sequential
+//! alpha_pim_cli calibrate <all|graph> [options]  analytic fast path vs replay audit
 //!
 //! <graph>     path to a .mtx file, or a catalog abbreviation (e.g. A302)
 //! --source N      source vertex (default 0)
@@ -26,13 +27,24 @@
 //! --resume              serve only: resume an interrupted trace from DIR
 //! --deadline-cycles N   serve only: shed queries over this cycle budget
 //! --crash-after K       serve only: kill the first batch at boundary K
+//! --fast-path P         serve only: replay | analytic | auto (default replay)
+//! --mix B:S:P           serve only: BFS:SSSP:PPR trace weights (default 1:1:1)
+//! --baseline-queries N  serve --fast-path only: replay-path sample size
+//!                       for the throughput baseline (default 256)
+//! --bound F       calibrate only: max relative makespan error (default 0.05)
+//! --frozen        calibrate only: also enforce the frozen per-graph
+//!                 regression bounds (reference config: scale 0.02, 64 DPUs)
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
 use alpha_pim::semiring::{BoolOrAnd, Semiring};
-use alpha_pim::serve::{seeded_trace, BatchOutcome, Query, QueryResult, ServeConfig, ServeEngine};
+use alpha_pim::calibrate::{self, CalApp};
+use alpha_pim::serve::{
+    seeded_trace_weighted, BatchOutcome, FastPath, Query, QueryResult, ServeConfig, ServeEngine,
+};
 use alpha_pim::{
     AlphaPim, CheckpointPolicy, CheckpointStore, PreparedSpmspv, PreparedSpmv, SpmspvVariant,
     SpmvVariant,
@@ -49,6 +61,7 @@ use alpha_pim_sparse::{datasets, mtx, Graph};
 /// graph loading so typos exit non-zero with usage instead of part-running.
 const ALGORITHMS: &[&str] = &[
     "bfs", "sssp", "ppr", "wcc", "widest", "triangles", "msbfs", "kcore", "top", "chaos", "serve",
+    "calibrate",
 ];
 
 struct Args {
@@ -72,6 +85,11 @@ struct Args {
     resume: bool,
     deadline_cycles: Option<u64>,
     crash_after: Option<u64>,
+    fast_path: FastPath,
+    mix: [u32; 3],
+    baseline_queries: usize,
+    bound: f64,
+    frozen: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -104,10 +122,19 @@ fn parse_args() -> Result<Args, String> {
         resume: false,
         deadline_cycles: None,
         crash_after: None,
+        fast_path: FastPath::Replay,
+        mix: [1, 1, 1],
+        baseline_queries: 256,
+        bound: 0.05,
+        frozen: false,
     };
     while let Some(flag) = raw.next() {
         if flag == "--resume" {
             args.resume = true;
+            continue;
+        }
+        if flag == "--frozen" {
+            args.frozen = true;
             continue;
         }
         let value = raw.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -132,6 +159,32 @@ fn parse_args() -> Result<Args, String> {
             "--crash-after" => {
                 args.crash_after = Some(value.parse().map_err(|e| format!("{e}"))?);
             }
+            "--fast-path" => {
+                args.fast_path = match value.as_str() {
+                    "replay" => FastPath::Replay,
+                    "analytic" => FastPath::Analytic,
+                    "auto" => FastPath::Auto,
+                    other => {
+                        return Err(format!(
+                            "unknown fast path {other} (expected replay|analytic|auto)"
+                        ))
+                    }
+                };
+            }
+            "--mix" => {
+                let parts: Vec<u32> = value
+                    .split(':')
+                    .map(|p| p.parse::<u32>().map_err(|e| format!("--mix {value}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                let [b, s, p] = parts[..] else {
+                    return Err(format!("--mix {value}: expected B:S:P (three weights)"));
+                };
+                args.mix = [b, s, p];
+            }
+            "--baseline-queries" => {
+                args.baseline_queries = value.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--bound" => args.bound = value.parse().map_err(|e| format!("{e}"))?,
             "--policy" => {
                 args.policy = match value.as_str() {
                     "adaptive" => KernelPolicy::Adaptive,
@@ -177,7 +230,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH] [--checkpoint-dir DIR] [--resume] [--deadline-cycles N] [--crash-after K]");
+            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve|calibrate> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH] [--checkpoint-dir DIR] [--resume] [--deadline-cycles N] [--crash-after K] [--fast-path P] [--mix B:S:P] [--baseline-queries N] [--bound F] [--frozen]");
             return ExitCode::FAILURE;
         }
     };
@@ -191,6 +244,9 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    if args.algo == "calibrate" {
+        return run_calibrate(args);
+    }
     let graph = load_graph(args)?;
     if args.algo == "top" {
         return run_top(args, &graph);
@@ -363,14 +419,18 @@ fn run_serve(args: &Args, graph: &Graph) -> Result<(), String> {
         options,
         checkpoint,
         deadline_cycles: args.deadline_cycles,
+        fast_path: args.fast_path,
         ..Default::default()
     };
-    let trace = seeded_trace(weighted.nodes(), args.queries, args.trace_seed);
+    let trace = seeded_trace_weighted(weighted.nodes(), args.queries, args.trace_seed, args.mix);
     if let Some(dir) = &args.checkpoint_dir {
         return run_serve_checkpointed(args, &weighted, &engine, config, &trace, dir);
     }
     if args.crash_after.is_some() {
         return Err("--crash-after requires --checkpoint-dir".into());
+    }
+    if args.fast_path != FastPath::Replay {
+        return run_serve_fastpath(args, &weighted, &engine, config, &trace);
     }
     println!(
         "serve — {} queries on {} ({} nodes, {} edges, {} DPUs, batch {}, trace seed {:#x})",
@@ -455,7 +515,7 @@ fn run_serve(args: &Args, graph: &Graph) -> Result<(), String> {
 
     if let Some(path) = &args.json {
         let json = format!(
-            "{{\"graph\": \"{}\", \"queries\": {}, \"batch_size\": {}, \"dpus\": {}, \
+            "{{{}, \"graph\": \"{}\", \"queries\": {}, \"batch_size\": {}, \"dpus\": {}, \
              \"trace_seed\": {}, \"seq_seconds\": {seq_total:.6}, \
              \"batched_seconds\": {batched_total:.6}, \"speedup\": {:.3}, \
              \"broadcast_bytes_seq\": {broadcast_seq}, \
@@ -464,6 +524,7 @@ fn run_serve(args: &Args, graph: &Graph) -> Result<(), String> {
              \"transfer_batches_saved\": {batches_saved}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
              \"fingerprint\": \"{fp_batched:#018x}\"}}\n",
+            alpha_pim_bench::report::bench_schema_fields("serve"),
             args.graph,
             trace.len(),
             args.batch,
@@ -476,6 +537,261 @@ fn run_serve(args: &Args, graph: &Graph) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+/// Stable lowercase name of a fast-path choice (JSON key).
+fn fast_path_name(p: FastPath) -> &'static str {
+    match p {
+        FastPath::Replay => "replay",
+        FastPath::Analytic => "analytic",
+        FastPath::Auto => "auto",
+    }
+}
+
+/// `serve --fast-path analytic|auto`: throughput benchmark of the analytic
+/// serving fast path. Serves the full trace with closed-form timing and
+/// wall-clocks it, then wall-clocks the exact cycle-replay path on the
+/// first `--baseline-queries` queries of the same trace and extrapolates
+/// its throughput. Answers on the shared prefix must be bit-identical —
+/// the fast path only swaps the timing model, never the value math. Writes
+/// the `"analytic-serve"` benchmark record when `--json` is given.
+fn run_serve_fastpath(
+    args: &Args,
+    graph: &Graph,
+    engine: &AlphaPim,
+    config: ServeConfig,
+    trace: &[Query],
+) -> Result<(), String> {
+    let n_base = args.baseline_queries.min(trace.len()).max(1);
+    println!(
+        "serve fast-path — {} queries on {} ({} nodes, {} edges, {} DPUs, batch {}, \
+         mix {}:{}:{}, baseline sample {n_base})",
+        trace.len(),
+        args.graph,
+        graph.nodes(),
+        graph.edges(),
+        args.dpus,
+        args.batch,
+        args.mix[0],
+        args.mix[1],
+        args.mix[2],
+    );
+
+    let mut fast = ServeEngine::new(engine, config);
+    if !fast.fast_path_active() {
+        println!(
+            "note: fast path gated off (observability below Aggregate, or sampled replay \
+             under auto) — timing falls back to exact replay"
+        );
+    }
+    let start = Instant::now();
+    let (fast_results, fast_batches) = fast.serve(graph, trace).map_err(|e| e.to_string())?;
+    let secs_fast = start.elapsed().as_secs_f64();
+
+    let mut replay =
+        ServeEngine::new(engine, ServeConfig { fast_path: FastPath::Replay, ..config });
+    let start = Instant::now();
+    let (base_results, _) = replay.serve(graph, &trace[..n_base]).map_err(|e| e.to_string())?;
+    let secs_base = start.elapsed().as_secs_f64();
+
+    let fp_fast = fingerprint_results(&fast_results[..n_base]);
+    let fp_base = fingerprint_results(&base_results);
+    if fp_fast != fp_base {
+        return Err(format!(
+            "fast-path/replay answers diverge on the {n_base}-query prefix: \
+             fingerprint {fp_fast:#018x} vs {fp_base:#018x}"
+        ));
+    }
+
+    let qps_fast = fast_results.len() as f64 / secs_fast.max(f64::MIN_POSITIVE);
+    let qps_base = n_base as f64 / secs_base.max(f64::MIN_POSITIVE);
+    let multiplier = qps_fast / qps_base.max(f64::MIN_POSITIVE);
+
+    // Per-batch cache attribution: the fast path serves from the same
+    // prepared-kernel cache, so after the first batch of each application
+    // kind every batch should be warm (zero misses).
+    let cache_hits: u64 = fast_batches.iter().map(|b| b.cache_hits).sum();
+    let cache_misses: u64 = fast_batches.iter().map(|b| b.cache_misses).sum();
+    let warm_batches = fast_batches.iter().filter(|b| b.cache_misses == 0).count();
+    let sim_seconds: f64 = fast_batches.iter().map(|b| b.batched_seconds).sum();
+
+    println!(
+        "analytic path: {} queries in {:.3}s wall ({:.0} q/s), {} batches ({warm_batches} warm), \
+         cache {cache_hits} hits / {cache_misses} misses, {:.3} ms simulated",
+        fast_results.len(),
+        secs_fast,
+        qps_fast,
+        fast_batches.len(),
+        sim_seconds * 1e3,
+    );
+    println!("replay baseline: {n_base} queries in {secs_base:.3}s wall ({qps_base:.2} q/s)");
+    println!(
+        "throughput multiplier: {multiplier:.1}x \
+         (baseline extrapolated from {n_base} of {} queries)",
+        trace.len(),
+    );
+    println!("fingerprint (shared {n_base}-query prefix): {fp_fast:#018x} — bit-identical");
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{{}, \"graph\": \"{}\", \"queries\": {}, \"batch_size\": {}, \"dpus\": {}, \
+             \"trace_seed\": {}, \"mix\": [{}, {}, {}], \"fast_path\": \"{}\", \
+             \"fast_path_active\": {}, \"secs_fast\": {secs_fast:.6}, \
+             \"qps_fast\": {qps_fast:.3}, \"baseline_queries\": {n_base}, \
+             \"baseline_extrapolated\": true, \"secs_baseline\": {secs_base:.6}, \
+             \"qps_baseline\": {qps_base:.6}, \"throughput_multiplier\": {multiplier:.3}, \
+             \"batches\": {}, \"warm_batches\": {warm_batches}, \
+             \"cache_hits\": {cache_hits}, \"cache_misses\": {cache_misses}, \
+             \"sim_seconds\": {sim_seconds:.6}, \"fingerprint\": \"{fp_fast:#018x}\"}}\n",
+            alpha_pim_bench::report::bench_schema_fields("analytic-serve"),
+            args.graph,
+            trace.len(),
+            args.batch,
+            args.dpus,
+            args.trace_seed,
+            args.mix[0],
+            args.mix[1],
+            args.mix[2],
+            fast_path_name(args.fast_path),
+            fast.fast_path_active(),
+            fast_batches.len(),
+        );
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `calibrate`: serve the same query trace on the exact replay path and the
+/// analytic fast path for every requested graph × application pair, then
+/// verify result values and traffic counters are bit-identical while the
+/// predicted makespan stays within `--bound` relative error. `calibrate
+/// all` runs the full 13-graph Table 2 catalog (scaled by `--scale`); a
+/// single abbreviation or `.mtx` path audits just that graph. Exits
+/// non-zero on any breach so `scripts/ci.sh` gates on it directly.
+fn run_calibrate(args: &Args) -> Result<(), String> {
+    let report = if args.graph == "all" {
+        calibrate::run_suite(args.scale, args.dpus, args.seed, args.queries)
+            .map_err(|e| e.to_string())?
+    } else {
+        let graph = load_graph(args)?.with_random_weights(args.max_weight);
+        let cases = CalApp::ALL
+            .iter()
+            .map(|&app| {
+                calibrate::run_case(&graph, &args.graph, app, args.dpus, args.seed, args.queries)
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?;
+        calibrate::CalibrationReport { cases }
+    };
+    println!(
+        "calibrate — {} pairs, {} queries each ({} DPUs, scale {}, seed {}, bound {:.1}%)",
+        report.cases.len(),
+        args.queries,
+        args.dpus,
+        args.scale,
+        args.seed,
+        args.bound * 100.0,
+    );
+    println!(
+        "\n{:>6} {:>5} {:>12} {:>12} {:>7} {:>7} {:>9}",
+        "graph", "app", "replay ms", "analytic ms", "err %", "values", "counters"
+    );
+    for c in &report.cases {
+        println!(
+            "{:>6} {:>5} {:>12.3} {:>12.3} {:>7.2} {:>7} {:>9}",
+            c.graph,
+            c.app,
+            c.replay_seconds * 1e3,
+            c.analytic_seconds * 1e3,
+            c.rel_error * 100.0,
+            if c.values_match { "ok" } else { "DIFF" },
+            if c.counters_match { "ok" } else { "DIFF" },
+        );
+    }
+    println!(
+        "\nmax relative makespan error {:.2}% (bound {:.1}%), values/counters {}",
+        report.max_rel_error() * 100.0,
+        args.bound * 100.0,
+        if report.all_exact() { "bit-identical" } else { "DIVERGED" },
+    );
+
+    if let Some(path) = &args.json {
+        let mut cases_json = String::new();
+        for (i, c) in report.cases.iter().enumerate() {
+            if i > 0 {
+                cases_json.push_str(", ");
+            }
+            cases_json.push_str(&format!(
+                "{{\"graph\": \"{}\", \"app\": \"{}\", \"queries\": {}, \
+                 \"replay_seconds\": {:.9}, \"analytic_seconds\": {:.9}, \
+                 \"rel_error\": {:.6}, \"values_match\": {}, \"counters_match\": {}}}",
+                c.graph,
+                c.app,
+                c.queries,
+                c.replay_seconds,
+                c.analytic_seconds,
+                c.rel_error,
+                c.values_match,
+                c.counters_match,
+            ));
+        }
+        let json = format!(
+            "{{{}, \"graph\": \"{}\", \"scale\": {}, \"dpus\": {}, \"seed\": {}, \
+             \"queries\": {}, \"bound\": {}, \"max_rel_error\": {:.6}, \"all_exact\": {}, \
+             \"passes\": {}, \"cases\": [{cases_json}]}}\n",
+            alpha_pim_bench::report::bench_schema_fields("calibration"),
+            args.graph,
+            args.scale,
+            args.dpus,
+            args.seed,
+            args.queries,
+            args.bound,
+            report.max_rel_error(),
+            report.all_exact(),
+            report.passes(args.bound),
+        );
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    let failures = report.failures(args.bound);
+    if !failures.is_empty() {
+        let list: Vec<String> = failures
+            .iter()
+            .map(|c| format!("{}/{} {:.2}%", c.graph, c.app, c.rel_error * 100.0))
+            .collect();
+        return Err(format!(
+            "calibration failed for {} of {} pairs: {}",
+            failures.len(),
+            report.cases.len(),
+            list.join(", ")
+        ));
+    }
+    if args.frozen {
+        let regressions = report.frozen_failures();
+        if !regressions.is_empty() {
+            let list: Vec<String> = regressions
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{}/{} {:.2}% > frozen {:.2}%",
+                        c.graph,
+                        c.app,
+                        c.rel_error * 100.0,
+                        calibrate::frozen_bound(&c.graph).unwrap_or(0.0) * 100.0
+                    )
+                })
+                .collect();
+            return Err(format!(
+                "calibration error regressed past frozen per-graph bounds: {}",
+                list.join(", ")
+            ));
+        }
+        println!("frozen per-graph regression bounds hold");
+    }
+    println!("calibration passed");
     Ok(())
 }
 
@@ -580,12 +896,13 @@ fn run_serve_checkpointed(
 
     if let Some(path) = &args.json {
         let json = format!(
-            "{{\"graph\": \"{}\", \"queries\": {}, \"batch_size\": {}, \"dpus\": {}, \
+            "{{{}, \"graph\": \"{}\", \"queries\": {}, \"batch_size\": {}, \"dpus\": {}, \
              \"trace_seed\": {}, \"resumed\": {}, \"seq_seconds\": {seq_total:.6}, \
              \"batched_seconds\": {batched_total:.6}, \
              \"ckpt_snapshots\": {}, \"ckpt_bytes\": {}, \"ckpt_restores\": {}, \
              \"serve_shed\": {}, \"degraded_results\": {degraded}, \
              \"fingerprint\": \"{fp:#018x}\"}}\n",
+            alpha_pim_bench::report::bench_schema_fields("serve"),
             args.graph,
             results.len(),
             args.batch,

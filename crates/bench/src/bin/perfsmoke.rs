@@ -134,9 +134,10 @@ fn main() {
     );
 
     let json = format!(
-        "{{\"threads_seq\": {threads_seq}, \"threads_par\": {threads_par}, \"cores\": {cores}, \
-         \"dpus\": {DPUS}, \"secs_seq\": {secs_seq:.6}, \"secs_par\": {secs_par:.6}, \
-         \"speedup\": {speedup:.3}}}\n"
+        "{{{}, \"threads_seq\": {threads_seq}, \"threads_par\": {threads_par}, \
+         \"cores\": {cores}, \"dpus\": {DPUS}, \"secs_seq\": {secs_seq:.6}, \
+         \"secs_par\": {secs_par:.6}, \"speedup\": {speedup:.3}}}\n",
+        alpha_pim_bench::report::bench_schema_fields("perfsmoke"),
     );
     std::fs::write("BENCH_parallel_sim.json", json).expect("write BENCH_parallel_sim.json");
 

@@ -2,6 +2,36 @@
 
 use alpha_pim_sim::report::PhaseBreakdown;
 
+/// Version of the shared `BENCH_*.json` schema: every benchmark artifact
+/// starts with `schema_version`, `commit`, and `tier` so
+/// `scripts/bench_summary.sh` can build a trajectory table across files.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The shared leading fields of a `BENCH_*.json` object (no surrounding
+/// braces, no trailing comma): `"schema_version": …, "commit": …,
+/// "tier": …`. `tier` names the producing stage (`"perfsmoke"`,
+/// `"serve"`, `"analytic-serve"`, `"calibration"`, …).
+pub fn bench_schema_fields(tier: &str) -> String {
+    format!(
+        "\"schema_version\": {BENCH_SCHEMA_VERSION}, \"commit\": \"{}\", \"tier\": \"{tier}\"",
+        git_commit()
+    )
+}
+
+/// Short hash of the checked-out commit, or `"unknown"` outside a git
+/// checkout (benchmarks must run from exported tarballs too).
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// A fixed-width text table builder.
 #[derive(Debug, Default)]
 pub struct Table {

@@ -7,9 +7,48 @@
 //! trained on a corpus of synthetic graphs labeled by their generator
 //! family, mirroring the paper's "trained on a diverse set of real-world
 //! graphs" setup with the generators standing in for the datasets.
+//!
+//! This module also owns the serving-layer *fast-path dispatch*
+//! ([`FastPath`] / [`use_analytic_timing`]): the policy deciding when the
+//! batched serving engine may replace cycle replay with the closed-form
+//! analytic timing model (`alpha_pim_sim::analytic`).
 
+use alpha_pim_sim::{ObservabilityLevel, PimConfig, SimFidelity};
 use alpha_pim_sparse::datasets::GraphClass;
 use alpha_pim_sparse::{gen, Graph, GraphStats};
+
+/// How the serving engine times supersteps (`ServeConfig::fast_path`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FastPath {
+    /// Cycle-level trace replay for every superstep — the exact
+    /// discrete-event timing model (today's behaviour, the default).
+    #[default]
+    Replay,
+    /// The closed-form analytic predictor whenever the engine runs at
+    /// [`ObservabilityLevel::Aggregate`]. PerDpu/PerTasklet engines keep
+    /// replay: their detail records promise real per-tasklet attribution.
+    Analytic,
+    /// Decide from the engine configuration: like `Analytic`, but also
+    /// defers to an explicit [`SimFidelity::Sampled`] fidelity — the
+    /// caller already chose their own accuracy/speed trade-off there.
+    Auto,
+}
+
+/// Fast-path dispatch: whether a serving engine over `cfg` should time
+/// supersteps with the analytic model instead of cycle replay.
+///
+/// `Replay` never does; `Analytic` does whenever Aggregate-level
+/// observability permits; `Auto` additionally keeps an explicitly
+/// requested sampled replay. Result values and traffic counters are
+/// identical either way — only cycle timing switches models.
+pub fn use_analytic_timing(path: FastPath, cfg: &PimConfig) -> bool {
+    let aggregate = cfg.observability == ObservabilityLevel::Aggregate;
+    match path {
+        FastPath::Replay => false,
+        FastPath::Analytic => aggregate,
+        FastPath::Auto => aggregate && !matches!(cfg.fidelity, SimFidelity::Sampled(_)),
+    }
+}
 
 /// The two features the paper's classifier consumes (§4.2.1).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -42,6 +42,10 @@ pub struct TriangleResult {
 /// The graph is treated as undirected: its adjacency is symmetrized
 /// internally, and each triangle is counted once.
 ///
+/// Triangle counting is a one-shot analytics kernel, not part of the
+/// query-serving path, so it always records full [`TaskletTrace`]s and
+/// replays them — even under `SimFidelity::Analytic`.
+///
 /// # Errors
 ///
 /// Returns [`AlphaPimError::Capacity`] if the CSR does not fit a DPU's

@@ -2,7 +2,7 @@
 //! system and the trained graph classifier, with one method per graph
 //! application.
 
-use alpha_pim_sim::{PimConfig, PimSystem};
+use alpha_pim_sim::{PimConfig, PimSystem, SimFidelity};
 use alpha_pim_sparse::datasets::GraphClass;
 use alpha_pim_sparse::Graph;
 
@@ -62,6 +62,21 @@ impl AlphaPim {
     /// The simulated PIM system.
     pub fn system(&self) -> &PimSystem {
         &self.system
+    }
+
+    /// A twin of the simulated system running under
+    /// [`SimFidelity::Analytic`]: kernels record closed-form per-tasklet
+    /// statistics and the analytic model predicts every DPU's makespan,
+    /// skipping cycle replay entirely. Result values, traffic bytes, and
+    /// event counts are bit-identical to the replay system; cycle
+    /// attribution becomes a calibrated approximation. Returns `None` if
+    /// the modified configuration fails validation — fidelity never
+    /// affects validity today, but the serving fast path degrades to
+    /// replay instead of panicking.
+    pub fn analytic_twin(&self) -> Option<PimSystem> {
+        let mut cfg = self.system.config().clone();
+        cfg.fidelity = SimFidelity::Analytic;
+        PimSystem::new(cfg).ok()
     }
 
     /// The graph classifier used for adaptive kernel switching.

@@ -12,7 +12,7 @@
 //!   under a mutex (the SpMV and CSC-C kernels).
 
 use alpha_pim_sim::instr::InstrClass;
-use alpha_pim_sim::trace::TaskletTrace;
+use alpha_pim_sim::trace::Record;
 
 use crate::semiring::Semiring;
 
@@ -54,13 +54,13 @@ pub(crate) fn vec_entry_bytes(elem_bytes: u32) -> u32 {
 }
 
 /// Records the per-tasklet kernel prologue.
-pub(crate) fn tasklet_prologue(trace: &mut TaskletTrace) {
+pub(crate) fn tasklet_prologue<R: Record>(trace: &mut R) {
     trace.compute(InstrClass::Arith, SETUP_ARITH);
     trace.compute(InstrClass::Control, SETUP_CONTROL);
 }
 
 /// Records the base per-entry decode/loop cost.
-pub(crate) fn edge_base_cost(trace: &mut TaskletTrace) {
+pub(crate) fn edge_base_cost<R: Record>(trace: &mut R) {
     trace.compute(InstrClass::Arith, EDGE_ARITH);
     trace.compute(InstrClass::LoadStore, EDGE_LOADSTORE);
     trace.compute(InstrClass::Control, EDGE_CONTROL);
@@ -74,7 +74,7 @@ pub(crate) fn mutex_for(r: u32) -> u16 {
 
 /// Records the timing of one shared-WRAM output update under its stripe
 /// mutex (the fine-grained model used when the output band fits in WRAM).
-pub(crate) fn shared_update_timing<S: Semiring>(r: u32, trace: &mut TaskletTrace) {
+pub(crate) fn shared_update_timing<S: Semiring, R: Record>(r: u32, trace: &mut R) {
     let m = mutex_for(r);
     trace.mutex_lock(m);
     trace.compute(InstrClass::LoadStore, 2);
@@ -85,13 +85,13 @@ pub(crate) fn shared_update_timing<S: Semiring>(r: u32, trace: &mut TaskletTrace
 /// Updates a shared-WRAM output element under its stripe mutex — the
 /// fine-grained model used when the output band fits in WRAM.
 #[cfg_attr(not(test), allow(dead_code))]
-pub(crate) fn shared_update<S: Semiring>(
+pub(crate) fn shared_update<S: Semiring, R: Record>(
     y: &mut [S::Elem],
     r: u32,
     contrib: S::Elem,
-    trace: &mut TaskletTrace,
+    trace: &mut R,
 ) {
-    shared_update_timing::<S>(r, trace);
+    shared_update_timing::<S, R>(r, trace);
     y[r as usize] = S::add(y[r as usize], contrib);
 }
 
@@ -125,7 +125,7 @@ impl BlockedOutput {
 
     /// Records the timing of one update at row `r`, charging cache-switch
     /// costs as needed (no functional effect).
-    pub(crate) fn touch<S: Semiring>(&mut self, r: u32, trace: &mut TaskletTrace) {
+    pub(crate) fn touch<S: Semiring, R: Record>(&mut self, r: u32, trace: &mut R) {
         let block = r / self.block_elems;
         if self.current != Some(block) {
             self.flush(trace);
@@ -139,14 +139,14 @@ impl BlockedOutput {
     }
 
     /// Applies `y[r] ⊕= contrib`, charging cache-switch costs as needed.
-    pub(crate) fn update<S: Semiring>(
+    pub(crate) fn update<S: Semiring, R: Record>(
         &mut self,
         y: &mut [S::Elem],
         r: u32,
         contrib: S::Elem,
-        trace: &mut TaskletTrace,
+        trace: &mut R,
     ) {
-        self.touch::<S>(r, trace);
+        self.touch::<S, R>(r, trace);
         y[r as usize] = S::add(y[r as usize], contrib);
     }
 
@@ -155,7 +155,7 @@ impl BlockedOutput {
     /// The merge window is protected by the block's stripe mutex, but the
     /// bulk DMA traffic happens outside the critical section (double
     /// buffering), keeping hold times short.
-    pub(crate) fn flush(&mut self, trace: &mut TaskletTrace) {
+    pub(crate) fn flush<R: Record>(&mut self, trace: &mut R) {
         if self.dirty {
             let block = self.current.expect("dirty implies a current block");
             let m = (block % DATA_MUTEXES as u32) as u16;
@@ -186,6 +186,7 @@ pub(crate) fn search_probes(n: u64) -> u32 {
 mod tests {
     use super::*;
     use crate::semiring::BoolOrAnd;
+    use alpha_pim_sim::trace::TaskletTrace;
 
     #[test]
     fn mutex_striping_is_in_range() {
@@ -198,7 +199,7 @@ mod tests {
     fn shared_update_applies_semiring_add() {
         let mut y = vec![0u32; 4];
         let mut t = TaskletTrace::new();
-        shared_update::<BoolOrAnd>(&mut y, 2, 1, &mut t);
+        shared_update::<BoolOrAnd, _>(&mut y, 2, 1, &mut t);
         assert_eq!(y, vec![0, 0, 1, 0]);
         assert_eq!(t.instr_mix().count(InstrClass::Sync), 2);
     }
@@ -209,12 +210,12 @@ mod tests {
         let mut t = TaskletTrace::new();
         let mut out = BlockedOutput::new(4);
         // Two updates in the same block: one fetch.
-        out.update::<BoolOrAnd>(&mut y, 0, 1, &mut t);
-        out.update::<BoolOrAnd>(&mut y, 1, 1, &mut t);
+        out.update::<BoolOrAnd, _>(&mut y, 0, 1, &mut t);
+        out.update::<BoolOrAnd, _>(&mut y, 1, 1, &mut t);
         let dmas_same = t.instr_mix().count(InstrClass::Dma);
         assert_eq!(dmas_same, 1);
         // Jumping to a far block: flush (2 DMAs) + fetch (1 DMA).
-        out.update::<BoolOrAnd>(&mut y, 4000, 1, &mut t);
+        out.update::<BoolOrAnd, _>(&mut y, 4000, 1, &mut t);
         assert_eq!(t.instr_mix().count(InstrClass::Dma), 4);
         out.flush(&mut t);
         assert_eq!(t.instr_mix().count(InstrClass::Dma), 6);

@@ -9,9 +9,9 @@
 
 use alpha_pim_sim::instr::InstrClass;
 use alpha_pim_sim::par::par_map_indexed;
-use alpha_pim_sim::report::PhaseBreakdown;
+use alpha_pim_sim::report::{EvalRecord, PhaseBreakdown};
 use alpha_pim_sim::trace::TaskletTrace;
-use alpha_pim_sim::{CounterSet, PimSystem};
+use alpha_pim_sim::{CounterSet, PimSystem, SimFidelity, TaskletStats};
 use alpha_pim_sparse::partition::{near_square_grid, partition_grid, GridPartition};
 use alpha_pim_sparse::Coo;
 
@@ -107,10 +107,26 @@ impl<S: Semiring> PreparedSpmm<S> {
 
     /// Runs one `Y = M ⊗ X` multiplication.
     ///
+    /// Under [`SimFidelity::Analytic`] the tiles record O(1)-space
+    /// [`TaskletStats`] and timing comes from the closed-form predictor;
+    /// `y` is bit-identical either way because the value math is shared.
+    ///
     /// # Errors
     ///
     /// Returns [`AlphaPimError::Dimension`] if `x.n() != n`.
     pub fn run(
+        &self,
+        x: &MultiVector<S::Elem>,
+        sys: &PimSystem,
+    ) -> Result<SpmmOutcome<S>, AlphaPimError> {
+        if matches!(sys.config().fidelity, SimFidelity::Analytic) {
+            self.run_impl::<TaskletStats>(x, sys)
+        } else {
+            self.run_impl::<TaskletTrace>(x, sys)
+        }
+    }
+
+    fn run_impl<R: EvalRecord>(
         &self,
         x: &MultiVector<S::Elem>,
         sys: &PimSystem,
@@ -126,18 +142,20 @@ impl<S: Semiring> PreparedSpmm<S> {
         let mut load = vec![0u64; self.grid.tiles.len()];
         let mut retrieve = vec![0u64; self.grid.tiles.len()];
         let mut ops = 0u64;
+        let proto = R::fresh(sys.config());
         let evals = par_map_indexed(&self.grid.tiles, |_, t| {
             let rows = (t.row_range.end - t.row_range.start) as usize;
             let mut local = MultiVector::filled(rows, k, S::zero());
-            let traces = spmm_tile_traces::<S>(
+            let traces = spmm_tile_traces::<S, R>(
                 &t.matrix,
                 x,
                 t.col_range.start,
                 &mut local,
                 tasklets,
                 sys.config().wram_bytes,
+                &proto,
             );
-            (acc.evaluate(t.part, &traces), local)
+            (acc.evaluate_records(t.part, &traces), local)
         });
         // Tiles in one grid row overlap in `y`: reduce in tile order so the
         // result matches a sequential run exactly.
@@ -194,14 +212,15 @@ pub struct SpmmOutcome<S: Semiring> {
 
 /// Functional + trace execution of one tile: stream entries, and for each
 /// apply the semiring across all `k` columns of the cached vector slab.
-fn spmm_tile_traces<S: Semiring>(
+fn spmm_tile_traces<S: Semiring, R: EvalRecord>(
     m: &Coo<S::Elem>,
     x: &MultiVector<S::Elem>,
     col_offset: u32,
     local_y: &mut MultiVector<S::Elem>,
     tasklets: u32,
     wram_bytes: u32,
-) -> Vec<TaskletTrace> {
+    proto: &R,
+) -> Vec<R> {
     let k = x.k() as u32;
     let eb = S::elem_bytes();
     let entry_bytes = coo_entry_bytes(eb);
@@ -212,7 +231,7 @@ fn spmm_tile_traces<S: Semiring>(
     let (rows, cols, vals) = (m.rows(), m.cols(), m.vals());
     let mut traces = Vec::with_capacity(tasklets as usize);
     for range in ranges {
-        let mut t = TaskletTrace::new();
+        let mut t = proto.clone();
         tasklet_prologue(&mut t);
         let mut idx = range.start;
         while idx < range.end {

@@ -19,9 +19,9 @@ use std::collections::HashMap;
 
 use alpha_pim_sim::instr::InstrClass;
 use alpha_pim_sim::par::par_map_indexed;
-use alpha_pim_sim::report::PhaseBreakdown;
-use alpha_pim_sim::trace::TaskletTrace;
-use alpha_pim_sim::{CounterSet, PimSystem};
+use alpha_pim_sim::report::{EvalRecord, PhaseBreakdown};
+use alpha_pim_sim::trace::{Record, TaskletTrace};
+use alpha_pim_sim::{CounterSet, PimSystem, SimFidelity, TaskletStats};
 use alpha_pim_sparse::partition::{
     near_square_grid, partition_cols, partition_grid, partition_rows, Balance,
 };
@@ -188,6 +188,11 @@ impl<S: Semiring> PreparedSpmspv<S> {
 
     /// Runs one `y = M ⊗ x` iteration with a compressed input vector.
     ///
+    /// Under [`SimFidelity::Analytic`] the kernel records closed-form
+    /// statistics and predicts timing analytically; all other fidelities
+    /// record event traces for cycle replay. The value math is shared, so
+    /// `y` is bit-identical across fidelities.
+    ///
     /// # Errors
     ///
     /// Returns [`AlphaPimError::Dimension`] if `x.len() != n`.
@@ -196,22 +201,34 @@ impl<S: Semiring> PreparedSpmspv<S> {
         x: &SparseVector<S::Elem>,
         sys: &PimSystem,
     ) -> Result<IterationOutcome<S>, AlphaPimError> {
+        if matches!(sys.config().fidelity, SimFidelity::Analytic) {
+            self.run_impl::<TaskletStats>(x, sys)
+        } else {
+            self.run_impl::<TaskletTrace>(x, sys)
+        }
+    }
+
+    fn run_impl<R: EvalRecord>(
+        &self,
+        x: &SparseVector<S::Elem>,
+        sys: &PimSystem,
+    ) -> Result<IterationOutcome<S>, AlphaPimError> {
         if x.len() != self.n as usize {
             return Err(AlphaPimError::Dimension { expected: self.n as usize, actual: x.len() });
         }
         match &self.data {
-            SpmspvData::Coo(parts) => self.run_matched(x, sys, MatchedKind::Coo(parts)),
-            SpmspvData::Csr(bands) => self.run_matched(x, sys, MatchedKind::Csr(bands)),
-            SpmspvData::CscR(bands) => self.run_csc_r(x, sys, bands),
-            SpmspvData::CscC(bands) => self.run_csc_c(x, sys, bands),
+            SpmspvData::Coo(parts) => self.run_matched::<R>(x, sys, MatchedKind::Coo(parts)),
+            SpmspvData::Csr(bands) => self.run_matched::<R>(x, sys, MatchedKind::Csr(bands)),
+            SpmspvData::CscR(bands) => self.run_csc_r::<R>(x, sys, bands),
+            SpmspvData::CscC(bands) => self.run_csc_c::<R>(x, sys, bands),
             SpmspvData::Csc2d { grid_cols, tiles } => {
-                self.run_csc_2d(x, sys, *grid_cols, tiles)
+                self.run_csc_2d::<R>(x, sys, *grid_cols, tiles)
             }
         }
     }
 
     /// COO and CSR: stream the whole matrix, match entries against `x`.
-    fn run_matched(
+    fn run_matched<R: EvalRecord>(
         &self,
         x: &SparseVector<S::Elem>,
         sys: &PimSystem,
@@ -221,6 +238,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
         let ventry = vec_entry_bytes(eb) as u64;
         let tasklets = sys.config().tasklets_per_dpu;
         let mut acc = sys.accumulator();
+        let proto = R::fresh(sys.config());
         let mut y = vec![S::zero(); self.n as usize];
         let mut ops = 0u64;
         let num_parts = kind.len();
@@ -232,22 +250,24 @@ impl<S: Semiring> PreparedSpmspv<S> {
             let mut local = vec![S::zero(); band];
             let mut part_ops = 0u64;
             let traces = match &kind {
-                MatchedKind::Coo(parts) => coo_matched_traces::<S>(
+                MatchedKind::Coo(parts) => coo_matched_traces::<S, R>(
                     &parts[part as usize].matrix,
                     x,
                     &mut local,
                     tasklets,
                     &mut part_ops,
+                    &proto,
                 ),
-                MatchedKind::Csr(bands) => csr_matched_traces::<S>(
+                MatchedKind::Csr(bands) => csr_matched_traces::<S, R>(
                     &bands[part as usize].matrix,
                     x,
                     &mut local,
                     tasklets,
                     &mut part_ops,
+                    &proto,
                 ),
             };
-            (acc.evaluate(part, &traces), local, part_ops)
+            (acc.evaluate_records(part, &traces), local, part_ops)
         });
         for (part, (eval, local, part_ops)) in evals.into_iter().enumerate() {
             let lost = eval.is_lost();
@@ -290,7 +310,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
 
     /// CSC-R: row bands, full compressed vector broadcast, active-column
     /// traversal, shared-WRAM output under mutexes.
-    fn run_csc_r(
+    fn run_csc_r<R: EvalRecord>(
         &self,
         x: &SparseVector<S::Elem>,
         sys: &PimSystem,
@@ -308,7 +328,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
             let band = (b.rows.end - b.rows.start) as usize;
             let mut local = vec![S::zero(); band];
             let mut part_ops = 0u64;
-            let traces = csc_active_traces::<S>(
+            let traces = csc_active_traces::<S, R>(
                 &b.matrix,
                 &entries,
                 band as u64 * eb as u64,
@@ -319,7 +339,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
                 },
                 &mut part_ops,
             );
-            (acc.evaluate(part as u32, &traces), local, part_ops)
+            (acc.evaluate_records(part as u32, &traces), local, part_ops)
         });
         for (part, (b, (eval, local, part_ops))) in bands.iter().zip(evals).enumerate() {
             let lost = eval.is_lost();
@@ -357,7 +377,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
 
     /// CSC-C: column bands, segmented vector scatter, full-length partial
     /// outputs compressed on the DPU and merged on the host.
-    fn run_csc_c(
+    fn run_csc_c<R: EvalRecord>(
         &self,
         x: &SparseVector<S::Elem>,
         sys: &PimSystem,
@@ -378,7 +398,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
             let seg_bytes = seg.compressed_bytes(eb as usize) as u64;
             let mut partial: HashMap<u32, S::Elem> = HashMap::new();
             let mut part_ops = 0u64;
-            let traces = csc_active_traces::<S>(
+            let traces = csc_active_traces::<S, R>(
                 &b.matrix,
                 &entries,
                 // Output band is the whole vector: never fits WRAM.
@@ -391,7 +411,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
                 },
                 &mut part_ops,
             );
-            (acc.evaluate(part as u32, &traces), partial, seg_bytes, part_ops)
+            (acc.evaluate_records(part as u32, &traces), partial, seg_bytes, part_ops)
         });
         for (part, (eval, partial, seg_bytes, part_ops)) in evals.into_iter().enumerate() {
             let lost = eval.is_lost();
@@ -423,7 +443,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
 
     /// CSC-2D: tiles with segmented inputs and banded outputs — the best
     /// overall SpMSpV (§6.1).
-    fn run_csc_2d(
+    fn run_csc_2d<R: EvalRecord>(
         &self,
         x: &SparseVector<S::Elem>,
         sys: &PimSystem,
@@ -446,7 +466,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
             let seg_bytes = seg.compressed_bytes(eb as usize) as u64;
             let mut local = vec![S::zero(); band];
             let mut part_ops = 0u64;
-            let traces = csc_active_traces::<S>(
+            let traces = csc_active_traces::<S, R>(
                 &t.matrix,
                 &entries,
                 band as u64 * eb as u64,
@@ -457,7 +477,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
                 },
                 &mut part_ops,
             );
-            (acc.evaluate(part as u32, &traces), local, seg_bytes, part_ops)
+            (acc.evaluate_records(part as u32, &traces), local, seg_bytes, part_ops)
         });
         // Tiles sharing a grid row overlap in `y`; merge in tile order to
         // keep the cross-tile reduction identical to a sequential run.
@@ -535,7 +555,7 @@ fn finish<S: Semiring>(
 
 /// Binary-search cost of matching one matrix entry against the compressed
 /// input vector, with the top tree levels cached in WRAM.
-fn record_search(trace: &mut TaskletTrace, x_nnz: u64, cached_entries: u64) {
+fn record_search<R: Record>(trace: &mut R, x_nnz: u64, cached_entries: u64) {
     let probes = search_probes(x_nnz);
     let cached = search_probes(cached_entries);
     trace.compute(InstrClass::Arith, 2 * probes + 2);
@@ -547,13 +567,14 @@ fn record_search(trace: &mut TaskletTrace, x_nnz: u64, cached_entries: u64) {
 
 /// COO SpMSpV worker: stream the band's entries coarse-grained and match
 /// each against `x`.
-fn coo_matched_traces<S: Semiring>(
+fn coo_matched_traces<S: Semiring, R: EvalRecord>(
     m: &Coo<S::Elem>,
     x: &SparseVector<S::Elem>,
     local_y: &mut [S::Elem],
     tasklets: u32,
     ops: &mut u64,
-) -> Vec<TaskletTrace> {
+    proto: &R,
+) -> Vec<R> {
     // Zero-length band (`parts > n`): a true no-op — no kernel launch, no
     // events, no fault site.
     if local_y.is_empty() {
@@ -565,7 +586,7 @@ fn coo_matched_traces<S: Semiring>(
     let (rows, cols, vals) = (m.rows(), m.cols(), m.vals());
     let mut traces = Vec::with_capacity(tasklets as usize);
     for range in ranges {
-        let mut t = TaskletTrace::new();
+        let mut t = proto.clone();
         tasklet_prologue(&mut t);
         let mut out = BlockedOutput::new(S::elem_bytes());
         let mut idx = range.start;
@@ -579,7 +600,7 @@ fn coo_matched_traces<S: Semiring>(
                 if let Some(xv) = x.get(cols[e]) {
                     S::mul_cost().record(&mut t);
                     let contrib = S::mul(vals[e], xv);
-                    out.update::<S>(local_y, rows[e], contrib, &mut t);
+                    out.update::<S, R>(local_y, rows[e], contrib, &mut t);
                     *ops += 2;
                 }
             }
@@ -595,13 +616,14 @@ fn coo_matched_traces<S: Semiring>(
 /// CSR SpMSpV worker: equal-row tasklet splitting, per-row pointer and
 /// element transfers (fine-grained DMA), per-element binary search with a
 /// smaller WRAM cache — deliberately the paper's worst performer.
-fn csr_matched_traces<S: Semiring>(
+fn csr_matched_traces<S: Semiring, R: EvalRecord>(
     m: &Csr<S::Elem>,
     x: &SparseVector<S::Elem>,
     local_y: &mut [S::Elem],
     tasklets: u32,
     ops: &mut u64,
-) -> Vec<TaskletTrace> {
+    proto: &R,
+) -> Vec<R> {
     // Zero-length band (`parts > n`): a true no-op, see coo_matched_traces.
     if local_y.is_empty() {
         return Vec::new();
@@ -610,7 +632,7 @@ fn csr_matched_traces<S: Semiring>(
     let elem_dma = vec_entry_bytes(S::elem_bytes()).max(8);
     let mut traces = Vec::with_capacity(tasklets as usize);
     for range in ranges {
-        let mut t = TaskletTrace::new();
+        let mut t = proto.clone();
         tasklet_prologue(&mut t);
         for r in range {
             // Row pointer pair fetch.
@@ -654,7 +676,7 @@ const QUEUE_MUTEX: u16 = crate::kernel::layout::DATA_MUTEXES;
 /// traffic (the Fig 11 effect). Column contributions are applied to the
 /// output band under one stripe mutex per column when the band fits in
 /// shared WRAM, or through the per-tasklet blocked MRAM cache otherwise.
-fn csc_active_traces<S: Semiring>(
+fn csc_active_traces<S: Semiring, R: EvalRecord>(
     m: &Csc<S::Elem>,
     x_entries: &[(u32, S::Elem)],
     band_bytes: u64,
@@ -662,7 +684,7 @@ fn csc_active_traces<S: Semiring>(
     tasklets: u32,
     apply: &mut dyn FnMut(u32, S::Elem),
     ops: &mut u64,
-) -> Vec<TaskletTrace> {
+) -> Vec<R> {
     // Structurally empty partition: a zero-length row band (`band_bytes ==
     // 0`) or a zero-width column band (no matrix entries and no input
     // segment). Nothing resides on the DPU, so no kernel is launched and
@@ -672,15 +694,16 @@ fn csc_active_traces<S: Semiring>(
     }
     let eb = S::elem_bytes();
     let ventry = vec_entry_bytes(eb);
+    let proto = R::fresh(sys.config());
     // The shared-WRAM accumulator needs the whole band plus streaming room.
     let shared_wram = band_bytes <= (sys.config().wram_bytes as u64 * 3) / 4;
     // Dynamic chunking: enough chunks for balance, large enough to
     // amortize queue synchronization when the frontier is dense.
     let chunk_cols = (x_entries.len() / (tasklets as usize * 2)).max(1);
     let chunks: Vec<&[(u32, S::Elem)]> = x_entries.chunks(chunk_cols).collect();
-    let mut traces: Vec<TaskletTrace> = (0..tasklets as usize)
+    let mut traces: Vec<R> = (0..tasklets as usize)
         .map(|_| {
-            let mut t = TaskletTrace::new();
+            let mut t = proto.clone();
             tasklet_prologue(&mut t);
             if shared_wram {
                 // Tasklet-parallel zeroing of the shared accumulator
@@ -742,7 +765,7 @@ fn csc_active_traces<S: Semiring>(
                     t.compute(InstrClass::LoadStore, 2);
                     stripe_updates[crate::kernel::layout::mutex_for(r) as usize] += 1;
                 } else {
-                    blocked[tid].touch::<S>(r, t);
+                    blocked[tid].touch::<S, R>(r, t);
                 }
                 apply(r, S::mul(v, xv));
                 *ops += 2;

@@ -17,9 +17,9 @@
 
 use alpha_pim_sim::instr::InstrClass;
 use alpha_pim_sim::par::par_map_indexed;
-use alpha_pim_sim::report::PhaseBreakdown;
+use alpha_pim_sim::report::{EvalRecord, PhaseBreakdown};
 use alpha_pim_sim::trace::TaskletTrace;
-use alpha_pim_sim::{CounterSet, PimSystem};
+use alpha_pim_sim::{CounterSet, PimSystem, SimFidelity, TaskletStats};
 use alpha_pim_sparse::partition::{
     near_square_grid, partition_grid, partition_rows, Balance, GridPartition, RowPartition,
 };
@@ -160,10 +160,27 @@ impl<S: Semiring> PreparedSpmv<S> {
 
     /// Runs one `y = M ⊗ x` iteration with a dense input vector.
     ///
+    /// Under [`SimFidelity::Analytic`] the kernel records closed-form
+    /// statistics and predicts timing analytically; all other fidelities
+    /// record event traces for cycle replay. The value math is shared, so
+    /// `y` is bit-identical across fidelities.
+    ///
     /// # Errors
     ///
     /// Returns [`AlphaPimError::Dimension`] if `x.len() != n`.
     pub fn run(
+        &self,
+        x: &DenseVector<S::Elem>,
+        sys: &PimSystem,
+    ) -> Result<IterationOutcome<S>, AlphaPimError> {
+        if matches!(sys.config().fidelity, SimFidelity::Analytic) {
+            self.run_impl::<TaskletStats>(x, sys)
+        } else {
+            self.run_impl::<TaskletTrace>(x, sys)
+        }
+    }
+
+    fn run_impl<R: EvalRecord>(
         &self,
         x: &DenseVector<S::Elem>,
         sys: &PimSystem,
@@ -174,6 +191,7 @@ impl<S: Semiring> PreparedSpmv<S> {
         let eb = S::elem_bytes() as u64;
         let tasklets = sys.config().tasklets_per_dpu;
         let mut acc = sys.accumulator();
+        let proto = R::fresh(sys.config());
         let mut y = vec![S::zero(); self.n as usize];
         let mut ops: u64 = 0;
 
@@ -186,15 +204,16 @@ impl<S: Semiring> PreparedSpmv<S> {
                 let evals = par_map_indexed(parts, |_, p| {
                     let band = (p.row_range.end - p.row_range.start) as usize;
                     let mut local = vec![S::zero(); band];
-                    let traces = coo_band_traces::<S>(
+                    let traces = coo_band_traces::<S, R>(
                         &p.matrix,
                         x.values(),
                         &mut local,
                         tasklets,
                         XAccess::MramRandom,
                         sys.config().wram_bytes,
+                        &proto,
                     );
-                    (acc.evaluate(p.part, &traces), local)
+                    (acc.evaluate_records(p.part, &traces), local)
                 });
                 for (p, (eval, local)) in parts.iter().zip(evals) {
                     let lost = eval.is_lost();
@@ -230,14 +249,15 @@ impl<S: Semiring> PreparedSpmv<S> {
                 let evals = par_map_indexed(bands, |part, b| {
                     let band = (b.rows.end - b.rows.start) as usize;
                     let mut local = vec![S::zero(); band];
-                    let traces = csr_band_traces::<S>(
+                    let traces = csr_band_traces::<S, R>(
                         &b.matrix,
                         x.values(),
                         &mut local,
                         tasklets,
                         sys.config().wram_bytes,
+                        &proto,
                     );
-                    (acc.evaluate(part as u32, &traces), local)
+                    (acc.evaluate_records(part as u32, &traces), local)
                 });
                 for (part, (b, (eval, local))) in bands.iter().zip(evals).enumerate() {
                     let lost = eval.is_lost();
@@ -280,7 +300,7 @@ impl<S: Semiring> PreparedSpmv<S> {
                         // Degenerate tile (more grid rows/cols than
                         // indices): no input segment is scattered to it
                         // and no kernel is launched on it.
-                        return (acc.evaluate(t.part, &[]), Vec::new(), 0u64);
+                        return (acc.evaluate_records::<R>(t.part, &[]), Vec::new(), 0u64);
                     }
                     let seg_bytes = seg.len() as u64 * eb;
                     let access = if seg_bytes <= cache_budget {
@@ -289,15 +309,16 @@ impl<S: Semiring> PreparedSpmv<S> {
                         XAccess::MramRandom
                     };
                     let mut local = vec![S::zero(); rows];
-                    let traces = coo_band_traces::<S>(
+                    let traces = coo_band_traces::<S, R>(
                         &t.matrix,
                         seg,
                         &mut local,
                         tasklets,
                         access,
                         sys.config().wram_bytes,
+                        &proto,
                     );
-                    (acc.evaluate(t.part, &traces), local, seg_bytes)
+                    (acc.evaluate_records(t.part, &traces), local, seg_bytes)
                 });
                 // Tiles in the same grid row overlap in `y`, so the
                 // cross-tile reduction must stay in tile order (semiring
@@ -357,14 +378,15 @@ fn finish_outcome<S: Semiring>(
 /// the output either in shared WRAM (band fits; tasklets own near-disjoint
 /// row ranges, so only a boundary merge needs a lock) or through the
 /// blocked MRAM cache model.
-fn coo_band_traces<S: Semiring>(
+fn coo_band_traces<S: Semiring, R: EvalRecord>(
     m: &Coo<S::Elem>,
     xs: &[S::Elem],
     local_y: &mut [S::Elem],
     tasklets: u32,
     access: XAccess,
     wram_bytes: u32,
-) -> Vec<TaskletTrace> {
+    proto: &R,
+) -> Vec<R> {
     // Structurally empty partition (zero-length band from `parts > n`, or
     // a degenerate tile): nothing resides on the DPU, so no kernel is
     // launched and no events, cycles, or fault sites may appear.
@@ -382,7 +404,7 @@ fn coo_band_traces<S: Semiring>(
     let shared_wram = band_bytes <= (wram_bytes as u64 * 3) / 4;
     let mut traces = Vec::with_capacity(tasklets as usize);
     for (tid, range) in ranges.iter().enumerate() {
-        let mut t = TaskletTrace::new();
+        let mut t = proto.clone();
         tasklet_prologue(&mut t);
         if let XAccess::WramCached { preload_bytes } = access {
             if tid == 0 {
@@ -415,7 +437,7 @@ fn coo_band_traces<S: Semiring>(
                     S::add_cost().record(&mut t);
                     local_y[rows[e] as usize] = S::add(local_y[rows[e] as usize], contrib);
                 } else {
-                    out.update::<S>(local_y, rows[e], contrib, &mut t);
+                    out.update::<S, R>(local_y, rows[e], contrib, &mut t);
                 }
             }
             idx = chunk_end;
@@ -442,13 +464,14 @@ fn coo_band_traces<S: Semiring>(
 /// and the contiguous element run, and accumulate each row in registers
 /// before one store — CSR's natural row-major pattern (no output locking,
 /// but row-count imbalance across tasklets).
-fn csr_band_traces<S: Semiring>(
+fn csr_band_traces<S: Semiring, R: EvalRecord>(
     m: &alpha_pim_sparse::Csr<S::Elem>,
     xs: &[S::Elem],
     local_y: &mut [S::Elem],
     tasklets: u32,
     wram_bytes: u32,
-) -> Vec<TaskletTrace> {
+    proto: &R,
+) -> Vec<R> {
     // Zero-length band (`parts > n`): a true no-op, see coo_band_traces.
     if local_y.is_empty() {
         return Vec::new();
@@ -460,7 +483,7 @@ fn csr_band_traces<S: Semiring>(
     let ranges = tasklet_ranges(m.n_rows() as usize, tasklets);
     let mut traces = Vec::with_capacity(tasklets as usize);
     for range in ranges {
-        let mut t = TaskletTrace::new();
+        let mut t = proto.clone();
         tasklet_prologue(&mut t);
         // Stream this tasklet's slice of the row-pointer array.
         t.dma_stream((range.len() as u64 + 1) * 4, CHUNK_BYTES, CHUNK_OVERHEAD);
@@ -483,7 +506,7 @@ fn csr_band_traces<S: Semiring>(
             if shared_wram {
                 t.compute(InstrClass::LoadStore, 1);
             } else {
-                out.touch::<S>(r as u32, &mut t);
+                out.touch::<S, R>(r as u32, &mut t);
             }
             local_y[r] = acc;
         }

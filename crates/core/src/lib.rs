@@ -47,6 +47,7 @@
 
 pub mod adaptive;
 pub mod apps;
+pub mod calibrate;
 pub mod cost_model;
 pub mod error;
 pub mod framework;
@@ -56,7 +57,7 @@ pub mod recover;
 pub mod semiring;
 pub mod serve;
 
-pub use adaptive::{DecisionTree, GraphFeatures};
+pub use adaptive::{DecisionTree, FastPath, GraphFeatures};
 pub use cost_model::EmpiricalCostModel;
 pub use error::AlphaPimError;
 pub use framework::{AlphaPim, AlphaPimBuilder};

@@ -16,7 +16,7 @@
 //! reason PPR is kernel-dominated in Fig 8.
 
 use alpha_pim_sim::instr::InstrClass;
-use alpha_pim_sim::trace::TaskletTrace;
+use alpha_pim_sim::trace::Record;
 
 /// DPU instruction cost of one scalar semiring operation, by class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,8 +30,8 @@ pub struct OpCost {
 }
 
 impl OpCost {
-    /// Records this cost into a tasklet trace.
-    pub fn record(&self, trace: &mut TaskletTrace) {
+    /// Records this cost into a tasklet recorder.
+    pub fn record<R: Record>(&self, trace: &mut R) {
         trace.compute(InstrClass::Arith, self.arith);
         trace.compute(InstrClass::LoadStore, self.loadstore);
         trace.compute(InstrClass::Control, self.control);
@@ -420,7 +420,7 @@ mod tests {
 
     #[test]
     fn op_cost_records_into_trace() {
-        let mut t = TaskletTrace::new();
+        let mut t = alpha_pim_sim::trace::TaskletTrace::new();
         PlusTimes::mul_cost().record(&mut t);
         assert_eq!(t.instructions() as u32, PlusTimes::mul_cost().total());
     }

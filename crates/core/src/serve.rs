@@ -35,6 +35,8 @@ use alpha_pim_sim::{host, transfer, CounterId, CounterSet, HostCrashPlan, PimSys
 use alpha_pim_sparse::partition::structural_fingerprint;
 use alpha_pim_sparse::Graph;
 
+use crate::adaptive;
+pub use crate::adaptive::FastPath;
 use crate::apps::bfs::BfsStepper;
 use crate::apps::ppr::{self, PprStepper};
 use crate::apps::sssp::SsspStepper;
@@ -133,6 +135,11 @@ pub struct ServeConfig {
     /// its report's `degraded` flag set and a `serve.shed` count, never a
     /// panic. `None` disables shedding.
     pub deadline_cycles: Option<u64>,
+    /// How supersteps are timed: cycle replay (exact, the default) or the
+    /// closed-form analytic model (orders of magnitude faster, calibrated
+    /// to ≤ 5 % makespan error). See [`FastPath`] for the dispatch rules;
+    /// result values and traffic counters are identical on both paths.
+    pub fast_path: FastPath,
 }
 
 impl Default for ServeConfig {
@@ -144,6 +151,7 @@ impl Default for ServeConfig {
             ppr: PprOptions::default(),
             checkpoint: CheckpointPolicy::default(),
             deadline_cycles: None,
+            fast_path: FastPath::default(),
         }
     }
 }
@@ -228,24 +236,63 @@ pub struct ServeEngine<'a> {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// The [`SimFidelity::Analytic`](alpha_pim_sim::SimFidelity::Analytic)
+    /// twin supersteps run against when the fast path is active; `None`
+    /// keeps every superstep on the exact replay system.
+    analytic_sys: Option<PimSystem>,
 }
 
 impl<'a> ServeEngine<'a> {
     /// Creates a serving engine over `engine`'s PIM system and classifier.
     /// Zero `batch_size`/`cache_capacity` are clamped to 1 — a serving
     /// layer degrades gracefully instead of panicking on a bad knob.
+    ///
+    /// When [`ServeConfig::fast_path`] and the engine's observability
+    /// level select the analytic fast path (see
+    /// [`adaptive::use_analytic_timing`]), supersteps are timed by the
+    /// closed-form model on an [`AlphaPim::analytic_twin`] of the system;
+    /// otherwise they replay cycle-level traces exactly as before.
     pub fn new(engine: &'a AlphaPim, config: ServeConfig) -> Self {
         let config = ServeConfig {
             batch_size: config.batch_size.max(1),
             cache_capacity: config.cache_capacity.max(1),
             ..config
         };
-        ServeEngine { engine, config, cache: Vec::new(), tick: 0, hits: 0, misses: 0 }
+        let analytic_sys =
+            if adaptive::use_analytic_timing(config.fast_path, engine.system().config()) {
+                engine.analytic_twin()
+            } else {
+                None
+            };
+        ServeEngine {
+            engine,
+            config,
+            cache: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            analytic_sys,
+        }
     }
 
     /// The serving configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Whether supersteps run on the analytic fast path (the requested
+    /// [`FastPath`] after observability gating).
+    pub fn fast_path_active(&self) -> bool {
+        self.analytic_sys.is_some()
+    }
+
+    /// The system supersteps execute against: the analytic twin when the
+    /// fast path is active, the engine's exact replay system otherwise.
+    fn timing_system(&self) -> &PimSystem {
+        match &self.analytic_sys {
+            Some(sys) => sys,
+            None => self.engine.system(),
+        }
     }
 
     /// Lifetime partition-cache hits.
@@ -560,7 +607,7 @@ impl<'a> ServeEngine<'a> {
         crash: Option<HostCrashPlan>,
         store: Option<&CheckpointStore>,
     ) -> Result<Option<u32>, AlphaPimError> {
-        let sys = self.engine.system();
+        let sys = self.timing_system();
         let tcfg = &sys.config().transfer;
         let hcfg = &sys.config().host;
         let dpus = sys.num_dpus();
@@ -1128,16 +1175,39 @@ fn read_query_result(d: &mut recover::Dec) -> Result<QueryResult, RecoverError> 
 
 /// Generates a seeded, reproducible trace of `count` mixed queries over a
 /// graph with `nodes` vertices — the workload the CLI's `serve` subcommand
-/// and the CI smoke stage replay.
+/// and the CI smoke stage replay. Uses the uniform 1:1:1 BFS/SSSP/PPR mix;
+/// see [`seeded_trace_weighted`] to skew it.
 pub fn seeded_trace(nodes: u32, count: usize, seed: u64) -> Vec<Query> {
+    seeded_trace_weighted(nodes, count, seed, [1, 1, 1])
+}
+
+/// [`seeded_trace`] with an explicit `[bfs, sssp, ppr]` weight mix: each
+/// query's application is drawn proportionally to its weight. The default
+/// `[1, 1, 1]` mix is bit-identical to [`seeded_trace`] (same RNG stream,
+/// same draws). Degenerate weights (all zero, or an overflowing sum) fall
+/// back to the uniform mix instead of panicking.
+pub fn seeded_trace_weighted(
+    nodes: u32,
+    count: usize,
+    seed: u64,
+    weights: [u32; 3],
+) -> Vec<Query> {
+    let (weights, total) =
+        match weights[0].checked_add(weights[1]).and_then(|s| s.checked_add(weights[2])) {
+            Some(t) if t > 0 => (weights, t),
+            _ => ([1, 1, 1], 3),
+        };
     let mut rng = alpha_pim_sparse::gen::rng::SplitMix64::new(seed);
     (0..count)
         .map(|_| {
             let source = rng.u32_below(nodes.max(1));
-            match rng.u32_below(3) {
-                0 => Query::Bfs { source },
-                1 => Query::Sssp { source },
-                _ => Query::Ppr { source },
+            let draw = rng.u32_below(total);
+            if draw < weights[0] {
+                Query::Bfs { source }
+            } else if draw < weights[0] + weights[1] {
+                Query::Sssp { source }
+            } else {
+                Query::Ppr { source }
             }
         })
         .collect()
@@ -1265,5 +1335,94 @@ mod tests {
         assert!(a.iter().any(|q| matches!(q, Query::Sssp { .. })));
         assert!(a.iter().any(|q| matches!(q, Query::Ppr { .. })));
         assert_ne!(a, seeded_trace(100, 64, 43));
+    }
+
+    #[test]
+    fn default_weights_reproduce_the_legacy_trace_bit_for_bit() {
+        // The pre-weighting generator: one `u32_below(nodes)` draw then one
+        // `u32_below(3)` draw per query. The `[1, 1, 1]` mix must consume
+        // the RNG stream identically.
+        let legacy: Vec<Query> = {
+            let mut rng = alpha_pim_sparse::gen::rng::SplitMix64::new(42);
+            (0..64)
+                .map(|_| {
+                    let source = rng.u32_below(100);
+                    match rng.u32_below(3) {
+                        0 => Query::Bfs { source },
+                        1 => Query::Sssp { source },
+                        _ => Query::Ppr { source },
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(seeded_trace(100, 64, 42), legacy);
+        assert_eq!(seeded_trace_weighted(100, 64, 42, [1, 1, 1]), legacy);
+        // Degenerate weights fall back to the uniform mix.
+        assert_eq!(seeded_trace_weighted(100, 64, 42, [0, 0, 0]), legacy);
+    }
+
+    #[test]
+    fn weighted_traces_skew_the_app_mix() {
+        let bfs_only = seeded_trace_weighted(100, 32, 7, [1, 0, 0]);
+        assert!(bfs_only.iter().all(|q| matches!(q, Query::Bfs { .. })));
+        let ppr_only = seeded_trace_weighted(100, 32, 7, [0, 0, 5]);
+        assert!(ppr_only.iter().all(|q| matches!(q, Query::Ppr { .. })));
+        let skewed = seeded_trace_weighted(100, 256, 7, [8, 1, 1]);
+        let bfs = skewed.iter().filter(|q| matches!(q, Query::Bfs { .. })).count();
+        assert!(bfs > 128, "8:1:1 mix should be BFS-dominated, got {bfs}/256");
+    }
+
+    #[test]
+    fn fast_path_gates_on_observability() {
+        let engine = engine(6);
+        let serve = ServeEngine::new(
+            &engine,
+            ServeConfig { fast_path: FastPath::Analytic, ..Default::default() },
+        );
+        assert!(serve.fast_path_active(), "Aggregate observability permits analytic");
+        let replay = ServeEngine::new(&engine, ServeConfig::default());
+        assert!(!replay.fast_path_active(), "Replay is the default");
+
+        let detailed = AlphaPim::new(PimConfig {
+            num_dpus: 6,
+            fidelity: SimFidelity::Full,
+            observability: alpha_pim_sim::ObservabilityLevel::PerDpu,
+            ..Default::default()
+        })
+        .unwrap();
+        let gated = ServeEngine::new(
+            &detailed,
+            ServeConfig { fast_path: FastPath::Analytic, ..Default::default() },
+        );
+        assert!(!gated.fast_path_active(), "PerDpu detail keeps cycle replay");
+    }
+
+    #[test]
+    fn fast_path_results_are_bit_identical_to_replay() {
+        let engine = engine(6);
+        let g = graph();
+        let queries = seeded_trace(g.nodes(), 6, 0xFA57);
+        let mut replay = ServeEngine::new(&engine, ServeConfig::default());
+        let (exact, _) = replay.serve(&g, &queries).unwrap();
+        let mut fast = ServeEngine::new(
+            &engine,
+            ServeConfig { fast_path: FastPath::Analytic, ..Default::default() },
+        );
+        let (approx, batches) = fast.serve(&g, &queries).unwrap();
+        assert!(fast.fast_path_active());
+        assert_eq!(exact.len(), approx.len());
+        for (e, a) in exact.iter().zip(approx.iter()) {
+            match (e, a) {
+                (QueryResult::Bfs(x), QueryResult::Bfs(y)) => assert_eq!(x.levels, y.levels),
+                (QueryResult::Sssp(x), QueryResult::Sssp(y)) => {
+                    assert_eq!(x.distances, y.distances)
+                }
+                (QueryResult::Ppr(x), QueryResult::Ppr(y)) => assert_eq!(x.scores, y.scores),
+                other => panic!("result kinds diverged: {other:?}"),
+            }
+            // Timing is approximated, but must stay positive and sane.
+            assert!(a.report().total_seconds() > 0.0);
+        }
+        assert!(!batches.is_empty());
     }
 }

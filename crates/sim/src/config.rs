@@ -370,6 +370,13 @@ pub enum SimFidelity {
     /// analytically, self-calibrated against the sampled ratio.
     /// Instruction mixes are exact in both modes.
     Sampled(u32),
+    /// No discrete-event simulation at all: kernels record closed-form
+    /// per-tasklet statistics instead of event traces, and the analytic
+    /// performance model (see [`crate::analytic`]) predicts every DPU's
+    /// makespan and counter partition directly. Result values, traffic
+    /// bytes, and discrete event counts stay exact; cycle attribution is
+    /// a calibrated approximation (≤ 5 % makespan error on the catalog).
+    Analytic,
 }
 
 impl Default for SimFidelity {

@@ -15,7 +15,11 @@
 //!   per-tasklet cycle attribution, event counts, and host/transfer
 //!   traffic, all under one stable taxonomy;
 //! * [`trace`] — the per-tasklet event traces kernels record while
-//!   executing functionally in Rust;
+//!   executing functionally in Rust, behind the [`trace::Record`] trait;
+//! * [`analytic`] — the closed-form fast path: O(1)-space
+//!   [`analytic::TaskletStats`] recorders plus a four-bound makespan and
+//!   counter predictor that skips cycle replay entirely
+//!   (`SimFidelity::Analytic`);
 //! * [`transfer`] — the CPU↔DPU scatter/broadcast/gather timing model;
 //! * [`host`] — host-side merge and convergence-check timing;
 //! * [`energy`] — average-power energy accounting for Table 4;
@@ -58,6 +62,7 @@
 //! # }
 //! ```
 
+pub mod analytic;
 pub mod config;
 pub mod counters;
 pub mod energy;
@@ -72,6 +77,7 @@ pub mod system;
 pub mod trace;
 pub mod transfer;
 
+pub use analytic::{predict_dpu, SegmentStats, TaskletStats};
 pub use config::{
     FaultPlan, HostConfig, InterDpuConfig, ObservabilityLevel, PimConfig, PipelineConfig,
     ResiliencePolicy, SimFidelity, TransferConfig,
@@ -82,9 +88,9 @@ pub use energy::EnergyModel;
 pub use instr::{InstrClass, InstrMix};
 pub use par::{par_map_indexed, set_sim_threads, sim_threads, SimThreads};
 pub use report::{
-    BatchReport, CycleBreakdown, DpuDetail, DpuEval, DpuProfile, DpuReport, KernelAccumulator,
-    KernelReport, PhaseBreakdown,
+    BatchReport, CycleBreakdown, DpuDetail, DpuEval, DpuProfile, DpuReport, EvalRecord,
+    KernelAccumulator, KernelReport, PhaseBreakdown,
 };
 pub use resilience::{FaultSummary, RecoverySummary};
 pub use system::PimSystem;
-pub use trace::{TaskletTrace, TraceEvent};
+pub use trace::{Record, TaskletTrace, TraceEvent};

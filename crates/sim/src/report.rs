@@ -4,12 +4,47 @@
 //! built from.
 
 
+use crate::analytic::TaskletStats;
 use crate::config::{PimConfig, SimFidelity};
 use crate::counters::{CounterId, CounterSet};
 use crate::faults::{FaultEngine, FaultVerdict};
 use crate::instr::{InstrClass, InstrMix};
 use crate::pipeline::{estimate_cycles, simulate_dpu_profiled};
-use crate::trace::TaskletTrace;
+use crate::trace::{Record, TaskletTrace};
+
+/// A recorder kind the accumulator knows how to evaluate — the tie between
+/// a [`Record`] implementation and its evaluation path. Kernel code generic
+/// over `R: EvalRecord` runs identical value math under either fidelity:
+/// [`TaskletTrace`] records replayable events and evaluates through the
+/// discrete-event pipeline, while [`TaskletStats`] records closed-form
+/// statistics and evaluates through the analytic predictor with no replay.
+pub trait EvalRecord: Record + Clone + Send + Sync {
+    /// A fresh recorder for a kernel launched under `cfg`.
+    fn fresh(cfg: &PimConfig) -> Self;
+
+    /// Evaluates one DPU's recorded tasklets against `acc`.
+    fn evaluate(acc: &KernelAccumulator, dpu_id: u32, recs: &[Self]) -> DpuEval;
+}
+
+impl EvalRecord for TaskletTrace {
+    fn fresh(_cfg: &PimConfig) -> Self {
+        TaskletTrace::new()
+    }
+
+    fn evaluate(acc: &KernelAccumulator, dpu_id: u32, recs: &[Self]) -> DpuEval {
+        acc.evaluate(dpu_id, recs)
+    }
+}
+
+impl EvalRecord for TaskletStats {
+    fn fresh(cfg: &PimConfig) -> Self {
+        TaskletStats::new(&cfg.pipeline)
+    }
+
+    fn evaluate(acc: &KernelAccumulator, dpu_id: u32, recs: &[Self]) -> DpuEval {
+        acc.evaluate_stats(dpu_id, recs)
+    }
+}
 
 /// Cycle-level result of simulating one DPU (the Fig 9–11 metrics).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -412,7 +447,9 @@ impl KernelAccumulator {
     /// Creates an accumulator for a launch over `cfg.num_dpus` DPUs.
     pub fn new(cfg: &PimConfig) -> Self {
         let stride = match cfg.fidelity {
-            SimFidelity::Full => 1,
+            // Analytic: every DPU gets a (synthesized) profile, so the
+            // calibration ratio is exactly 1 and no sampling happens.
+            SimFidelity::Full | SimFidelity::Analytic => 1,
             SimFidelity::Sampled(k) => (cfg.num_dpus / k.max(1)).max(1),
         };
         let faults = cfg
@@ -508,6 +545,72 @@ impl KernelAccumulator {
         DpuEval { dpu_id, mix, instructions, est_cycles, detailed, fault_events, lost: false }
     }
 
+    /// The analytic-fidelity counterpart of [`Self::evaluate`]: evaluates
+    /// one DPU from closed-form [`TaskletStats`] instead of event traces.
+    /// No replay runs; the observability profile is synthesized by
+    /// [`crate::analytic::predict_dpu`] for *every* DPU, and the estimate
+    /// equals the prediction so the accumulator's self-calibration is the
+    /// identity. Fault semantics (verdicts, penalties, drops) are identical
+    /// to the replay path.
+    pub fn evaluate_stats(&self, dpu_id: u32, stats: &[crate::analytic::TaskletStats]) -> DpuEval {
+        if stats.is_empty() {
+            return DpuEval {
+                dpu_id,
+                mix: InstrMix::new(),
+                instructions: 0,
+                est_cycles: 0,
+                detailed: None,
+                fault_events: CounterSet::new(),
+                lost: false,
+            };
+        }
+        let mut fault_events = CounterSet::new();
+        let verdict = match &self.faults {
+            Some(engine) => {
+                let v = engine.verdict(dpu_id);
+                engine.record_events(v, &mut fault_events);
+                v
+            }
+            None => FaultVerdict::Healthy,
+        };
+        if verdict.is_dropped() {
+            return DpuEval {
+                dpu_id,
+                mix: InstrMix::new(),
+                instructions: 0,
+                est_cycles: 0,
+                detailed: None,
+                fault_events,
+                lost: true,
+            };
+        }
+        let mut mix = InstrMix::new();
+        let mut instructions = 0u64;
+        for s in stats {
+            mix.merge(&s.instr_mix());
+            instructions += s.instructions();
+        }
+        let mut profile = crate::analytic::predict_dpu(stats, &self.cfg.pipeline);
+        if let Some(engine) = &self.faults {
+            apply_fault_penalty(engine, verdict, &mut profile);
+        }
+        let est_cycles = profile.report.total_cycles;
+        DpuEval {
+            dpu_id,
+            mix,
+            instructions,
+            est_cycles,
+            detailed: Some(profile),
+            fault_events,
+            lost: false,
+        }
+    }
+
+    /// Evaluates one DPU's recorders of either kind via [`EvalRecord`].
+    pub fn evaluate_records<R: EvalRecord>(&self, dpu_id: u32, recs: &[R]) -> DpuEval {
+        R::evaluate(self, dpu_id, recs)
+    }
+
     /// Folds one evaluated DPU into the aggregate. Order-dependent: callers
     /// replaying DPUs in parallel must merge in ascending DPU index.
     pub fn merge(&mut self, eval: DpuEval) {
@@ -582,7 +685,14 @@ impl KernelAccumulator {
         } else {
             self.calib_des as f64 / self.calib_est as f64
         };
-        let max_cycles = self.des_max.max((self.est_max as f64 * calibration) as u64);
+        // The estimate-scaled term covers DPUs that were never replayed;
+        // when every DPU is detailed (Full and Analytic fidelity) the DES
+        // maximum is exact and the heuristic must not override it.
+        let max_cycles = if self.detailed == self.added {
+            self.des_max
+        } else {
+            self.des_max.max((self.est_max as f64 * calibration) as u64)
+        };
         let mean_cycles = if self.added == 0 {
             0.0
         } else {

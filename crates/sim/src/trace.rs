@@ -9,6 +9,48 @@
 
 use crate::instr::{InstrClass, InstrMix};
 
+/// The recording interface shared by the cycle-replay and analytic paths.
+///
+/// Kernel builders are generic over a `Record` implementation: recording
+/// into a [`TaskletTrace`] produces the event stream the pipeline replayer
+/// consumes, while recording into
+/// [`crate::analytic::TaskletStats`] accumulates the closed-form statistics
+/// the analytic performance model predicts from — with no event emission.
+/// Both recorders observe the *same* calls from the *same* functional
+/// kernel code, which is what keeps result values bit-identical between
+/// the two paths by construction.
+pub trait Record {
+    /// Records `count` instructions of `class`. Zero counts are ignored.
+    fn compute(&mut self, class: InstrClass, count: u32);
+
+    /// Records a blocking DMA transfer. Zero-byte transfers are ignored.
+    fn dma(&mut self, bytes: u32);
+
+    /// Records a streaming read of `total_bytes` in `chunk_bytes` chunks
+    /// with `per_chunk_overhead` bookkeeping instructions per chunk.
+    /// Implementations may replace the default chunk loop with a closed
+    /// form as long as the recorded totals are identical.
+    fn dma_stream(&mut self, total_bytes: u64, chunk_bytes: u32, per_chunk_overhead: u32) {
+        assert!(chunk_bytes > 0, "chunk_bytes must be positive");
+        let mut remaining = total_bytes;
+        while remaining > 0 {
+            let this = remaining.min(chunk_bytes as u64) as u32;
+            self.dma(this);
+            self.compute(InstrClass::Control, per_chunk_overhead);
+            remaining -= this as u64;
+        }
+    }
+
+    /// Records a mutex acquisition.
+    fn mutex_lock(&mut self, id: u16);
+
+    /// Records a mutex release.
+    fn mutex_unlock(&mut self, id: u16);
+
+    /// Records arrival at the all-tasklet barrier.
+    fn barrier(&mut self);
+}
+
 /// One event in a tasklet's execution trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -164,6 +206,32 @@ impl TaskletTrace {
             }
         }
         mix
+    }
+}
+
+impl Record for TaskletTrace {
+    fn compute(&mut self, class: InstrClass, count: u32) {
+        TaskletTrace::compute(self, class, count);
+    }
+
+    fn dma(&mut self, bytes: u32) {
+        TaskletTrace::dma(self, bytes);
+    }
+
+    fn dma_stream(&mut self, total_bytes: u64, chunk_bytes: u32, per_chunk_overhead: u32) {
+        TaskletTrace::dma_stream(self, total_bytes, chunk_bytes, per_chunk_overhead);
+    }
+
+    fn mutex_lock(&mut self, id: u16) {
+        TaskletTrace::mutex_lock(self, id);
+    }
+
+    fn mutex_unlock(&mut self, id: u16) {
+        TaskletTrace::mutex_unlock(self, id);
+    }
+
+    fn barrier(&mut self) {
+        TaskletTrace::barrier(self);
     }
 }
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Print a one-line-per-artifact trajectory table from every BENCH_*.json in
+# the repo root: which commit produced it, which tier wrote it, and the
+# artifact's headline metric. All BENCH files share the schema emitted by
+# `alpha_pim_bench::report::bench_schema_fields` (schema_version, commit,
+# tier); files predating the schema show "-" in those columns.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "bench_summary: jq not found" >&2
+    exit 1
+fi
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [ ${#files[@]} -eq 0 ]; then
+    echo "bench_summary: no BENCH_*.json artifacts in $(pwd)" >&2
+    exit 0
+fi
+
+printf '%-28s %-6s %-14s %-15s %s\n' "artifact" "schema" "commit" "tier" "headline"
+for f in "${files[@]}"; do
+    jq -r --arg f "$f" '
+        def pick:
+            if .throughput_multiplier != null then
+                "\(.throughput_multiplier)x analytic vs replay, \(.queries) queries"
+            elif .max_rel_error != null then
+                "max rel err \((.max_rel_error * 10000 | round) / 100)% over \(.cases | length) pairs"
+            elif .speedup != null and .broadcast_bytes_saved != null then
+                "\(.speedup)x batched, \(.broadcast_bytes_saved) bytes saved"
+            elif .speedup != null then
+                "\(.speedup)x on \(.threads_par // "?") threads"
+            elif .resumed_fingerprint != null or .fingerprint != null then
+                "fingerprint \(.fingerprint // .resumed_fingerprint)"
+            else
+                "-"
+            end;
+        [$f, (.schema_version // "-" | tostring), (.commit // "-"),
+         (.tier // "-"), pick] | @tsv
+    ' "$f" | awk -F'\t' '{printf "%-28s %-6s %-14s %-15s %s\n", $1, $2, $3, $4, $5}'
+done

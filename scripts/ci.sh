@@ -54,6 +54,16 @@ panic_lint crates/core/src/serve.rs
 panic_lint crates/core/src/recover.rs
 echo "panic-free lint ok"
 
+echo "==> calibration audit (analytic fast path vs exact replay, 13 graphs x 3 apps)"
+# Fails if any graph x app pair exceeds the 5% relative makespan error
+# bound, if any pair regresses past its frozen per-graph bound, or if the
+# analytic path's result values / traffic counters diverge from replay.
+cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
+    calibrate all --scale 0.02 --dpus 64 --queries 2 --bound 0.05 --frozen \
+    --json BENCH_calibration.json
+echo "==> BENCH_calibration.json summary:"
+grep -o '"max_rel_error": [0-9.]*' BENCH_calibration.json
+
 echo "==> crash recovery audit (checkpoint/restore bit-identity sweep)"
 cargo test -q --offline --release -p alpha-pim-bench --test crash_recovery
 
@@ -88,3 +98,6 @@ rm -f BENCH_crash_recovery_base.json
 echo "crash recovery smoke ok: resumed == uninterrupted ($FP_RESUMED)"
 echo "==> BENCH_crash_recovery.json:"
 cat BENCH_crash_recovery.json
+
+echo "==> bench artifact trajectory"
+./scripts/bench_summary.sh

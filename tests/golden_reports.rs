@@ -4,10 +4,11 @@
 //! walk shows up here as a diff against the frozen fingerprint — update
 //! the constants only when the model change is intentional.
 //!
-//! Last regeneration: the checkpoint/restore layer added four event
-//! counters (`ckpt.snapshots`, `ckpt.bytes`, `ckpt.restores`,
-//! `serve.shed`) to the registry, which appear as trailing zero entries
-//! in every kernel fingerprint; no pre-existing value changed.
+//! Last regeneration: `KernelAccumulator::finish` now reports the exact
+//! DES maximum when every DPU is detailed instead of letting the
+//! sampled-fidelity estimate heuristic override it, so the four goldens
+//! whose estimate exceeded the true maximum (SpMV/SpMM, clean and
+//! faulty) dropped to the replayed value; every counter is unchanged.
 
 use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
@@ -190,7 +191,7 @@ fn exporters_agree_with_the_frozen_taxonomy() {
 }
 
 const SPMV_GOLDEN: &str = "\
-num_dpus=16 detailed=16 max_cycles=41379 instr=409904
+num_dpus=16 detailed=16 max_cycles=40951 instr=409904
 active=409904 memory=95752 revolver=22533 rf=1351
 details=16 tasklets_each=16
 slot.issue=409904
@@ -294,7 +295,7 @@ ckpt.restores=0
 serve.shed=0";
 
 const SPMM_GOLDEN: &str = "\
-num_dpus=16 detailed=16 max_cycles=69619 instr=762288
+num_dpus=16 detailed=16 max_cycles=67835 instr=762288
 active=762288 memory=102923 revolver=4662 rf=413
 details=16 tasklets_each=16
 slot.issue=762288
@@ -347,7 +348,7 @@ serve.shed=0";
 
 const SPMV_FAULTY_GOLDEN: &str = "\
 degraded=false
-num_dpus=16 detailed=16 max_cycles=82844 instr=409904
+num_dpus=16 detailed=16 max_cycles=82158 instr=409904
 active=409904 memory=95752 revolver=22533 rf=1351
 details=16 tasklets_each=16
 slot.issue=409904
@@ -453,7 +454,7 @@ serve.shed=0";
 
 const SPMM_FAULTY_GOLDEN: &str = "\
 degraded=false
-num_dpus=16 detailed=16 max_cycles=139080 instr=762288
+num_dpus=16 detailed=16 max_cycles=135926 instr=762288
 active=762288 memory=102923 revolver=4662 rf=413
 details=16 tasklets_each=16
 slot.issue=762288
