@@ -6,6 +6,7 @@
 //! alpha_pim_cli top <graph> [options]        per-DPU/per-tasklet cycle attribution
 //! alpha_pim_cli chaos <graph> [options]      fault-injection sweep vs fault-free BFS
 //! alpha_pim_cli serve <graph> [options]      batched multi-query serving vs sequential
+//! alpha_pim_cli serve-load <g1,g2,..> [options]  multi-tenant sustained-load service
 //! alpha_pim_cli calibrate <all|graph> [options]  analytic fast path vs replay audit
 //!
 //! <graph>     path to a .mtx file, or a catalog abbreviation (e.g. A302)
@@ -31,6 +32,13 @@
 //! --mix B:S:P           serve only: BFS:SSSP:PPR trace weights (default 1:1:1)
 //! --baseline-queries N  serve --fast-path only: replay-path sample size
 //!                       for the throughput baseline (default 256)
+//! --tenants N           serve-load only: tenant count; weights cycle 4:2:1
+//!                       with priorities high/normal/low (default 3)
+//! --mean-gap N          serve-load only: mean open-loop arrival gap in
+//!                       cycles (default 20000)
+//! --queue-capacity N    serve-load only: admission queue bound (default 4096)
+//! --budget-cycles N     serve-load only: per-query deadline budget covering
+//!                       queue wait + execution (default: none)
 //! --bound F       calibrate only: max relative makespan error (default 0.05)
 //! --frozen        calibrate only: also enforce the frozen per-graph
 //!                 regression bounds (reference config: scale 0.02, 64 DPUs)
@@ -43,7 +51,11 @@ use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
 use alpha_pim::semiring::{BoolOrAnd, Semiring};
 use alpha_pim::calibrate::{self, CalApp};
 use alpha_pim::serve::{
-    seeded_trace_weighted, BatchOutcome, FastPath, Query, QueryResult, ServeConfig, ServeEngine,
+    fingerprint_results, seeded_trace_weighted, BatchOutcome, FastPath, Query, QueryResult,
+    ServeConfig, ServeEngine,
+};
+use alpha_pim::service::{
+    seeded_workload, Priority, ServiceConfig, ServiceEngine, TenantSpec,
 };
 use alpha_pim::{
     AlphaPim, CheckpointPolicy, CheckpointStore, PreparedSpmspv, PreparedSpmv, SpmspvVariant,
@@ -61,7 +73,7 @@ use alpha_pim_sparse::{datasets, mtx, Graph};
 /// graph loading so typos exit non-zero with usage instead of part-running.
 const ALGORITHMS: &[&str] = &[
     "bfs", "sssp", "ppr", "wcc", "widest", "triangles", "msbfs", "kcore", "top", "chaos", "serve",
-    "calibrate",
+    "serve-load", "calibrate",
 ];
 
 struct Args {
@@ -88,6 +100,10 @@ struct Args {
     fast_path: FastPath,
     mix: [u32; 3],
     baseline_queries: usize,
+    tenants: u32,
+    mean_gap: u64,
+    queue_capacity: usize,
+    budget_cycles: Option<u64>,
     bound: f64,
     frozen: bool,
 }
@@ -125,6 +141,10 @@ fn parse_args() -> Result<Args, String> {
         fast_path: FastPath::Replay,
         mix: [1, 1, 1],
         baseline_queries: 256,
+        tenants: 3,
+        mean_gap: 20_000,
+        queue_capacity: 4096,
+        budget_cycles: None,
         bound: 0.05,
         frozen: false,
     };
@@ -184,6 +204,14 @@ fn parse_args() -> Result<Args, String> {
             "--baseline-queries" => {
                 args.baseline_queries = value.parse().map_err(|e| format!("{e}"))?;
             }
+            "--tenants" => args.tenants = value.parse().map_err(|e| format!("{e}"))?,
+            "--mean-gap" => args.mean_gap = value.parse().map_err(|e| format!("{e}"))?,
+            "--queue-capacity" => {
+                args.queue_capacity = value.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--budget-cycles" => {
+                args.budget_cycles = Some(value.parse().map_err(|e| format!("{e}"))?);
+            }
             "--bound" => args.bound = value.parse().map_err(|e| format!("{e}"))?,
             "--policy" => {
                 args.policy = match value.as_str() {
@@ -230,7 +258,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve|calibrate> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH] [--checkpoint-dir DIR] [--resume] [--deadline-cycles N] [--crash-after K] [--fast-path P] [--mix B:S:P] [--baseline-queries N] [--bound F] [--frozen]");
+            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve|serve-load|calibrate> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH] [--checkpoint-dir DIR] [--resume] [--deadline-cycles N] [--crash-after K] [--fast-path P] [--mix B:S:P] [--baseline-queries N] [--tenants N] [--mean-gap N] [--queue-capacity N] [--budget-cycles N] [--bound F] [--frozen]");
             return ExitCode::FAILURE;
         }
     };
@@ -246,6 +274,9 @@ fn main() -> ExitCode {
 fn run(args: &Args) -> Result<(), String> {
     if args.algo == "calibrate" {
         return run_calibrate(args);
+    }
+    if args.algo == "serve-load" {
+        return run_serve_load(args);
     }
     let graph = load_graph(args)?;
     if args.algo == "top" {
@@ -360,39 +391,6 @@ fn run(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
-}
-
-fn fnv(h: u64, w: u64) -> u64 {
-    (h ^ w).wrapping_mul(0x100_0000_01b3)
-}
-
-/// Order-sensitive fingerprint over every answer bit of a result set, so
-/// batched and sequential replays can be compared with one number.
-fn fingerprint_results(results: &[QueryResult]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for r in results {
-        match r {
-            QueryResult::Bfs(b) => {
-                h = fnv(h, 1);
-                for &l in &b.levels {
-                    h = fnv(h, u64::from(l));
-                }
-            }
-            QueryResult::Sssp(s) => {
-                h = fnv(h, 2);
-                for &d in &s.distances {
-                    h = fnv(h, u64::from(d));
-                }
-            }
-            QueryResult::Ppr(p) => {
-                h = fnv(h, 3);
-                for &v in &p.scores {
-                    h = fnv(h, u64::from(v.to_bits()));
-                }
-            }
-        }
-    }
-    h
 }
 
 /// `serve`: replay a seeded trace of mixed BFS/SSSP/PPR queries through the
@@ -533,6 +531,215 @@ fn run_serve(args: &Args, graph: &Graph) -> Result<(), String> {
             seq_total / batched_total.max(f64::MIN_POSITIVE),
             batched.cache_hits(),
             batched.cache_misses(),
+        );
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `serve-load`: the multi-tenant sustained-load front-end. Hosts a
+/// comma-separated catalog of graphs simultaneously, generates a seeded
+/// open-loop arrival trace (no wall clock anywhere), drains it through the
+/// admission-controlled weighted-fair service, and reports tail latency
+/// and shed rate. Tenant weights cycle 4:2:1 with priorities
+/// high/normal/low, so fairness and priority shedding are both exercised.
+/// Exits non-zero if the admission/outcome ledgers fail to balance, so CI
+/// can gate on this command directly.
+fn run_serve_load(args: &Args) -> Result<(), String> {
+    let mut graphs: Vec<Graph> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for name in args.graph.split(',').filter(|s| !s.is_empty()) {
+        let graph = if name.ends_with(".mtx") {
+            let file = std::fs::File::open(name).map_err(|e| format!("{name}: {e}"))?;
+            Graph::from_coo(mtx::read_coo(file).map_err(|e| format!("{name}: {e}"))?)
+        } else {
+            datasets::by_abbrev(name)
+                .ok_or_else(|| format!("unknown catalog abbreviation {name:?}"))?
+                .generate_scaled(args.scale, args.seed)
+                .map_err(|e| e.to_string())?
+        };
+        graphs.push(graph.with_random_weights(args.max_weight));
+        names.push(name.to_string());
+    }
+    if graphs.is_empty() {
+        return Err("serve-load needs at least one graph (comma-separated abbrevs)".into());
+    }
+    let engine = AlphaPim::new(PimConfig {
+        num_dpus: args.dpus,
+        fidelity: SimFidelity::Sampled(64),
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+
+    const WEIGHTS: [u32; 3] = [4, 2, 1];
+    const PRIORITIES: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+    let tenants: Vec<TenantSpec> = (0..args.tenants.max(1) as usize)
+        .map(|i| TenantSpec { weight: WEIGHTS[i % 3], priority: PRIORITIES[i % 3] })
+        .collect();
+    let config = ServiceConfig {
+        tenants: tenants.clone(),
+        queue_capacity: args.queue_capacity,
+        deadline_budget_cycles: args.budget_cycles,
+        serve: ServeConfig {
+            batch_size: args.batch,
+            // Sustained load re-visits every (graph, app) pair constantly:
+            // give the partition cache room for the whole working set (the
+            // byte budget, not the entry cap, is the meaningful bound).
+            cache_capacity: (graphs.len() * 3).max(8),
+            options: AppOptions { policy: args.policy, ..Default::default() },
+            fast_path: args.fast_path,
+            ..Default::default()
+        },
+    };
+    let nodes: Vec<u32> = graphs.iter().map(|g| g.nodes()).collect();
+    let workload = seeded_workload(
+        args.trace_seed,
+        args.mean_gap,
+        args.queries,
+        tenants.len() as u32,
+        &nodes,
+        args.mix,
+    );
+    println!(
+        "serve-load — {} queries over {} graphs [{}], {} tenants, {} DPUs, batch {}, \
+         mean gap {} cycles, queue {}, budget {}, fast path {}, mix {}:{}:{}",
+        workload.len(),
+        graphs.len(),
+        names.join(", "),
+        tenants.len(),
+        args.dpus,
+        args.batch,
+        args.mean_gap,
+        args.queue_capacity,
+        args.budget_cycles.map_or("none".to_string(), |b| b.to_string()),
+        fast_path_name(args.fast_path),
+        args.mix[0],
+        args.mix[1],
+        args.mix[2],
+    );
+
+    let mut service = ServiceEngine::new(&engine, config);
+    let start = Instant::now();
+    let report = service.run(&graphs, &workload).map_err(|e| e.to_string())?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let p50_ms = report.p50_latency_ms();
+    let p99_ms = report.p99_latency_ms();
+    let shed_rate = report.shed_rate();
+    let makespan_seconds = report.makespan_cycles as f64 * report.cycle_seconds;
+    println!(
+        "\nledger: {} arrivals = {} admitted + {} rejected; \
+         admitted = {} served + {} shed-wait + {} shed-deadline",
+        report.arrivals(),
+        report.admitted(),
+        report.rejected(),
+        report.served(),
+        report.shed_wait(),
+        report.shed_deadline(),
+    );
+    println!(
+        "latency: p50 {:.3} ms / p99 {:.3} ms of model time; shed rate {:.2}%; \
+         throughput {:.0} q/s over a {:.3} s makespan",
+        p50_ms,
+        p99_ms,
+        shed_rate * 100.0,
+        report.throughput_qps(),
+        makespan_seconds,
+    );
+    println!(
+        "executor: {} batches, cache {} evictions / {} bytes evicted; \
+         wall clock {wall_seconds:.3} s",
+        report.batches,
+        service.serve_engine().cache_evictions(),
+        service.serve_engine().cache_evicted_bytes(),
+    );
+    println!(
+        "\n{:>6} {:>6} {:>8} {:>9} {:>9} {:>9} {:>7} {:>10} {:>10}",
+        "tenant", "weight", "priority", "arrivals", "admitted", "rejected", "served", "shed-wait", "shed-dead"
+    );
+    for (i, t) in report.tenants.iter().enumerate() {
+        println!(
+            "{:>6} {:>6} {:>8} {:>9} {:>9} {:>9} {:>7} {:>10} {:>10}",
+            i,
+            t.weight,
+            format!("{:?}", t.priority).to_lowercase(),
+            t.arrivals,
+            t.admitted,
+            t.rejected,
+            t.served,
+            t.shed_wait,
+            t.shed_deadline,
+        );
+    }
+    println!("fingerprint: {:#018x}", report.result_fingerprint);
+
+    // The balance the service promises by construction; a breach here is a
+    // scheduler bug and must fail the smoke stage.
+    if report.arrivals() != report.admitted() + report.rejected()
+        || report.admitted() != report.served() + report.shed_wait() + report.shed_deadline()
+    {
+        return Err("service ledgers failed to balance".into());
+    }
+
+    if let Some(path) = &args.json {
+        let mut tenants_json = String::new();
+        for (i, t) in report.tenants.iter().enumerate() {
+            if i > 0 {
+                tenants_json.push_str(", ");
+            }
+            tenants_json.push_str(&format!(
+                "{{\"weight\": {}, \"priority\": \"{:?}\", \"arrivals\": {}, \
+                 \"admitted\": {}, \"rejected\": {}, \"served\": {}, \"shed_wait\": {}, \
+                 \"shed_deadline\": {}, \"wait_cycles\": {}}}",
+                t.weight,
+                t.priority,
+                t.arrivals,
+                t.admitted,
+                t.rejected,
+                t.served,
+                t.shed_wait,
+                t.shed_deadline,
+                t.wait_cycles,
+            ));
+        }
+        let json = format!(
+            "{{{}, \"graphs\": [{}], \"queries\": {}, \"tenant_count\": {}, \
+             \"queue_capacity\": {}, \"mean_gap_cycles\": {}, \"budget_cycles\": {}, \
+             \"batch_size\": {}, \"dpus\": {}, \"trace_seed\": {}, \
+             \"mix\": [{}, {}, {}], \"fast_path\": \"{}\", \
+             \"arrivals\": {}, \"admitted\": {}, \"rejected\": {}, \"served\": {}, \
+             \"shed_wait\": {}, \"shed_deadline\": {}, \"shed_rate\": {shed_rate:.6}, \
+             \"p50_latency_ms\": {p50_ms:.6}, \"p99_latency_ms\": {p99_ms:.6}, \
+             \"throughput_qps\": {:.3}, \"makespan_seconds\": {makespan_seconds:.6}, \
+             \"batches\": {}, \"cache_evictions\": {}, \"cache_evicted_bytes\": {}, \
+             \"wall_seconds\": {wall_seconds:.3}, \"tenants\": [{tenants_json}], \
+             \"fingerprint\": \"{:#018x}\"}}\n",
+            alpha_pim_bench::report::bench_schema_fields("service-load"),
+            names.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", "),
+            workload.len(),
+            report.tenants.len(),
+            args.queue_capacity,
+            args.mean_gap,
+            args.budget_cycles.map_or("null".to_string(), |b| b.to_string()),
+            args.batch,
+            args.dpus,
+            args.trace_seed,
+            args.mix[0],
+            args.mix[1],
+            args.mix[2],
+            fast_path_name(args.fast_path),
+            report.arrivals(),
+            report.admitted(),
+            report.rejected(),
+            report.served(),
+            report.shed_wait(),
+            report.shed_deadline(),
+            report.throughput_qps(),
+            report.batches,
+            service.serve_engine().cache_evictions(),
+            service.serve_engine().cache_evicted_bytes(),
+            report.result_fingerprint,
         );
         std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");

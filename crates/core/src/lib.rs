@@ -56,6 +56,7 @@ pub mod kernel;
 pub mod recover;
 pub mod semiring;
 pub mod serve;
+pub mod service;
 
 pub use adaptive::{DecisionTree, FastPath, GraphFeatures};
 pub use cost_model::EmpiricalCostModel;

@@ -41,7 +41,10 @@ use crate::kernel::{KernelKind, SpmspvVariant, SpmvVariant};
 
 /// Container format version. Bumped whenever the payload layout changes;
 /// [`unseal`] rejects any other version with [`RecoverError::Version`].
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2: batch snapshots carry per-query deadline overrides, and the
+/// counter registry grew the service-layer `queue.*`/`tenant.*`/eviction
+/// counters.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Container magic, first bytes of every sealed artifact.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"APCK";

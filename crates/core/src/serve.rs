@@ -122,6 +122,14 @@ pub struct ServeConfig {
     /// Prepared-kernel cache entries kept before LRU eviction (≥ 1; 0 is
     /// clamped to 1).
     pub cache_capacity: usize,
+    /// Byte budget of the prepared-kernel cache — the MRAM-budget analogue
+    /// that keeps multi-graph hosting bounded. Entries are LRU-evicted
+    /// until the estimated resident bytes (matrix entries + two dense
+    /// work vectors per prepared engine) fit; the most recently prepared
+    /// engine always stays resident so a single oversized graph still
+    /// serves (it just monopolizes the cache). `u64::MAX` (the default)
+    /// disables the byte cap, leaving only the entry cap.
+    pub cache_budget_bytes: u64,
     /// Application options every query runs under.
     pub options: AppOptions,
     /// PPR-specific parameters for [`Query::Ppr`] queries.
@@ -147,6 +155,7 @@ impl Default for ServeConfig {
         ServeConfig {
             batch_size: 16,
             cache_capacity: 4,
+            cache_budget_bytes: u64::MAX,
             options: AppOptions::default(),
             ppr: PprOptions::default(),
             checkpoint: CheckpointPolicy::default(),
@@ -186,6 +195,10 @@ struct CacheEntry {
     key: CacheKey,
     engine: CachedEngine,
     last_used: u64,
+    /// Estimated resident footprint of the prepared engine (matrix
+    /// entries in COO layout plus two dense per-vertex work vectors),
+    /// charged against [`ServeConfig::cache_budget_bytes`].
+    bytes: u64,
 }
 
 /// Encodes every policy field that affects the prepared kernels into a
@@ -236,6 +249,9 @@ pub struct ServeEngine<'a> {
     tick: u64,
     hits: u64,
     misses: u64,
+    resident_bytes: u64,
+    evictions: u64,
+    evicted_bytes: u64,
     /// The [`SimFidelity::Analytic`](alpha_pim_sim::SimFidelity::Analytic)
     /// twin supersteps run against when the fast path is active; `None`
     /// keeps every superstep on the exact replay system.
@@ -271,6 +287,9 @@ impl<'a> ServeEngine<'a> {
             tick: 0,
             hits: 0,
             misses: 0,
+            resident_bytes: 0,
+            evictions: 0,
+            evicted_bytes: 0,
             analytic_sys,
         }
     }
@@ -308,6 +327,21 @@ impl<'a> ServeEngine<'a> {
     /// Prepared engines currently resident in the cache.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Estimated bytes currently resident in the prepared-kernel cache.
+    pub fn cache_resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Lifetime cache evictions (entry cap or byte budget).
+    pub fn cache_evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Lifetime bytes released by cache evictions.
+    pub fn cache_evicted_bytes(&self) -> u64 {
+        self.evicted_bytes
     }
 
     /// Serves a whole query trace: splits `queries` into batches of
@@ -351,7 +385,7 @@ impl<'a> ServeEngine<'a> {
         graph: &Graph,
         queries: &[Query],
     ) -> Result<(Vec<QueryResult>, BatchReport), AlphaPimError> {
-        let mut run = self.fresh_run(graph, queries, 0)?;
+        let mut run = self.fresh_run(graph, queries, &[], 0)?;
         self.execute(&mut run, None, None)?;
         Ok(finish_run(run))
     }
@@ -380,7 +414,31 @@ impl<'a> ServeEngine<'a> {
         crash: Option<HostCrashPlan>,
         store: Option<&CheckpointStore>,
     ) -> Result<BatchOutcome, AlphaPimError> {
-        let mut run = self.fresh_run(graph, queries, tag)?;
+        self.run_batch_budgeted(graph, queries, &[], tag, crash, store)
+    }
+
+    /// [`Self::run_batch_resilient`] with per-query deadline overrides: the
+    /// service front-end debits each admitted query's budget by its queue
+    /// wait and passes the remainder here, so queue time and execution time
+    /// share one deadline. `deadlines[i]`, when present, replaces
+    /// [`ServeConfig::deadline_cycles`] for query `i`; missing or `None`
+    /// entries fall back to the config-wide budget. The overrides ride in
+    /// every snapshot, so a resumed batch sheds exactly like the
+    /// uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run_batch_resilient`].
+    pub fn run_batch_budgeted(
+        &mut self,
+        graph: &Graph,
+        queries: &[Query],
+        deadlines: &[Option<u64>],
+        tag: u64,
+        crash: Option<HostCrashPlan>,
+        store: Option<&CheckpointStore>,
+    ) -> Result<BatchOutcome, AlphaPimError> {
+        let mut run = self.fresh_run(graph, queries, deadlines, tag)?;
         match self.execute(&mut run, crash, store)? {
             Some(superstep) => Ok(BatchOutcome::Crashed {
                 superstep,
@@ -442,6 +500,7 @@ impl<'a> ServeEngine<'a> {
         &mut self,
         graph: &Graph,
         queries: &[Query],
+        deadlines: &[Option<u64>],
         tag: u64,
     ) -> Result<BatchRun, AlphaPimError> {
         let sys = self.engine.system();
@@ -449,6 +508,8 @@ impl<'a> ServeEngine<'a> {
         let threshold = self.engine.switch_threshold(graph);
         let hits_before = self.hits;
         let misses_before = self.misses;
+        let evictions_before = self.evictions;
+        let evicted_bytes_before = self.evicted_bytes;
         let mut slots = Vec::with_capacity(queries.len());
         for q in queries {
             slots.push(Slot::Live(self.make_stepper(graph, graph_fp, *q)?));
@@ -458,6 +519,12 @@ impl<'a> ServeEngine<'a> {
         let mut counters = CounterSet::new();
         counters.add(CounterId::ServeCacheHits, hits_delta);
         counters.add(CounterId::ServeCacheMisses, misses_delta);
+        counters.add(CounterId::ServeCacheEvictions, self.evictions - evictions_before);
+        counters.add(CounterId::ServeEvictedBytes, self.evicted_bytes - evicted_bytes_before);
+        // Per-query overrides are normalized to one entry per query so the
+        // snapshot layout is a pure function of the query count.
+        let mut deadlines = deadlines.to_vec();
+        deadlines.resize(queries.len(), None);
         Ok(BatchRun {
             tag,
             graph_fp,
@@ -465,6 +532,7 @@ impl<'a> ServeEngine<'a> {
             policy_bits: policy_bits(&self.config.options),
             threshold_bits: threshold.to_bits(),
             queries: queries.to_vec(),
+            deadlines,
             slots,
             counters,
             savings: 0.0,
@@ -525,6 +593,21 @@ impl<'a> ServeEngine<'a> {
         for _ in 0..n_queries {
             queries.push(read_query(&mut d)?);
         }
+        let mut deadlines = Vec::with_capacity(n_queries);
+        for _ in 0..n_queries {
+            let present = d.u8()?;
+            let cycles = d.u64()?;
+            deadlines.push(match present {
+                0 => None,
+                1 => Some(cycles),
+                t => {
+                    return Err(RecoverError::Malformed(format!(
+                        "unknown deadline presence tag {t}"
+                    ))
+                    .into())
+                }
+            });
+        }
         let supersteps = d.u32()?;
         let savings = d.f64()?;
         let pack_cost = d.f64()?;
@@ -582,6 +665,7 @@ impl<'a> ServeEngine<'a> {
             policy_bits: pbits,
             threshold_bits: tbits,
             queries,
+            deadlines,
             slots,
             counters,
             savings,
@@ -617,7 +701,6 @@ impl<'a> ServeEngine<'a> {
         // A crash plan arms checkpointing even under a Disabled policy, so
         // there is always at least the initial snapshot to restart from.
         let armed = self.config.checkpoint.is_enabled() || crash.is_some();
-        let deadline = self.config.deadline_cycles;
 
         // Queries complete on arrival settle — and journal — up front.
         for i in 0..run.slots.len() {
@@ -672,7 +755,13 @@ impl<'a> ServeEngine<'a> {
                         );
                     }
                 }
-                if let Some(budget) = deadline {
+                let budget = run
+                    .deadlines
+                    .get(i)
+                    .copied()
+                    .flatten()
+                    .or(self.config.deadline_cycles);
+                if let Some(budget) = budget {
                     if !s.is_done() && s.kernel_cycles() > budget {
                         s.shed();
                         run.counters.add(CounterId::ServeShed, 1);
@@ -764,7 +853,15 @@ impl<'a> ServeEngine<'a> {
                 )?))
             }
         };
-        if self.cache.len() >= self.config.cache_capacity {
+        let bytes = engine_footprint_bytes(graph);
+        // Make room: the entry cap first, then the byte budget — the
+        // MRAM-budget analogue for multi-graph hosting. The entry being
+        // inserted is never an eviction candidate, so one oversized graph
+        // still serves (it just monopolizes the cache).
+        while self.cache.len() >= self.config.cache_capacity
+            || (!self.cache.is_empty()
+                && self.resident_bytes.saturating_add(bytes) > self.config.cache_budget_bytes)
+        {
             // Deterministic LRU: ticks are unique, so the victim is too.
             let victim = self
                 .cache
@@ -772,13 +869,32 @@ impl<'a> ServeEngine<'a> {
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i);
-            if let Some(victim) = victim {
-                self.cache.swap_remove(victim);
+            match victim {
+                Some(v) => {
+                    let evicted = self.cache.swap_remove(v);
+                    self.resident_bytes = self.resident_bytes.saturating_sub(evicted.bytes);
+                    self.evictions += 1;
+                    self.evicted_bytes = self.evicted_bytes.saturating_add(evicted.bytes);
+                }
+                None => break,
             }
         }
-        self.cache.push(CacheEntry { key, engine: engine.clone(), last_used: tick });
+        self.resident_bytes = self.resident_bytes.saturating_add(bytes);
+        self.cache.push(CacheEntry { key, engine: engine.clone(), last_used: tick, bytes });
         Ok(engine)
     }
+}
+
+/// Estimated resident footprint of one prepared engine: every matrix
+/// entry in COO layout plus two dense per-vertex work vectors (input and
+/// accumulator). An estimate, not an exact allocation count — what
+/// matters is that it scales with the graph so the byte budget meaningfully
+/// bounds multi-graph hosting.
+fn engine_footprint_bytes(graph: &Graph) -> u64 {
+    let entry = u64::from(crate::kernel::layout::coo_entry_bytes(ELEM_BYTES as u32));
+    (graph.adjacency().nnz() as u64)
+        .saturating_mul(entry)
+        .saturating_add(2 * u64::from(graph.nodes()) * ELEM_BYTES)
 }
 
 fn stepper_from(
@@ -965,6 +1081,9 @@ struct BatchRun {
     policy_bits: u64,
     threshold_bits: u64,
     queries: Vec<Query>,
+    /// Per-query deadline overrides (one per query; `None` falls back to
+    /// [`ServeConfig::deadline_cycles`]).
+    deadlines: Vec<Option<u64>>,
     slots: Vec<Slot>,
     counters: CounterSet,
     savings: f64,
@@ -1091,6 +1210,12 @@ fn encode_snapshot(run: &BatchRun) -> Vec<u8> {
     for q in &run.queries {
         put_query(&mut out, *q);
     }
+    for dl in &run.deadlines {
+        // Fixed width regardless of presence, keeping snapshot length a
+        // pure function of the query count.
+        recover::put_u8(&mut out, u8::from(dl.is_some()));
+        recover::put_u64(&mut out, dl.unwrap_or(0));
+    }
     recover::put_u32(&mut out, run.supersteps);
     recover::put_f64(&mut out, run.savings);
     recover::put_f64(&mut out, run.pack_cost);
@@ -1171,6 +1296,65 @@ fn read_query_result(d: &mut recover::Dec) -> Result<QueryResult, RecoverError> 
         }
         t => Err(RecoverError::Malformed(format!("unknown result tag {t}"))),
     }
+}
+
+/// The FNV-1a64 offset basis [`fingerprint_fold`] chains start from.
+pub const FINGERPRINT_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Order-sensitive FNV-1a64 digest of a result set's answer values
+/// (levels, distances, score bits) — the fingerprint the CLI, the CI smoke
+/// stages, and the service-layer chaos tests compare across
+/// batched/sequential/resumed runs. Reports and counters are not digested:
+/// two runs match iff they computed the same answers in the same order.
+pub fn fingerprint_results(results: &[QueryResult]) -> u64 {
+    fingerprint_fold(FINGERPRINT_SEED, results)
+}
+
+/// Incremental form of [`fingerprint_results`]: folds `results` into a
+/// running digest `h`, so a long-running service can digest each batch as
+/// it completes (and drop the results) while ending at exactly
+/// `fingerprint_results` of the full concatenated sequence.
+pub fn fingerprint_fold(mut h: u64, results: &[QueryResult]) -> u64 {
+    fn fnv(h: u64, w: u64) -> u64 {
+        (h ^ w).wrapping_mul(0x100_0000_01b3)
+    }
+    for r in results {
+        match r {
+            QueryResult::Bfs(b) => {
+                h = fnv(h, 1);
+                for &l in &b.levels {
+                    h = fnv(h, u64::from(l));
+                }
+            }
+            QueryResult::Sssp(s) => {
+                h = fnv(h, 2);
+                for &d in &s.distances {
+                    h = fnv(h, u64::from(d));
+                }
+            }
+            QueryResult::Ppr(p) => {
+                h = fnv(h, 3);
+                for &v in &p.scores {
+                    h = fnv(h, u64::from(v.to_bits()));
+                }
+            }
+        }
+    }
+    h
+}
+
+/// The batch tag recorded in a checkpoint's snapshot — which batch of a
+/// deterministic service replay the checkpoint belongs to, read without
+/// deserializing any stepper state.
+///
+/// # Errors
+///
+/// [`AlphaPimError::Recover`] when the snapshot fails container
+/// validation (checksum, version) or is too short to hold a tag.
+pub fn checkpoint_tag(checkpoint: &BatchCheckpoint) -> Result<u64, AlphaPimError> {
+    let payload = recover::unseal(&checkpoint.snapshot)?;
+    let mut d = recover::Dec::new(payload);
+    Ok(d.u64()?)
 }
 
 /// Generates a seeded, reproducible trace of `count` mixed queries over a

@@ -30,9 +30,17 @@
 //!   restores performed, and deadline-shed queries. Event-like: outside
 //!   both cycle partitions, so the zero-remainder invariants are
 //!   unaffected by any checkpoint policy.
+//! * **Service** (`queue.*`, `tenant.*`, `serve.cache_evictions`,
+//!   `serve.evicted_bytes`) — the multi-tenant sustained-load front-end:
+//!   the admission ledger (`queue.arrivals == queue.admitted +
+//!   queue.rejected`), the outcome ledger (`queue.admitted ==
+//!   queue.served + queue.shed_wait + queue.shed_deadline`), cumulative
+//!   queue-wait cycles, active tenants, and byte-budgeted
+//!   partition-cache evictions. Event-like: outside both cycle
+//!   partitions.
 
 /// Number of distinct counters in the registry.
-pub const NUM_COUNTERS: usize = 47;
+pub const NUM_COUNTERS: usize = 57;
 
 /// Identifier of one observability counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -151,6 +159,34 @@ pub enum CounterId {
     /// Queries shed because their cumulative kernel cycles exceeded the
     /// configured per-query deadline budget (finished `degraded`).
     ServeShed,
+    /// Queries submitted to the service front-end (admitted + rejected).
+    QueueArrivals,
+    /// Queries the admission controller accepted into the queue.
+    QueueAdmitted,
+    /// Queries the admission controller turned away at the door because
+    /// the bounded queue was full (lowest-priority, latest-arrival first).
+    QueueRejected,
+    /// Admitted queries that were dispatched and finished with a full
+    /// (non-degraded) result.
+    QueueServed,
+    /// Admitted queries whose deadline budget was already exhausted by
+    /// queue wait before dispatch; shed without executing.
+    QueueShedWait,
+    /// Admitted queries dispatched with a reduced (queue-wait-debited)
+    /// deadline that the executor then shed mid-run; together with
+    /// [`CounterId::QueueServed`] and [`CounterId::QueueShedWait`] this
+    /// partitions [`CounterId::QueueAdmitted`] with zero remainder.
+    QueueShedDeadline,
+    /// Total model-clock cycles admitted queries spent waiting in the
+    /// queue between arrival and dispatch (or wait-shedding).
+    QueueWaitCycles,
+    /// Distinct tenants that submitted at least one query to the service.
+    TenantsActive,
+    /// Partition-cache entries evicted to stay under the byte budget (or
+    /// the entry cap) of the serving engine.
+    ServeCacheEvictions,
+    /// Resident bytes released by those evictions.
+    ServeEvictedBytes,
 }
 
 impl CounterId {
@@ -203,6 +239,28 @@ impl CounterId {
         CounterId::CkptBytes,
         CounterId::CkptRestores,
         CounterId::ServeShed,
+        CounterId::QueueArrivals,
+        CounterId::QueueAdmitted,
+        CounterId::QueueRejected,
+        CounterId::QueueServed,
+        CounterId::QueueShedWait,
+        CounterId::QueueShedDeadline,
+        CounterId::QueueWaitCycles,
+        CounterId::TenantsActive,
+        CounterId::ServeCacheEvictions,
+        CounterId::ServeEvictedBytes,
+    ];
+
+    /// The admission ledger (sums to [`CounterId::QueueArrivals`]).
+    pub const QUEUE_ADMISSION: [CounterId; 2] =
+        [CounterId::QueueAdmitted, CounterId::QueueRejected];
+
+    /// The outcome ledger of admitted queries (sums to
+    /// [`CounterId::QueueAdmitted`]).
+    pub const QUEUE_OUTCOMES: [CounterId; 3] = [
+        CounterId::QueueServed,
+        CounterId::QueueShedWait,
+        CounterId::QueueShedDeadline,
     ];
 
     /// The slot-level cycle categories (sum to [`CounterId::DpuCycles`]).
@@ -289,6 +347,16 @@ impl CounterId {
             CounterId::CkptBytes => "ckpt.bytes",
             CounterId::CkptRestores => "ckpt.restores",
             CounterId::ServeShed => "serve.shed",
+            CounterId::QueueArrivals => "queue.arrivals",
+            CounterId::QueueAdmitted => "queue.admitted",
+            CounterId::QueueRejected => "queue.rejected",
+            CounterId::QueueServed => "queue.served",
+            CounterId::QueueShedWait => "queue.shed_wait",
+            CounterId::QueueShedDeadline => "queue.shed_deadline",
+            CounterId::QueueWaitCycles => "queue.wait_cycles",
+            CounterId::TenantsActive => "tenant.active",
+            CounterId::ServeCacheEvictions => "serve.cache_evictions",
+            CounterId::ServeEvictedBytes => "serve.evicted_bytes",
         }
     }
 }

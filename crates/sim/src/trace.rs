@@ -235,6 +235,65 @@ impl Record for TaskletTrace {
     }
 }
 
+/// A seeded open-loop arrival process over the model clock.
+///
+/// Generates Poisson-like query arrival times (exponential inter-arrival
+/// gaps via inverse-CDF over a pure-hash uniform draw) measured in DPU
+/// cycles. "Open-loop" means arrivals do not react to service progress:
+/// the i-th arrival time is a pure function of `(seed, mean_gap_cycles,
+/// i)`, so the process is bit-identical across runs and thread counts and
+/// never consults a wall clock. The sustained-load service benchmark
+/// replays these timestamps against its virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopArrivals {
+    seed: u64,
+    mean_gap_cycles: u64,
+}
+
+impl OpenLoopArrivals {
+    /// A process with the given seed and mean inter-arrival gap in cycles.
+    /// A zero mean degenerates to back-to-back arrivals (all gaps zero).
+    pub fn new(seed: u64, mean_gap_cycles: u64) -> Self {
+        OpenLoopArrivals { seed, mean_gap_cycles }
+    }
+
+    /// The mean inter-arrival gap in cycles.
+    pub fn mean_gap_cycles(&self) -> u64 {
+        self.mean_gap_cycles
+    }
+
+    /// The inter-arrival gap preceding arrival `i` (exponentially
+    /// distributed with the configured mean; deterministic in `(seed, i)`).
+    pub fn gap(&self, i: u64) -> u64 {
+        if self.mean_gap_cycles == 0 {
+            return 0;
+        }
+        // SplitMix64 finalizer over (seed, i) -> uniform u in [0, 1).
+        let mut z = self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        // Inverse CDF of the exponential: -mean * ln(1 - u), u < 1.
+        let gap = -(self.mean_gap_cycles as f64) * (1.0 - u).ln();
+        // Cap the tail at 64 means so a single draw can never stall the
+        // clock indefinitely (P(gap > 64 means) ≈ e^-64).
+        gap.min(self.mean_gap_cycles as f64 * 64.0).ceil() as u64
+    }
+
+    /// The first `count` arrival times (cumulative gaps), non-decreasing.
+    pub fn times(&self, count: usize) -> Vec<u64> {
+        let mut t = 0u64;
+        (0..count as u64)
+            .map(|i| {
+                t = t.saturating_add(self.gap(i));
+                t
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,5 +349,33 @@ mod tests {
     #[should_panic(expected = "chunk_bytes")]
     fn dma_stream_rejects_zero_chunk() {
         TaskletTrace::new().dma_stream(10, 0, 0);
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_monotone() {
+        let a = OpenLoopArrivals::new(0xA11CE, 500);
+        let t1 = a.times(10_000);
+        let t2 = a.times(10_000);
+        assert_eq!(t1, t2);
+        assert!(t1.windows(2).all(|w| w[0] <= w[1]), "times must be non-decreasing");
+        // Different seeds draw different processes.
+        assert_ne!(t1, OpenLoopArrivals::new(0xB0B, 500).times(10_000));
+    }
+
+    #[test]
+    fn arrival_gaps_average_near_the_mean() {
+        let mean = 1_000u64;
+        let a = OpenLoopArrivals::new(7, mean);
+        let n = 50_000usize;
+        let last = *a.times(n).last().expect("non-empty");
+        let empirical = last as f64 / n as f64;
+        let rel = (empirical - mean as f64).abs() / mean as f64;
+        assert!(rel < 0.05, "empirical mean gap {empirical} vs {mean} (rel {rel})");
+    }
+
+    #[test]
+    fn zero_mean_degenerates_to_back_to_back() {
+        let a = OpenLoopArrivals::new(3, 0);
+        assert!(a.times(100).iter().all(|&t| t == 0));
     }
 }

@@ -23,7 +23,9 @@ printf '%-28s %-6s %-14s %-15s %s\n' "artifact" "schema" "commit" "tier" "headli
 for f in "${files[@]}"; do
     jq -r --arg f "$f" '
         def pick:
-            if .throughput_multiplier != null then
+            if .p99_latency_ms != null then
+                "p50 \((.p50_latency_ms * 1000 | round) / 1000) ms / p99 \((.p99_latency_ms * 1000 | round) / 1000) ms, shed \((.shed_rate * 10000 | round) / 100)% of \(.queries) queries"
+            elif .throughput_multiplier != null then
                 "\(.throughput_multiplier)x analytic vs replay, \(.queries) queries"
             elif .max_rel_error != null then
                 "max rel err \((.max_rel_error * 10000 | round) / 100)% over \(.cases | length) pairs"

@@ -52,6 +52,7 @@ panic_lint crates/sparse/src/mtx.rs
 panic_lint crates/sparse/src/datasets.rs
 panic_lint crates/core/src/serve.rs
 panic_lint crates/core/src/recover.rs
+panic_lint crates/core/src/service.rs
 echo "panic-free lint ok"
 
 echo "==> calibration audit (analytic fast path vs exact replay, 13 graphs x 3 apps)"
@@ -66,6 +67,9 @@ grep -o '"max_rel_error": [0-9.]*' BENCH_calibration.json
 
 echo "==> crash recovery audit (checkpoint/restore bit-identity sweep)"
 cargo test -q --offline --release -p alpha-pim-bench --test crash_recovery
+
+echo "==> service audit (weighted fairness, ledger balance, thread determinism)"
+cargo test -q --offline --release -p alpha-pim-bench --test service
 
 echo "==> serve smoke (seeded 64-query trace: batched == sequential fingerprints)"
 cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
@@ -98,6 +102,17 @@ rm -f BENCH_crash_recovery_base.json
 echo "crash recovery smoke ok: resumed == uninterrupted ($FP_RESUMED)"
 echo "==> BENCH_crash_recovery.json:"
 cat BENCH_crash_recovery.json
+
+echo "==> service load smoke (100k-query open-loop trace, 3 tenants x 3 graphs, analytic path)"
+# Sustained overload through the multi-tenant front-end: weighted-fair
+# admission, priority rejection at the door, queue-wait shedding under the
+# deadline budget — the command itself fails if the ledgers don't balance.
+cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
+    serve-load as00,face,p2p-24 --scale 0.005 --dpus 32 --queries 100000 \
+    --batch 32 --fast-path analytic --mean-gap 15000 --queue-capacity 4096 \
+    --budget-cycles 100000000 --mix 4:4:1 --json BENCH_service_load.json
+echo "==> BENCH_service_load.json summary:"
+grep -o '"p50_latency_ms": [0-9.]*\|"p99_latency_ms": [0-9.]*\|"shed_rate": [0-9.]*' BENCH_service_load.json
 
 echo "==> bench artifact trajectory"
 ./scripts/bench_summary.sh

@@ -9,6 +9,9 @@
 
 use alpha_pim::apps::{AppOptions, PprOptions};
 use alpha_pim::serve::{seeded_trace, BatchOutcome, Query, ServeConfig, ServeEngine};
+use alpha_pim::service::{
+    seeded_workload, ServiceConfig, ServiceEngine, ServiceOutcome, ServiceReport, TenantSpec,
+};
 use alpha_pim::{
     AlphaPim, AlphaPimError, BatchCheckpoint, CheckpointPolicy, CheckpointStore, RecoverError,
 };
@@ -375,6 +378,92 @@ fn checkpoint_store_persists_across_reopen() {
 
     reopened.clear().expect("clear succeeds");
     assert!(reopened.load().expect("load succeeds").is_none(), "cleared store is empty");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Zeroes the `ckpt.*` accounting on a service report: a resumed
+/// sustained-load run re-executes pre-crash batches (re-snapshotting them)
+/// but restores the crashed batch from its snapshot, so snapshot/byte
+/// counts legitimately differ — everything else must be bit-identical.
+fn service_modulo_ckpt(report: &ServiceReport) -> ServiceReport {
+    let mut r = report.clone();
+    r.counters.set(CounterId::CkptSnapshots, 0);
+    r.counters.set(CounterId::CkptBytes, 0);
+    r.counters.set(CounterId::CkptRestores, 0);
+    r
+}
+
+/// Service-level chaos: a three-tenant sustained load over all three
+/// catalog graphs, under the fault storm, checkpointing every boundary,
+/// killed by a planned host crash inside a mid-run batch — then resumed
+/// from the on-disk store by a "restarted process". The resumed run must
+/// reproduce the uninterrupted run's result fingerprint, dispatch order,
+/// latencies, and per-tenant ledgers exactly.
+#[test]
+fn service_sustained_load_survives_host_crash_mid_run() {
+    set_sim_threads(1);
+    let dir = std::env::temp_dir().join(format!("alpha_pim_ckpt_{}_service", std::process::id()));
+    let graphs: Vec<Graph> = catalog_graphs().into_iter().map(|(_, g)| g).collect();
+    let nodes: Vec<u32> = graphs.iter().map(|g| g.nodes()).collect();
+    let eng = engine(Some(storm()));
+    let workload = seeded_workload(0xC4A0_0001, 5_000, 18, 3, &nodes, [2, 2, 1]);
+    let service_config = || ServiceConfig {
+        tenants: vec![
+            TenantSpec { weight: 4, ..Default::default() },
+            TenantSpec { weight: 2, ..Default::default() },
+            TenantSpec { weight: 1, ..Default::default() },
+        ],
+        serve: ServeConfig { batch_size: 4, ..config(CheckpointPolicy::EveryN(1)) },
+        ..Default::default()
+    };
+
+    // The uninterrupted twin.
+    let base = ServiceEngine::new(&eng, service_config())
+        .run(&graphs, &workload)
+        .expect("uninterrupted run completes");
+    assert!(base.batches >= 4, "chaos needs a mid-run batch to kill");
+    assert_eq!(base.served(), 18, "the storm is survivable: nothing sheds");
+
+    // Kill batch 2 at its first superstep boundary, snapshots on disk.
+    let store = CheckpointStore::open(&dir).expect("store opens");
+    let outcome = ServiceEngine::new(&eng, service_config())
+        .run_resilient(&graphs, &workload, Some((2, HostCrashPlan::at(1))), Some(&store))
+        .expect("crashing run returns its checkpoint");
+    let ServiceOutcome::Crashed { batch_tag, checkpoint } = outcome else {
+        panic!("the planned host crash did not fire");
+    };
+    assert_eq!(batch_tag, 2, "the crash must land in the tagged batch");
+    drop(store);
+
+    // A restarted process finds the checkpoint on disk and resumes.
+    let reopened = CheckpointStore::open(&dir).expect("store reopens");
+    let loaded = reopened.load().expect("load succeeds").expect("checkpoint present");
+    assert_eq!(loaded.snapshot, checkpoint.snapshot, "snapshot survives the process boundary");
+    let resumed = ServiceEngine::new(&eng, service_config())
+        .resume(&graphs, &workload, &loaded, Some(&reopened))
+        .expect("resumed run completes");
+    let ServiceOutcome::Completed(resumed) = resumed else {
+        panic!("the resumed run crashed again without a plan");
+    };
+
+    assert_eq!(
+        resumed.result_fingerprint, base.result_fingerprint,
+        "resumed results diverged from the uninterrupted run"
+    );
+    assert_eq!(resumed.dispatch_order, base.dispatch_order, "scheduling decisions diverged");
+    assert_eq!(resumed.latencies_cycles, base.latencies_cycles, "latencies diverged");
+    assert_eq!(resumed.tenants, base.tenants, "per-tenant ledgers diverged");
+    assert_eq!(resumed.makespan_cycles, base.makespan_cycles, "the model clock diverged");
+    assert_eq!(
+        service_modulo_ckpt(&resumed),
+        service_modulo_ckpt(&base),
+        "reports diverged beyond recovery accounting"
+    );
+    assert_eq!(
+        RecoverySummary::from_counters(&resumed.counters).restores,
+        1,
+        "exactly one restore must be counted"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -240,7 +240,17 @@ serve.saved_batches=0
 ckpt.snapshots=0
 ckpt.bytes=0
 ckpt.restores=0
-serve.shed=0";
+serve.shed=0
+queue.arrivals=0
+queue.admitted=0
+queue.rejected=0
+queue.served=0
+queue.shed_wait=0
+queue.shed_deadline=0
+queue.wait_cycles=0
+tenant.active=0
+serve.cache_evictions=0
+serve.evicted_bytes=0";
 
 const SPMSPV_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=20107 instr=77984
@@ -292,7 +302,17 @@ serve.saved_batches=0
 ckpt.snapshots=0
 ckpt.bytes=0
 ckpt.restores=0
-serve.shed=0";
+serve.shed=0
+queue.arrivals=0
+queue.admitted=0
+queue.rejected=0
+queue.served=0
+queue.shed_wait=0
+queue.shed_deadline=0
+queue.wait_cycles=0
+tenant.active=0
+serve.cache_evictions=0
+serve.evicted_bytes=0";
 
 const SPMM_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=67835 instr=762288
@@ -344,7 +364,17 @@ serve.saved_batches=0
 ckpt.snapshots=0
 ckpt.bytes=0
 ckpt.restores=0
-serve.shed=0";
+serve.shed=0
+queue.arrivals=0
+queue.admitted=0
+queue.rejected=0
+queue.served=0
+queue.shed_wait=0
+queue.shed_deadline=0
+queue.wait_cycles=0
+tenant.active=0
+serve.cache_evictions=0
+serve.evicted_bytes=0";
 
 const SPMV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -397,7 +427,17 @@ serve.saved_batches=0
 ckpt.snapshots=0
 ckpt.bytes=0
 ckpt.restores=0
-serve.shed=0";
+serve.shed=0
+queue.arrivals=0
+queue.admitted=0
+queue.rejected=0
+queue.served=0
+queue.shed_wait=0
+queue.shed_deadline=0
+queue.wait_cycles=0
+tenant.active=0
+serve.cache_evictions=0
+serve.evicted_bytes=0";
 
 const SPMSPV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -450,7 +490,17 @@ serve.saved_batches=0
 ckpt.snapshots=0
 ckpt.bytes=0
 ckpt.restores=0
-serve.shed=0";
+serve.shed=0
+queue.arrivals=0
+queue.admitted=0
+queue.rejected=0
+queue.served=0
+queue.shed_wait=0
+queue.shed_deadline=0
+queue.wait_cycles=0
+tenant.active=0
+serve.cache_evictions=0
+serve.evicted_bytes=0";
 
 const SPMM_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -503,4 +553,14 @@ serve.saved_batches=0
 ckpt.snapshots=0
 ckpt.bytes=0
 ckpt.restores=0
-serve.shed=0";
+serve.shed=0
+queue.arrivals=0
+queue.admitted=0
+queue.rejected=0
+queue.served=0
+queue.shed_wait=0
+queue.shed_deadline=0
+queue.wait_cycles=0
+tenant.active=0
+serve.cache_evictions=0
+serve.evicted_bytes=0";

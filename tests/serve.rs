@@ -6,11 +6,13 @@
 //! the standalone runs.
 
 use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
-use alpha_pim::serve::{seeded_trace, Query, QueryResult, ServeConfig, ServeEngine};
-use alpha_pim::{AlphaPim, SpmvVariant};
+use alpha_pim::serve::{
+    fingerprint_results, seeded_trace, Query, QueryResult, ServeConfig, ServeEngine,
+};
+use alpha_pim::{AlphaPim, FastPath, SpmvVariant};
 use alpha_pim_sim::par::SimThreads;
-use alpha_pim_sim::{FaultPlan, ObservabilityLevel, PimConfig, SimFidelity};
-use alpha_pim_sparse::{datasets, Graph};
+use alpha_pim_sim::{CounterId, FaultPlan, ObservabilityLevel, PimConfig, SimFidelity};
+use alpha_pim_sparse::{datasets, gen, Graph};
 
 const SEED: u64 = 0x5E4E;
 const QUERIES: usize = 10;
@@ -179,4 +181,159 @@ fn mixed_trace_reports_carry_per_query_records() {
             );
         }
     }
+}
+
+/// Three catalog graphs at regression-friendly scale for the fast-path
+/// lock (distinct from the Table 2 scaling above, which is batching-sized).
+fn fastpath_graphs() -> Vec<(&'static str, Graph)> {
+    [("as00", 0.03), ("face", 0.05), ("p2p-24", 0.008)]
+        .into_iter()
+        .map(|(abbrev, scale)| {
+            let g = datasets::by_abbrev(abbrev)
+                .expect("catalog entry")
+                .generate_scaled(scale, 0xFA57)
+                .expect("catalog recipes are valid")
+                .with_random_weights(9);
+            (abbrev, g)
+        })
+        .collect()
+}
+
+/// Locks `FastPath::Auto`'s dispatch rule: at `Aggregate` observability it
+/// must be byte-identical to the explicit analytic path, while `PerDpu`
+/// and `PerTasklet` gate it back to cycle replay — and on every path and
+/// observability level the result values fingerprint identically, on all
+/// three catalog graphs.
+#[test]
+fn auto_fast_path_matches_analytic_at_aggregate_and_replay_when_observed() {
+    let caps = AppOptions { max_iterations: 12, ..Default::default() };
+    let config = |fast_path| ServeConfig {
+        batch_size: 6,
+        options: caps,
+        ppr: PprOptions { app: AppOptions { max_iterations: 8, ..Default::default() }, ..Default::default() },
+        fast_path,
+        ..Default::default()
+    };
+    for (abbrev, graph) in fastpath_graphs() {
+        let trace = seeded_trace(graph.nodes(), 6, 0xFA57_0001);
+        let mut fingerprints: Vec<u64> = Vec::new();
+        for observability in [
+            ObservabilityLevel::Aggregate,
+            ObservabilityLevel::PerDpu,
+            ObservabilityLevel::PerTasklet,
+        ] {
+            let eng = AlphaPim::new(PimConfig {
+                num_dpus: 16,
+                fidelity: SimFidelity::Full,
+                observability,
+                ..Default::default()
+            })
+            .expect("valid config");
+            let ctx = format!("{abbrev}/{observability:?}");
+            let (auto_res, auto_rep) = run_trace(&eng, &graph, config(FastPath::Auto), &trace);
+            let (ana_res, ana_rep) = run_trace(&eng, &graph, config(FastPath::Analytic), &trace);
+            let (rep_res, rep_rep) = run_trace(&eng, &graph, config(FastPath::Replay), &trace);
+
+            if observability == ObservabilityLevel::Aggregate {
+                assert_eq!(
+                    auto_rep, ana_rep,
+                    "{ctx}: Auto must take the analytic path at Aggregate observability"
+                );
+            } else {
+                assert_eq!(
+                    auto_rep, rep_rep,
+                    "{ctx}: Auto must fall back to cycle replay when per-unit \
+                     observability needs real traces"
+                );
+                assert_eq!(
+                    ana_rep, rep_rep,
+                    "{ctx}: the explicit analytic request is gated off the same way"
+                );
+            }
+
+            // Result values never depend on the timing path.
+            let fp = fingerprint_results(&auto_res);
+            assert_eq!(fp, fingerprint_results(&ana_res), "{ctx}: analytic changed result bits");
+            assert_eq!(fp, fingerprint_results(&rep_res), "{ctx}: replay changed result bits");
+            fingerprints.push(fp);
+        }
+        // ...nor on the observability level.
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "{abbrev}: result fingerprints drifted across observability levels"
+        );
+    }
+}
+
+/// The partition cache is capped by bytes, not entries: with a budget that
+/// holds one prepared graph, alternating graphs evict each other under
+/// deterministic LRU, and the eviction accounting conserves bytes exactly
+/// (`inserted == resident + evicted`). An undersized budget still serves —
+/// the newest entry is never evicted out from under its own batch.
+#[test]
+fn cache_byte_budget_evicts_deterministically_with_balanced_accounting() {
+    let eng = engine(None);
+    let graph_a = Graph::from_coo(gen::erdos_renyi(300, 2_400, 31).expect("valid recipe"))
+        .with_random_weights(9);
+    let graph_b = Graph::from_coo(gen::erdos_renyi(200, 1_500, 32).expect("valid recipe"))
+        .with_random_weights(9);
+    let queries = vec![Query::Bfs { source: 0 }, Query::Bfs { source: 3 }];
+
+    // Measure each graph's footprint with the default (unlimited) budget.
+    let mut unlimited = ServeEngine::new(&eng, ServeConfig::default());
+    unlimited.run_batch(&graph_a, &queries).expect("graph A serves");
+    let bytes_a = unlimited.cache_resident_bytes();
+    assert!(bytes_a > 0, "a prepared graph must account a footprint");
+    unlimited.run_batch(&graph_b, &queries).expect("graph B serves");
+    let bytes_b = unlimited.cache_resident_bytes() - bytes_a;
+    assert!(bytes_b > 0 && bytes_b != bytes_a, "distinct graphs, distinct footprints");
+    assert_eq!(unlimited.cache_evictions(), 0, "the default budget never evicts");
+
+    // A budget that fits either graph alone but not both.
+    let budget = bytes_a.max(bytes_b);
+    assert!(budget < bytes_a + bytes_b);
+    let run = || {
+        let mut serve = ServeEngine::new(
+            &eng,
+            ServeConfig { cache_budget_bytes: budget, ..Default::default() },
+        );
+        let (res_a, _) = serve.run_batch(&graph_a, &queries).expect("A serves under budget");
+        assert_eq!(serve.cache_evictions(), 0, "A fits alone");
+        assert_eq!(serve.cache_resident_bytes(), bytes_a);
+
+        let (_, report_b) = serve.run_batch(&graph_b, &queries).expect("B serves under budget");
+        assert_eq!(serve.cache_evictions(), 1, "B must push A out");
+        assert_eq!(serve.cache_evicted_bytes(), bytes_a);
+        assert_eq!(serve.cache_resident_bytes(), bytes_b);
+        assert_eq!(
+            report_b.counters.get(CounterId::ServeCacheEvictions),
+            1,
+            "the evicting batch carries the eviction in its counters"
+        );
+        assert_eq!(report_b.counters.get(CounterId::ServeEvictedBytes), bytes_a);
+
+        let (res_a2, _) = serve.run_batch(&graph_a, &queries).expect("A re-serves");
+        assert_eq!(serve.cache_evictions(), 2, "A's return must push B out");
+        assert_eq!(serve.cache_evicted_bytes(), bytes_a + bytes_b);
+        assert_eq!(serve.cache_resident_bytes(), bytes_a);
+        // Conservation: everything ever inserted is resident or evicted.
+        assert_eq!(
+            serve.cache_resident_bytes() + serve.cache_evicted_bytes(),
+            2 * bytes_a + bytes_b,
+        );
+        (fingerprint_results(&res_a), fingerprint_results(&res_a2))
+    };
+    let (fp_first, fp_second) = run();
+    assert_eq!(fp_first, fp_second, "eviction and re-preparation must not change results");
+    let (fp_again, _) = run();
+    assert_eq!(fp_first, fp_again, "the eviction sequence is deterministic");
+
+    // An undersized budget degrades to a one-entry cache, never a failure.
+    let mut tiny = ServeEngine::new(&eng, ServeConfig { cache_budget_bytes: 1, ..Default::default() });
+    let (tiny_res, _) = tiny.run_batch(&graph_a, &queries).expect("oversized graph still serves");
+    assert_eq!(fingerprint_results(&tiny_res), fp_first, "budget pressure never changes answers");
+    assert_eq!(tiny.cache_resident_bytes(), bytes_a, "the newest entry stays resident");
+    tiny.run_batch(&graph_b, &queries).expect("the second oversized graph serves too");
+    assert_eq!(tiny.cache_evictions(), 1);
+    assert_eq!(tiny.cache_evicted_bytes(), bytes_a);
 }
