@@ -8,6 +8,7 @@
 //! alpha_pim_cli serve <graph> [options]      batched multi-query serving vs sequential
 //! alpha_pim_cli serve-load <g1,g2,..> [options]  multi-tenant sustained-load service
 //! alpha_pim_cli calibrate <all|graph> [options]  analytic fast path vs replay audit
+//! alpha_pim_cli mutate <graph> [options]     dynamic-graph epochs, incremental vs scratch
 //!
 //! <graph>     path to a .mtx file, or a catalog abbreviation (e.g. A302)
 //! --source N      source vertex (default 0)
@@ -39,6 +40,8 @@
 //! --queue-capacity N    serve-load only: admission queue bound (default 4096)
 //! --budget-cycles N     serve-load only: per-query deadline budget covering
 //!                       queue wait + execution (default: none)
+//! --epochs N      mutate only: mutation epochs to apply (default 4)
+//! --ops N         mutate only: insert/delete operations per epoch (default 64)
 //! --bound F       calibrate only: max relative makespan error (default 0.05)
 //! --frozen        calibrate only: also enforce the frozen per-graph
 //!                 regression bounds (reference config: scale 0.02, 64 DPUs)
@@ -58,8 +61,8 @@ use alpha_pim::service::{
     seeded_workload, Priority, ServiceConfig, ServiceEngine, TenantSpec,
 };
 use alpha_pim::{
-    AlphaPim, CheckpointPolicy, CheckpointStore, PreparedSpmspv, PreparedSpmv, SpmspvVariant,
-    SpmvVariant,
+    AlphaPim, CheckpointPolicy, CheckpointStore, DeltaEngine, PreparedSpmspv, PreparedSpmv,
+    SpmspvVariant, SpmvVariant,
 };
 use alpha_pim_bench::harness::striped_vector;
 use alpha_pim_sim::host::detect_faults;
@@ -73,7 +76,7 @@ use alpha_pim_sparse::{datasets, mtx, Graph};
 /// graph loading so typos exit non-zero with usage instead of part-running.
 const ALGORITHMS: &[&str] = &[
     "bfs", "sssp", "ppr", "wcc", "widest", "triangles", "msbfs", "kcore", "top", "chaos", "serve",
-    "serve-load", "calibrate",
+    "serve-load", "calibrate", "mutate",
 ];
 
 struct Args {
@@ -106,6 +109,8 @@ struct Args {
     budget_cycles: Option<u64>,
     bound: f64,
     frozen: bool,
+    epochs: u64,
+    ops: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -147,6 +152,8 @@ fn parse_args() -> Result<Args, String> {
         budget_cycles: None,
         bound: 0.05,
         frozen: false,
+        epochs: 4,
+        ops: 64,
     };
     while let Some(flag) = raw.next() {
         if flag == "--resume" {
@@ -213,6 +220,8 @@ fn parse_args() -> Result<Args, String> {
                 args.budget_cycles = Some(value.parse().map_err(|e| format!("{e}"))?);
             }
             "--bound" => args.bound = value.parse().map_err(|e| format!("{e}"))?,
+            "--epochs" => args.epochs = value.parse().map_err(|e| format!("{e}"))?,
+            "--ops" => args.ops = value.parse().map_err(|e| format!("{e}"))?,
             "--policy" => {
                 args.policy = match value.as_str() {
                     "adaptive" => KernelPolicy::Adaptive,
@@ -258,7 +267,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve|serve-load|calibrate> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH] [--checkpoint-dir DIR] [--resume] [--deadline-cycles N] [--crash-after K] [--fast-path P] [--mix B:S:P] [--baseline-queries N] [--tenants N] [--mean-gap N] [--queue-capacity N] [--budget-cycles N] [--bound F] [--frozen]");
+            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve|serve-load|calibrate|mutate> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH] [--checkpoint-dir DIR] [--resume] [--deadline-cycles N] [--crash-after K] [--fast-path P] [--mix B:S:P] [--baseline-queries N] [--tenants N] [--mean-gap N] [--queue-capacity N] [--budget-cycles N] [--bound F] [--frozen] [--epochs N] [--ops N]");
             return ExitCode::FAILURE;
         }
     };
@@ -287,6 +296,9 @@ fn run(args: &Args) -> Result<(), String> {
     }
     if args.algo == "serve" {
         return run_serve(args, &graph);
+    }
+    if args.algo == "mutate" {
+        return run_mutate(args, &graph);
     }
     let engine = AlphaPim::new(PimConfig {
         num_dpus: args.dpus,
@@ -744,6 +756,196 @@ fn run_serve_load(args: &Args) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+/// `mutate`: the dynamic-graph differential gate. Applies `--epochs` seeded
+/// insert/delete batches to the graph and serves the same seeded query
+/// trace after every epoch twice — once through the incremental
+/// [`DeltaEngine`] (seeded frontier repair + epoch-invalidated partition
+/// cache) and once from scratch on the mutated graph — asserting the value
+/// fingerprints are bit-identical and the `delta.*` ledgers balance. Exits
+/// non-zero on any divergence, so CI gates on this command directly.
+fn run_mutate(args: &Args, graph: &Graph) -> Result<(), String> {
+    let weighted = graph.with_random_weights(args.max_weight);
+    let engine = AlphaPim::new(PimConfig {
+        num_dpus: args.dpus,
+        fidelity: SimFidelity::Sampled(64),
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let config = ServeConfig {
+        batch_size: args.batch,
+        options: AppOptions { policy: args.policy, ..Default::default() },
+        ..Default::default()
+    };
+    let mut delta = DeltaEngine::new(&engine, config, &weighted, args.dpus)
+        .map_err(|e| e.to_string())?;
+    // The same trace replays at every epoch, so epoch e+1 finds epoch e's
+    // converged answers armed as repair seeds — the incremental path runs.
+    let trace =
+        seeded_trace_weighted(weighted.nodes(), args.queries, args.trace_seed, args.mix);
+    println!(
+        "mutate — {} epochs x {} ops on {} ({} nodes, {} edges canonical, {} DPUs, \
+         {} queries/epoch, trace seed {:#x})",
+        args.epochs,
+        args.ops,
+        args.graph,
+        delta.graph().nodes(),
+        delta.graph().edges(),
+        args.dpus,
+        trace.len(),
+        args.trace_seed,
+    );
+    println!(
+        "\n{:>5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>11} {:>7} {:>18}",
+        "epoch", "ins", "del", "redun", "dirty", "clean", "incr", "seeded", "saved%", "fingerprint"
+    );
+
+    let mut all_match = true;
+    let mut incremental_queries = 0u64;
+    let mut full_queries = 0u64;
+    for epoch in 0..=args.epochs {
+        let report = if epoch == 0 {
+            None
+        } else {
+            let batch = alpha_pim_sparse::delta::seeded_batch(
+                delta.graph().adjacency(),
+                args.trace_seed.wrapping_add(epoch),
+                args.ops,
+                args.max_weight,
+            );
+            Some(delta.mutate(&batch).map_err(|e| e.to_string())?)
+        };
+        let (results, stats) = delta.serve(&trace).map_err(|e| e.to_string())?;
+
+        // Referee: a fresh engine serving the same queries from scratch on
+        // the same epoch's graph. Answers must be bit-identical.
+        let mut scratch = ServeEngine::new(&engine, config);
+        let (expected, _) = scratch.serve(delta.graph(), &trace).map_err(|e| e.to_string())?;
+        let fp = fingerprint_results(&results);
+        let fp_expected = fingerprint_results(&expected);
+        let ok = fp == fp_expected;
+        all_match &= ok;
+
+        let incr = stats.iter().filter(|s| s.incremental).count() as u64;
+        incremental_queries += incr;
+        full_queries += stats.len() as u64 - incr;
+        let seeded: u64 = stats.iter().map(|s| s.frontier_seeded).sum();
+        let full: u64 = stats.iter().map(|s| s.frontier_full).sum();
+        let saved_pct = 100.0 * (full - seeded) as f64 / (full as f64).max(1.0);
+        let (ins, del, red, dirty, clean) = report.as_ref().map_or((0, 0, 0, 0, 0), |r| {
+            (
+                r.stats.inserted,
+                r.stats.deleted,
+                r.stats.redundant,
+                r.dirty_partitions,
+                r.clean_partitions,
+            )
+        });
+        println!(
+            "{:>5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>11} {:>6.1} {:>#018x}{}",
+            epoch,
+            ins,
+            del,
+            red,
+            dirty,
+            clean,
+            incr,
+            seeded,
+            saved_pct,
+            fp,
+            if ok { "" } else { "  MISMATCH" },
+        );
+        if !ok {
+            eprintln!(
+                "epoch {epoch}: incremental fingerprint {fp:#018x} != from-scratch \
+                 {fp_expected:#018x}"
+            );
+        }
+    }
+
+    // The ledgers the delta layer promises by construction.
+    let c = delta.counters();
+    let ledgers_ok = c.get(CounterId::DeltaEdgesInserted) + c.get(CounterId::DeltaEdgesDeleted)
+        == c.get(CounterId::DeltaEdgesApplied)
+        && c.get(CounterId::DeltaEdgesApplied) + c.get(CounterId::DeltaEdgesRedundant)
+            == c.get(CounterId::DeltaEdgesRequested)
+        && c.get(CounterId::DeltaPartitionsDirty) + c.get(CounterId::DeltaPartitionsClean)
+            == c.get(CounterId::DeltaPartitionsTotal)
+        && c.get(CounterId::DeltaFrontierSeeded) + c.get(CounterId::DeltaFrontierSaved)
+            == c.get(CounterId::DeltaFrontierFull);
+    let saved_fraction = c.get(CounterId::DeltaFrontierSaved) as f64
+        / (c.get(CounterId::DeltaFrontierFull) as f64).max(1.0);
+    println!(
+        "\nledger: {} requested = {} applied ({} ins + {} del) + {} redundant; \
+         partitions {} dirty + {} clean = {}; frontier saved {:.1}%",
+        c.get(CounterId::DeltaEdgesRequested),
+        c.get(CounterId::DeltaEdgesApplied),
+        c.get(CounterId::DeltaEdgesInserted),
+        c.get(CounterId::DeltaEdgesDeleted),
+        c.get(CounterId::DeltaEdgesRedundant),
+        c.get(CounterId::DeltaPartitionsDirty),
+        c.get(CounterId::DeltaPartitionsClean),
+        c.get(CounterId::DeltaPartitionsTotal),
+        saved_fraction * 100.0,
+    );
+    println!(
+        "queries: {incremental_queries} incremental + {full_queries} full; cache {} hits / {} \
+         misses / {} evictions; final epoch {} fingerprint {:#018x}",
+        delta.serve_engine().cache_hits(),
+        delta.serve_engine().cache_misses(),
+        delta.serve_engine().cache_evictions(),
+        delta.dynamic().epoch(),
+        delta.dynamic().fingerprint(),
+    );
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{{}, \"graph\": \"{}\", \"epochs\": {}, \"ops_per_epoch\": {}, \
+             \"queries_per_epoch\": {}, \"dpus\": {}, \"trace_seed\": {}, \
+             \"mix\": [{}, {}, {}], \"edges_requested\": {}, \"edges_applied\": {}, \
+             \"edges_inserted\": {}, \"edges_deleted\": {}, \"edges_redundant\": {}, \
+             \"partitions_total\": {}, \"partitions_dirty\": {}, \"partitions_clean\": {}, \
+             \"frontier_full\": {}, \"frontier_seeded\": {}, \"frontier_saved\": {}, \
+             \"saved_fraction\": {saved_fraction:.6}, \
+             \"incremental_queries\": {incremental_queries}, \"full_queries\": {full_queries}, \
+             \"differential_match\": {all_match}, \"ledgers_balanced\": {ledgers_ok}, \
+             \"fingerprint\": \"{:#018x}\"}}\n",
+            alpha_pim_bench::report::bench_schema_fields("dynamic-serve"),
+            args.graph,
+            args.epochs,
+            args.ops,
+            trace.len(),
+            args.dpus,
+            args.trace_seed,
+            args.mix[0],
+            args.mix[1],
+            args.mix[2],
+            c.get(CounterId::DeltaEdgesRequested),
+            c.get(CounterId::DeltaEdgesApplied),
+            c.get(CounterId::DeltaEdgesInserted),
+            c.get(CounterId::DeltaEdgesDeleted),
+            c.get(CounterId::DeltaEdgesRedundant),
+            c.get(CounterId::DeltaPartitionsTotal),
+            c.get(CounterId::DeltaPartitionsDirty),
+            c.get(CounterId::DeltaPartitionsClean),
+            c.get(CounterId::DeltaFrontierFull),
+            c.get(CounterId::DeltaFrontierSeeded),
+            c.get(CounterId::DeltaFrontierSaved),
+            delta.dynamic().fingerprint(),
+        );
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    if !all_match {
+        return Err("incremental answers diverged from from-scratch reruns".into());
+    }
+    if !ledgers_ok {
+        return Err("delta ledgers failed to balance".into());
+    }
+    println!("differential gate passed (incremental == from-scratch at every epoch)");
     Ok(())
 }
 

@@ -84,6 +84,39 @@ impl SsspStepper {
         })
     }
 
+    /// A stepper seeded from a warm state instead of a one-hot source:
+    /// `dist` holds per-vertex tentative distances (an upper bound of the
+    /// fixed point) and `frontier` the vertices whose values can still
+    /// improve a neighbor. The delta layer uses this to repair a converged
+    /// run after a mutation epoch — relaxation from a sound seed converges
+    /// to the same fixed point a from-scratch run reaches, while only
+    /// touching the affected region.
+    pub(crate) fn seeded(
+        engine: Rc<MvEngine<MinPlus>>,
+        dist: Vec<u32>,
+        frontier: SparseVector<u32>,
+        max_iterations: u32,
+    ) -> Result<Self, AlphaPimError> {
+        let n = engine.n();
+        if dist.len() != n as usize || frontier.len() != n as usize {
+            return Err(AlphaPimError::Config(format!(
+                "seeded SSSP state is {}/{}-long but the engine serves {n} vertices",
+                dist.len(),
+                frontier.len(),
+            )));
+        }
+        Ok(SsspStepper {
+            engine,
+            n,
+            dist,
+            frontier,
+            report: AppReport::default(),
+            iter: 0,
+            max_iterations,
+            done: false,
+        })
+    }
+
     /// Whether the query has finished (converged or hit its iteration cap).
     pub(crate) fn is_done(&self) -> bool {
         self.done || self.iter >= self.max_iterations

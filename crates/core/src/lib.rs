@@ -49,6 +49,7 @@ pub mod adaptive;
 pub mod apps;
 pub mod calibrate;
 pub mod cost_model;
+pub mod delta;
 pub mod error;
 pub mod framework;
 pub mod gblas;
@@ -60,6 +61,7 @@ pub mod service;
 
 pub use adaptive::{DecisionTree, FastPath, GraphFeatures};
 pub use cost_model::EmpiricalCostModel;
+pub use delta::{DeltaEngine, DynamicGraph, EpochReport, RecomputeStats};
 pub use error::AlphaPimError;
 pub use framework::{AlphaPim, AlphaPimBuilder};
 pub use kernel::{KernelKind, MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};

@@ -344,6 +344,35 @@ impl<'a> ServeEngine<'a> {
         self.evicted_bytes
     }
 
+    /// Evicts every cached engine prepared for the graph fingerprinted
+    /// `graph_fp` — the epoch-invalidation hook of the delta layer: when a
+    /// mutation batch advances a graph's fingerprint, its stale prepared
+    /// kernels must leave the cache exactly once, releasing their bytes
+    /// exactly once. Engines for other graphs (and the mutated graph's new
+    /// epoch, once prepared) stay resident. Returns `(entries, bytes)`
+    /// evicted; both also land in the engine's lifetime eviction counters.
+    ///
+    /// Callers that report per-run counter deltas (the delta/service
+    /// layers) must add the returned amounts to their own ledgers: batch
+    /// runs only diff the eviction counters across their own cache lookups.
+    pub fn invalidate_graph(&mut self, graph_fp: u64) -> (u64, u64) {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        self.cache.retain(|e| {
+            if e.key.graph_fp == graph_fp {
+                entries += 1;
+                bytes = bytes.saturating_add(e.bytes);
+                false
+            } else {
+                true
+            }
+        });
+        self.resident_bytes = self.resident_bytes.saturating_sub(bytes);
+        self.evictions += entries;
+        self.evicted_bytes = self.evicted_bytes.saturating_add(bytes);
+        (entries, bytes)
+    }
+
     /// Serves a whole query trace: splits `queries` into batches of
     /// [`ServeConfig::batch_size`] and executes each with [`Self::run_batch`].
     /// Results are returned in query order alongside one [`BatchReport`]

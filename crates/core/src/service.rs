@@ -35,8 +35,9 @@
 
 use alpha_pim_sim::{CounterId, CounterSet, HostCrashPlan, OpenLoopArrivals};
 use alpha_pim_sparse::gen::rng::SplitMix64;
-use alpha_pim_sparse::Graph;
+use alpha_pim_sparse::{Graph, MutationBatch};
 
+use crate::delta::DynamicGraph;
 use crate::error::AlphaPimError;
 use crate::framework::AlphaPim;
 use crate::recover::{BatchCheckpoint, CheckpointStore};
@@ -120,6 +121,23 @@ pub struct Arrival {
     pub graph: u32,
     /// The query itself.
     pub query: Query,
+}
+
+/// One mutation batch admitted at the service front door, sharing the
+/// model-time clock with query arrivals: the batch applies to its graph
+/// the moment the clock first reaches `at_cycle` — after every earlier
+/// batch dispatch, before the next one. A workload's mutation events must
+/// be non-decreasing in `at_cycle`, like query arrivals; events the run
+/// never reaches (the clock stops when the query workload drains) apply
+/// at drain time, so every epoch lands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationEvent {
+    /// Application time on the model clock, in DPU cycles.
+    pub at_cycle: u64,
+    /// Index into the hosted graph catalog.
+    pub graph: u32,
+    /// The edge mutations themselves.
+    pub batch: MutationBatch,
 }
 
 /// Service-level configuration, wrapping the inner [`ServeConfig`].
@@ -396,6 +414,8 @@ pub struct ServiceEngine<'a> {
     serve: ServeEngine<'a>,
     config: ServiceConfig,
     cycle_seconds: f64,
+    /// Band count for dynamic-graph partition plans: one band per DPU.
+    parts: u32,
 }
 
 impl<'a> ServiceEngine<'a> {
@@ -408,7 +428,8 @@ impl<'a> ServiceEngine<'a> {
         }
         config.queue_capacity = config.queue_capacity.max(1);
         let cycle_seconds = engine.system().config().cycle_seconds();
-        ServiceEngine { serve: ServeEngine::new(engine, config.serve), config, cycle_seconds }
+        let parts = engine.system().num_dpus();
+        ServiceEngine { serve: ServeEngine::new(engine, config.serve), config, cycle_seconds, parts }
     }
 
     /// The service configuration (after clamping).
@@ -433,13 +454,87 @@ impl<'a> ServiceEngine<'a> {
         graphs: &[Graph],
         workload: &[Arrival],
     ) -> Result<ServiceReport, AlphaPimError> {
-        match self.drive(graphs, workload, Mode::Normal, None)? {
+        match self.drive(graphs, workload, &[], Mode::Normal, None)? {
             ServiceOutcome::Completed(report) => Ok(report),
             // Unreachable: Mode::Normal never injects a crash.
             ServiceOutcome::Crashed { .. } => {
                 Err(AlphaPimError::Config("service run crashed without a crash plan".into()))
             }
         }
+    }
+
+    /// [`Self::run`] with mutation admission: `mutations` share the model
+    /// clock with query arrivals, so edge churn and queries interleave
+    /// deterministically — each batch applies the first time the clock
+    /// reaches its `at_cycle`, between batch dispatches. Each epoch
+    /// advances its graph's fingerprint, evicts that graph's stale
+    /// prepared kernels from the partition cache exactly once, and lands
+    /// in the `delta.*` counter ledgers.
+    ///
+    /// Hosted graphs are canonicalized (row-major, duplicate-free) at
+    /// entry so fingerprints are path-independent across epochs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`], plus [`AlphaPimError::Config`] for mutation
+    /// events that go backwards in time or name an unknown graph, and
+    /// [`AlphaPimError::Sparse`] for batches referencing vertices outside
+    /// their graph.
+    pub fn run_dynamic(
+        &mut self,
+        graphs: &[Graph],
+        workload: &[Arrival],
+        mutations: &[MutationEvent],
+    ) -> Result<ServiceReport, AlphaPimError> {
+        match self.drive(graphs, workload, mutations, Mode::Normal, None)? {
+            ServiceOutcome::Completed(report) => Ok(report),
+            ServiceOutcome::Crashed { .. } => {
+                Err(AlphaPimError::Config("service run crashed without a crash plan".into()))
+            }
+        }
+    }
+
+    /// [`Self::run_dynamic`] with the crash-recovery surface of
+    /// [`Self::run_resilient`]. A crash may land in any batch — including
+    /// one straddling a mutation-epoch boundary; [`Self::resume_dynamic`]
+    /// replays the mutation schedule deterministically, so the resumed
+    /// run's graphs (and the checkpoint world-check fingerprints) match
+    /// the uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run_dynamic`]; a planned crash is not an error.
+    pub fn run_dynamic_resilient(
+        &mut self,
+        graphs: &[Graph],
+        workload: &[Arrival],
+        mutations: &[MutationEvent],
+        crash: Option<(u64, HostCrashPlan)>,
+        store: Option<&CheckpointStore>,
+    ) -> Result<ServiceOutcome, AlphaPimError> {
+        let mode = match crash {
+            Some((tag, plan)) => Mode::Crash { tag, plan },
+            None => Mode::Normal,
+        };
+        self.drive(graphs, workload, mutations, mode, store)
+    }
+
+    /// Resumes a crashed dynamic run: [`Self::resume`] with the same
+    /// mutation schedule the crashed run was given.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::resume`].
+    pub fn resume_dynamic(
+        &mut self,
+        graphs: &[Graph],
+        workload: &[Arrival],
+        mutations: &[MutationEvent],
+        checkpoint: &BatchCheckpoint,
+        store: Option<&CheckpointStore>,
+    ) -> Result<ServiceOutcome, AlphaPimError> {
+        let tag = checkpoint_tag(checkpoint)?;
+        self.drive(graphs, workload, mutations, Mode::Resume { tag, checkpoint }, store)
     }
 
     /// [`Self::run`] with the crash-recovery surface: an optional planned
@@ -461,7 +556,7 @@ impl<'a> ServiceEngine<'a> {
             Some((tag, plan)) => Mode::Crash { tag, plan },
             None => Mode::Normal,
         };
-        self.drive(graphs, workload, mode, store)
+        self.drive(graphs, workload, &[], mode, store)
     }
 
     /// Resumes a crashed sustained-load run from `checkpoint`: the
@@ -483,7 +578,7 @@ impl<'a> ServiceEngine<'a> {
         store: Option<&CheckpointStore>,
     ) -> Result<ServiceOutcome, AlphaPimError> {
         let tag = checkpoint_tag(checkpoint)?;
-        self.drive(graphs, workload, Mode::Resume { tag, checkpoint }, store)
+        self.drive(graphs, workload, &[], Mode::Resume { tag, checkpoint }, store)
     }
 
     /// The deterministic service loop shared by every entry point.
@@ -491,6 +586,7 @@ impl<'a> ServiceEngine<'a> {
         &mut self,
         graphs: &[Graph],
         workload: &[Arrival],
+        mutations: &[MutationEvent],
         mode: Mode<'_>,
         store: Option<&CheckpointStore>,
     ) -> Result<ServiceOutcome, AlphaPimError> {
@@ -518,6 +614,36 @@ impl<'a> ServiceEngine<'a> {
             }
             prev_at = a.at_cycle;
         }
+        let mut prev_mut = 0u64;
+        for (i, m) in mutations.iter().enumerate() {
+            if m.graph as usize >= graphs.len() {
+                return Err(AlphaPimError::Config(format!(
+                    "mutation event {i} names graph {} but the catalog holds {}",
+                    m.graph,
+                    graphs.len()
+                )));
+            }
+            if m.at_cycle < prev_mut {
+                return Err(AlphaPimError::Config(format!(
+                    "mutation event {i} goes backwards in time ({} < {prev_mut})",
+                    m.at_cycle
+                )));
+            }
+            prev_mut = m.at_cycle;
+        }
+        // Dynamic runs serve the epoch-versioned view; static runs keep the
+        // caller's graphs byte-for-byte (no canonicalization).
+        let mut dynamics: Option<Vec<DynamicGraph>> = if mutations.is_empty() {
+            None
+        } else {
+            Some(
+                graphs
+                    .iter()
+                    .map(|g| DynamicGraph::new(g, self.parts))
+                    .collect::<Result<_, _>>()?,
+            )
+        };
+        let mut mnext = 0usize;
 
         let mut tenants: Vec<TenantReport> = self
             .config
@@ -567,6 +693,16 @@ impl<'a> ServiceEngine<'a> {
                     vnow,
                 );
             }
+            // Admit every mutation batch the clock has passed — before the
+            // next dispatch, so queries and edge churn interleave on one
+            // deterministic model-time order (and replay identically on
+            // resume).
+            while mnext < mutations.len() && mutations[mnext].at_cycle <= clock {
+                if let Some(d) = dynamics.as_mut() {
+                    apply_mutation(&mut self.serve, d, &mutations[mnext], &mut counters)?;
+                }
+                mnext += 1;
+            }
             if queue.is_empty() {
                 continue;
             }
@@ -614,7 +750,10 @@ impl<'a> ServiceEngine<'a> {
                 picks.push(p);
             }
             let Some(graph_idx) = batch_graph else { continue };
-            let graph = &graphs[graph_idx as usize];
+            let graph = match &dynamics {
+                Some(d) => d[graph_idx as usize].graph(),
+                None => &graphs[graph_idx as usize],
+            };
             let queries: Vec<Query> = picks.iter().map(|p| p.query).collect();
 
             let tag = batch_tag;
@@ -658,6 +797,15 @@ impl<'a> ServiceEngine<'a> {
             }
         }
 
+        // Epochs the drained workload never reached still land: the graphs
+        // end at their final version and the ledgers stay complete.
+        while mnext < mutations.len() {
+            if let Some(d) = dynamics.as_mut() {
+                apply_mutation(&mut self.serve, d, &mutations[mnext], &mut counters)?;
+            }
+            mnext += 1;
+        }
+
         for t in &tenants {
             counters.add(CounterId::QueueArrivals, t.arrivals);
             counters.add(CounterId::QueueAdmitted, t.admitted);
@@ -680,6 +828,34 @@ impl<'a> ServiceEngine<'a> {
             cycle_seconds: self.cycle_seconds,
         }))
     }
+}
+
+/// Applies one admitted mutation event: advances its graph's epoch, evicts
+/// the stale epoch's prepared kernels from the partition cache exactly
+/// once, and records the epoch in the `delta.*` ledgers.
+fn apply_mutation(
+    serve: &mut ServeEngine<'_>,
+    dynamics: &mut [DynamicGraph],
+    m: &MutationEvent,
+    counters: &mut CounterSet,
+) -> Result<(), AlphaPimError> {
+    let d = &mut dynamics[m.graph as usize];
+    let report = d.apply(&m.batch)?;
+    if report.fingerprint != report.previous_fingerprint {
+        let (entries, bytes) = serve.invalidate_graph(report.previous_fingerprint);
+        counters.add(CounterId::ServeCacheEvictions, entries);
+        counters.add(CounterId::ServeEvictedBytes, bytes);
+    }
+    counters.add(CounterId::DeltaEpochs, 1);
+    counters.add(CounterId::DeltaEdgesRequested, report.stats.requested);
+    counters.add(CounterId::DeltaEdgesApplied, report.stats.applied());
+    counters.add(CounterId::DeltaEdgesInserted, report.stats.inserted);
+    counters.add(CounterId::DeltaEdgesDeleted, report.stats.deleted);
+    counters.add(CounterId::DeltaEdgesRedundant, report.stats.redundant);
+    counters.add(CounterId::DeltaPartitionsTotal, d.plan().parts() as u64);
+    counters.add(CounterId::DeltaPartitionsDirty, report.dirty_partitions);
+    counters.add(CounterId::DeltaPartitionsClean, report.clean_partitions);
+    Ok(())
 }
 
 /// Admits `p` into the bounded queue, rejecting the lowest-priority,
@@ -828,6 +1004,74 @@ mod tests {
             assert_eq!(t.arrivals, t.admitted + t.rejected);
             assert_eq!(t.admitted, t.served + t.shed_wait + t.shed_deadline);
         }
+    }
+
+    #[test]
+    fn dynamic_runs_admit_mutations_on_the_model_clock() {
+        let engine = engine(6);
+        let graphs = catalog();
+        let workload = seeded_workload(5, 50_000, 24, 2, &[140, 110], [1, 1, 1]);
+        let mid = workload[workload.len() / 2].at_cycle;
+        let mutations = vec![
+            MutationEvent {
+                at_cycle: mid,
+                graph: 0,
+                batch: alpha_pim_sparse::delta::seeded_batch(graphs[0].adjacency(), 77, 40, 9),
+            },
+            // Far past the last arrival: must still land as a trailing epoch.
+            MutationEvent {
+                at_cycle: u64::MAX / 2,
+                graph: 1,
+                batch: alpha_pim_sparse::delta::seeded_batch(graphs[1].adjacency(), 78, 40, 9),
+            },
+        ];
+        let svc = || {
+            ServiceEngine::new(
+                &engine,
+                ServiceConfig {
+                    tenants: vec![TenantSpec::default(), TenantSpec::default()],
+                    ..Default::default()
+                },
+            )
+        };
+        let report = svc().run_dynamic(&graphs, &workload, &mutations).unwrap();
+        let c = &report.counters;
+        assert_eq!(c.get(CounterId::DeltaEpochs), 2);
+        assert_eq!(
+            c.get(CounterId::DeltaEdgesInserted) + c.get(CounterId::DeltaEdgesDeleted),
+            c.get(CounterId::DeltaEdgesApplied),
+        );
+        assert_eq!(
+            c.get(CounterId::DeltaEdgesApplied) + c.get(CounterId::DeltaEdgesRedundant),
+            c.get(CounterId::DeltaEdgesRequested),
+        );
+        assert_eq!(
+            c.get(CounterId::DeltaPartitionsDirty) + c.get(CounterId::DeltaPartitionsClean),
+            c.get(CounterId::DeltaPartitionsTotal),
+        );
+        assert!(c.get(CounterId::DeltaEdgesApplied) > 0, "seeded batches must not be all-redundant");
+        assert_eq!(report.served(), 24);
+
+        // The whole dynamic schedule is deterministic: a second run from a
+        // fresh engine reproduces every counter and latency sample.
+        let again = svc().run_dynamic(&graphs, &workload, &mutations).unwrap();
+        assert_eq!(again.counters, report.counters);
+        assert_eq!(again.latencies_cycles, report.latencies_cycles);
+
+        // Static entry points must reject nothing new: same workload, no
+        // mutations, equals the classic run bit-for-bit.
+        let stat = svc().run_dynamic(&graphs, &workload, &[]).unwrap();
+        let classic = svc().run(&graphs, &workload).unwrap();
+        assert_eq!(stat.counters, classic.counters);
+
+        // Malformed schedules are rejected up front.
+        let bad_graph = vec![MutationEvent { at_cycle: 0, graph: 9, batch: MutationBatch::new() }];
+        assert!(svc().run_dynamic(&graphs, &workload, &bad_graph).is_err());
+        let bad_order = vec![
+            MutationEvent { at_cycle: 10, graph: 0, batch: MutationBatch::new() },
+            MutationEvent { at_cycle: 5, graph: 0, batch: MutationBatch::new() },
+        ];
+        assert!(svc().run_dynamic(&graphs, &workload, &bad_order).is_err());
     }
 
     #[test]

@@ -38,9 +38,19 @@
 //!   queue-wait cycles, active tenants, and byte-budgeted
 //!   partition-cache evictions. Event-like: outside both cycle
 //!   partitions.
+//! * **Delta** (`delta.*`) — the dynamic-graph mutation layer: epoch
+//!   admissions, the edge ledger (`delta.edges_inserted +
+//!   delta.edges_deleted == delta.edges_applied`; applied + redundant ==
+//!   requested), the partition-dirtiness ledger (`delta.partitions_dirty +
+//!   delta.partitions_clean == delta.partitions_total`), and the
+//!   incremental-recompute ledger (`delta.frontier_seeded +
+//!   delta.frontier_saved == delta.frontier_full`, counting source
+//!   vertices an incremental recompute seeded versus the full-frontier
+//!   size a from-scratch rerun would have touched). Event-like: outside
+//!   both cycle partitions.
 
 /// Number of distinct counters in the registry.
-pub const NUM_COUNTERS: usize = 57;
+pub const NUM_COUNTERS: usize = 69;
 
 /// Identifier of one observability counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -187,6 +197,44 @@ pub enum CounterId {
     ServeCacheEvictions,
     /// Resident bytes released by those evictions.
     ServeEvictedBytes,
+    /// Mutation epochs admitted by the delta layer (one per applied
+    /// [`MutationBatch`], empty batches included).
+    DeltaEpochs,
+    /// Edge mutations requested across all admitted batches (inserts +
+    /// deletes, effective or not).
+    DeltaEdgesRequested,
+    /// Edge mutations that changed the graph (the effective subset of
+    /// [`CounterId::DeltaEdgesRequested`]).
+    DeltaEdgesApplied,
+    /// Effective edge insertions (new (row, col) pairs materialized).
+    DeltaEdgesInserted,
+    /// Effective edge deletions (existing (row, col) pairs removed).
+    DeltaEdgesDeleted,
+    /// Redundant mutations dropped as no-ops: inserts duplicating an
+    /// existing edge and deletes of absent edges. Together with
+    /// [`CounterId::DeltaEdgesApplied`] this partitions
+    /// [`CounterId::DeltaEdgesRequested`] with zero remainder.
+    DeltaEdgesRedundant,
+    /// Row partitions in the serving plan at each epoch application
+    /// (dirty + clean by construction).
+    DeltaPartitionsTotal,
+    /// Partitions whose row range was touched by an effective mutation and
+    /// therefore re-planned (and dropped from the partition cache).
+    DeltaPartitionsDirty,
+    /// Partitions untouched by the epoch's mutations: they keep their plan
+    /// and stay cache-resident.
+    DeltaPartitionsClean,
+    /// Frontier size a from-scratch recompute would have seeded (the full
+    /// per-query restart cost the incremental path is measured against).
+    DeltaFrontierFull,
+    /// Frontier vertices the incremental recompute actually seeded
+    /// (affected boundary + insertion tails).
+    DeltaFrontierSeeded,
+    /// Frontier vertices the incremental recompute avoided seeding versus
+    /// a from-scratch rerun. Together with
+    /// [`CounterId::DeltaFrontierSeeded`] this partitions
+    /// [`CounterId::DeltaFrontierFull`] with zero remainder.
+    DeltaFrontierSaved,
 }
 
 impl CounterId {
@@ -249,7 +297,39 @@ impl CounterId {
         CounterId::TenantsActive,
         CounterId::ServeCacheEvictions,
         CounterId::ServeEvictedBytes,
+        CounterId::DeltaEpochs,
+        CounterId::DeltaEdgesRequested,
+        CounterId::DeltaEdgesApplied,
+        CounterId::DeltaEdgesInserted,
+        CounterId::DeltaEdgesDeleted,
+        CounterId::DeltaEdgesRedundant,
+        CounterId::DeltaPartitionsTotal,
+        CounterId::DeltaPartitionsDirty,
+        CounterId::DeltaPartitionsClean,
+        CounterId::DeltaFrontierFull,
+        CounterId::DeltaFrontierSeeded,
+        CounterId::DeltaFrontierSaved,
     ];
+
+    /// The effective-edge ledger (sums to
+    /// [`CounterId::DeltaEdgesApplied`]).
+    pub const DELTA_EDGES: [CounterId; 2] =
+        [CounterId::DeltaEdgesInserted, CounterId::DeltaEdgesDeleted];
+
+    /// The mutation-outcome ledger (sums to
+    /// [`CounterId::DeltaEdgesRequested`]).
+    pub const DELTA_OUTCOMES: [CounterId; 2] =
+        [CounterId::DeltaEdgesApplied, CounterId::DeltaEdgesRedundant];
+
+    /// The partition-dirtiness ledger (sums to
+    /// [`CounterId::DeltaPartitionsTotal`]).
+    pub const DELTA_PARTITIONS: [CounterId; 2] =
+        [CounterId::DeltaPartitionsDirty, CounterId::DeltaPartitionsClean];
+
+    /// The incremental-recompute frontier ledger (sums to
+    /// [`CounterId::DeltaFrontierFull`]).
+    pub const DELTA_FRONTIER: [CounterId; 2] =
+        [CounterId::DeltaFrontierSeeded, CounterId::DeltaFrontierSaved];
 
     /// The admission ledger (sums to [`CounterId::QueueArrivals`]).
     pub const QUEUE_ADMISSION: [CounterId; 2] =
@@ -357,6 +437,18 @@ impl CounterId {
             CounterId::TenantsActive => "tenant.active",
             CounterId::ServeCacheEvictions => "serve.cache_evictions",
             CounterId::ServeEvictedBytes => "serve.evicted_bytes",
+            CounterId::DeltaEpochs => "delta.epochs",
+            CounterId::DeltaEdgesRequested => "delta.edges_requested",
+            CounterId::DeltaEdgesApplied => "delta.edges_applied",
+            CounterId::DeltaEdgesInserted => "delta.edges_inserted",
+            CounterId::DeltaEdgesDeleted => "delta.edges_deleted",
+            CounterId::DeltaEdgesRedundant => "delta.edges_redundant",
+            CounterId::DeltaPartitionsTotal => "delta.partitions_total",
+            CounterId::DeltaPartitionsDirty => "delta.partitions_dirty",
+            CounterId::DeltaPartitionsClean => "delta.partitions_clean",
+            CounterId::DeltaFrontierFull => "delta.frontier_full",
+            CounterId::DeltaFrontierSeeded => "delta.frontier_seeded",
+            CounterId::DeltaFrontierSaved => "delta.frontier_saved",
         }
     }
 }

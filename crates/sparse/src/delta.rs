@@ -1,0 +1,535 @@
+//! Dynamic-graph delta substrate: edge insert/delete batches over COO.
+//!
+//! PIM-TC's dynamic-graph branch keeps its mutable graphs in COO exactly
+//! because batched updates are cheap there: applying a batch is one merge
+//! pass over the entry list, with no index rebuild. This module provides
+//! that substrate for the epoch-versioned serving layer in
+//! `alpha_pim::delta`:
+//!
+//! * [`MutationBatch`] — one epoch's worth of edge inserts and deletes;
+//! * [`apply_batch`] — merges a batch into a canonical (row-major sorted,
+//!   duplicate-free) adjacency, classifying every operation as *effective*
+//!   or *redundant* and reporting the rows it touched;
+//! * [`EpochPlan`] — a row-band partition plan that re-plans only the
+//!   bands a batch dirtied, leaving clean bands untouched;
+//! * [`seeded_batch`] — a deterministic pseudo-random batch generator for
+//!   fuzzing and benchmarks.
+//!
+//! Batches keep the vertex set fixed: mutations referencing vertices
+//! outside the adjacency's dimensions are rejected up front, before
+//! anything is applied.
+//!
+//! # Ordering contract
+//!
+//! All functions here require and preserve the *canonical* entry order —
+//! row-major sorted with no duplicate coordinates (see [`canonicalize`]).
+//! That makes [`crate::partition::structural_fingerprint`] path-independent:
+//! a graph reached by any sequence of batches fingerprints identically to
+//! the same edge set built from scratch.
+
+use std::ops::Range;
+
+use crate::coo::Coo;
+use crate::error::SparseError;
+use crate::gen::rng::SplitMix64;
+use crate::graph::endpoint_weight;
+use crate::partition::nnz_balanced_ranges;
+use crate::Result;
+
+/// One epoch's worth of edge mutations.
+///
+/// Deletes apply before inserts, so a `(delete (u,v), insert (u,v,w))`
+/// pair inside one batch is a reweighting: both operations are effective.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutationBatch {
+    /// Edges to add, as `(row, col, weight)` triples.
+    pub inserts: Vec<(u32, u32, u32)>,
+    /// Edges to remove, as `(row, col)` pairs.
+    pub deletes: Vec<(u32, u32)>,
+}
+
+impl MutationBatch {
+    /// An empty batch (a no-op epoch).
+    pub fn new() -> Self {
+        MutationBatch::default()
+    }
+
+    /// Total operations requested (inserts + deletes, effective or not).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Whether the batch requests nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// What one [`apply_batch`] call did, in ledger form:
+/// `inserted + deleted == applied` and `applied + redundant == requested`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Operations the batch requested.
+    pub requested: u64,
+    /// Effective insertions (a new coordinate materialized).
+    pub inserted: u64,
+    /// Effective deletions (an existing coordinate removed).
+    pub deleted: u64,
+    /// No-ops: duplicate inserts, deletes of absent edges, and repeated
+    /// operations on the same coordinate within the batch.
+    pub redundant: u64,
+    /// Rows holding at least one effective mutation, sorted and deduped.
+    pub touched_rows: Vec<u32>,
+    /// Columns holding at least one effective mutation, sorted and deduped.
+    pub touched_cols: Vec<u32>,
+    /// The insertions that landed, row-major sorted, as
+    /// `(row, col, weight)`. Incremental recomputation seeds its repair
+    /// frontier from these.
+    pub effective_inserts: Vec<(u32, u32, u32)>,
+    /// The deletions that landed, row-major sorted, carrying the weight
+    /// the edge had — the affected-set scan needs it to recognize which
+    /// old shortest paths the deletion may have severed.
+    pub effective_deletes: Vec<(u32, u32, u32)>,
+}
+
+impl DeltaStats {
+    /// Effective operations (`inserted + deleted`).
+    pub fn applied(&self) -> u64 {
+        self.inserted + self.deleted
+    }
+}
+
+/// Binary-searches canonical parallel `(rows, cols)` arrays for `(r, c)`.
+fn position(rows: &[u32], cols: &[u32], r: u32, c: u32) -> std::result::Result<usize, usize> {
+    let mut lo = 0usize;
+    let mut hi = rows.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if (rows[mid], cols[mid]) < (r, c) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo < rows.len() && rows[lo] == r && cols[lo] == c {
+        Ok(lo)
+    } else {
+        Err(lo)
+    }
+}
+
+/// Returns the row-major-sorted, duplicate-free canonical form of an
+/// adjacency matrix — the entry order every delta-layer function requires.
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidArgument`] if the matrix stores the same
+/// coordinate twice: a multi-edge has no well-defined delete semantics.
+pub fn canonicalize(adj: &Coo<u32>) -> Result<Coo<u32>> {
+    let mut sorted = adj.clone();
+    sorted.sort_row_major();
+    let (rows, cols) = (sorted.rows(), sorted.cols());
+    for i in 1..rows.len() {
+        if rows[i] == rows[i - 1] && cols[i] == cols[i - 1] {
+            return Err(SparseError::InvalidArgument(format!(
+                "duplicate entry ({}, {}): multi-edges cannot take mutation batches",
+                rows[i], cols[i]
+            )));
+        }
+    }
+    Ok(sorted)
+}
+
+/// Applies one mutation batch to a canonical adjacency, returning the
+/// mutated (still canonical) adjacency and the ledger of what happened.
+///
+/// Within the batch, deletes apply first, then inserts; repeated
+/// operations on the same coordinate count once (the first occurrence
+/// wins, the rest are redundant). An insert whose coordinate already
+/// exists — and survives the batch's deletes — is a redundant no-op, as is
+/// a delete of an absent coordinate. An empty batch returns a bit-identical
+/// copy of the input.
+///
+/// # Errors
+///
+/// Returns [`SparseError::IndexOutOfBounds`] if any operation references a
+/// vertex outside the adjacency's dimensions; nothing is applied.
+pub fn apply_batch(adj: &Coo<u32>, batch: &MutationBatch) -> Result<(Coo<u32>, DeltaStats)> {
+    let (n_rows, n_cols) = (adj.n_rows(), adj.n_cols());
+    for &(r, c) in &batch.deletes {
+        if r >= n_rows || c >= n_cols {
+            return Err(SparseError::IndexOutOfBounds { row: r, col: c, n_rows, n_cols });
+        }
+    }
+    for &(r, c, _) in &batch.inserts {
+        if r >= n_rows || c >= n_cols {
+            return Err(SparseError::IndexOutOfBounds { row: r, col: c, n_rows, n_cols });
+        }
+    }
+
+    let rows = adj.rows();
+    let cols = adj.cols();
+    let mut stats = DeltaStats { requested: batch.len() as u64, ..DeltaStats::default() };
+    let mut touched: Vec<(u32, u32)> = Vec::new();
+
+    // Deletes first: mark the doomed entry indices, dropping duplicates
+    // and absent coordinates as redundant.
+    let mut doomed = vec![false; adj.nnz()];
+    for &(r, c) in &batch.deletes {
+        match position(rows, cols, r, c) {
+            Ok(i) if !doomed[i] => {
+                doomed[i] = true;
+                stats.deleted += 1;
+                stats.effective_deletes.push((r, c, adj.vals()[i]));
+                touched.push((r, c));
+            }
+            _ => stats.redundant += 1,
+        }
+    }
+    stats.effective_deletes.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+    // Then inserts: effective when the coordinate is absent from the
+    // post-delete edge set and not already claimed by an earlier insert.
+    let mut additions: Vec<(u32, u32, u32)> = Vec::new();
+    for &(r, c, w) in &batch.inserts {
+        let exists = match position(rows, cols, r, c) {
+            Ok(i) => !doomed[i],
+            Err(_) => false,
+        };
+        if exists || additions.iter().any(|&(ar, ac, _)| (ar, ac) == (r, c)) {
+            stats.redundant += 1;
+        } else {
+            additions.push((r, c, w));
+            stats.inserted += 1;
+            touched.push((r, c));
+        }
+    }
+    additions.sort_by_key(|&(r, c, _)| (r, c));
+    stats.effective_inserts = additions.clone();
+
+    stats.touched_rows = touched.iter().map(|&(r, _)| r).collect();
+    stats.touched_rows.sort_unstable();
+    stats.touched_rows.dedup();
+    stats.touched_cols = touched.iter().map(|&(_, c)| c).collect();
+    stats.touched_cols.sort_unstable();
+    stats.touched_cols.dedup();
+
+    // One merge pass: survivors and additions are both row-major sorted,
+    // so the output is canonical by construction.
+    let out_len = adj.nnz() - stats.deleted as usize + additions.len();
+    let mut out_rows = Vec::with_capacity(out_len);
+    let mut out_cols = Vec::with_capacity(out_len);
+    let mut out_vals = Vec::with_capacity(out_len);
+    let vals = adj.vals();
+    let mut a = additions.iter().peekable();
+    for i in 0..adj.nnz() {
+        if doomed[i] {
+            continue;
+        }
+        while let Some(&&(r, c, w)) = a.peek() {
+            if (r, c) < (rows[i], cols[i]) {
+                out_rows.push(r);
+                out_cols.push(c);
+                out_vals.push(w);
+                a.next();
+            } else {
+                break;
+            }
+        }
+        out_rows.push(rows[i]);
+        out_cols.push(cols[i]);
+        out_vals.push(vals[i]);
+    }
+    for &(r, c, w) in a {
+        out_rows.push(r);
+        out_cols.push(c);
+        out_vals.push(w);
+    }
+    let out = Coo::from_parts(n_rows, n_cols, out_rows, out_cols, out_vals)?;
+    Ok((out, stats))
+}
+
+/// A row-band partition plan that survives mutations: bands untouched by
+/// an epoch keep their cached summary, only dirty bands are re-planned.
+///
+/// The band boundaries are fixed at construction (nnz-balanced over the
+/// initial adjacency); [`EpochPlan::replan`] refreshes the per-band entry
+/// counts of exactly the bands holding a touched row and reports the
+/// dirty/clean split. This mirrors SparseP's observation that a delta
+/// confined to a few row bands should not force a full re-partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochPlan {
+    ranges: Vec<Range<u32>>,
+    band_nnz: Vec<u64>,
+}
+
+impl EpochPlan {
+    /// Plans `parts` nnz-balanced row bands over a canonical adjacency.
+    pub fn new(adj: &Coo<u32>, parts: u32) -> EpochPlan {
+        let parts = parts.max(1);
+        let ranges = nnz_balanced_ranges(&adj.row_counts(), parts);
+        let band_nnz = ranges.iter().map(|r| count_in_band(adj, r)).collect();
+        EpochPlan { ranges, band_nnz }
+    }
+
+    /// Number of bands in the plan.
+    pub fn parts(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The fixed band boundaries.
+    pub fn ranges(&self) -> &[Range<u32>] {
+        &self.ranges
+    }
+
+    /// Per-band entry counts as of the last (re-)plan.
+    pub fn band_nnz(&self) -> &[u64] {
+        &self.band_nnz
+    }
+
+    /// Refreshes the bands holding any of `touched_rows` (sorted) against
+    /// the mutated adjacency; clean bands keep their cached counts.
+    /// Returns `(dirty, clean)` band counts — summing to
+    /// [`EpochPlan::parts`] by construction.
+    pub fn replan(&mut self, adj: &Coo<u32>, touched_rows: &[u32]) -> (u64, u64) {
+        let mut dirty = 0u64;
+        for (range, nnz) in self.ranges.iter().zip(&mut self.band_nnz) {
+            let hit = touched_rows
+                .binary_search(&range.start)
+                .map_or_else(|i| touched_rows.get(i).is_some_and(|&r| r < range.end), |_| true);
+            if hit && range.start < range.end {
+                *nnz = count_in_band(adj, range);
+                dirty += 1;
+            }
+        }
+        (dirty, self.parts() as u64 - dirty)
+    }
+}
+
+/// Entries of a canonical adjacency whose row falls in `band`, by binary
+/// search over the sorted row array.
+fn count_in_band(adj: &Coo<u32>, band: &Range<u32>) -> u64 {
+    let rows = adj.rows();
+    let lo = rows.partition_point(|&r| r < band.start);
+    let hi = rows.partition_point(|&r| r < band.end);
+    (hi - lo) as u64
+}
+
+/// Generates a deterministic pseudo-random mutation batch against an
+/// adjacency: `ops` operations, roughly half deletes of existing entries
+/// and half inserts of fresh endpoint pairs (self-loops excluded), with
+/// insert weights drawn from the same endpoint hash as
+/// [`crate::graph::Graph::with_random_weights`] so weighted graphs stay
+/// consistent with their unweighted structure.
+///
+/// Duplicates across draws are allowed — they exercise the redundant-op
+/// path in [`apply_batch`].
+pub fn seeded_batch(adj: &Coo<u32>, seed: u64, ops: usize, max_weight: u32) -> MutationBatch {
+    let mut rng = SplitMix64::new(seed);
+    let mut batch = MutationBatch::new();
+    let n = adj.n_rows().min(adj.n_cols());
+    for _ in 0..ops {
+        let delete = adj.nnz() > 0 && rng.next_u64() & 1 == 0;
+        if delete {
+            let i = rng.usize_below(adj.nnz());
+            batch.deletes.push((adj.rows()[i], adj.cols()[i]));
+        } else if n >= 2 {
+            let r = rng.u32_below(n);
+            let mut c = rng.u32_below(n - 1);
+            if c >= r {
+                c += 1;
+            }
+            batch.inserts.push((r, c, endpoint_weight(r, c, max_weight)));
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::partition::structural_fingerprint;
+
+    fn canonical_sample() -> Coo<u32> {
+        canonicalize(
+            &Coo::from_entries(
+                4,
+                4,
+                vec![(0, 1, 5u32), (2, 3, 7), (1, 0, 2), (3, 2, 9), (0, 3, 4)],
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_rejects_duplicates() {
+        let c = canonical_sample();
+        let triples: Vec<_> = c.iter().collect();
+        let mut sorted = triples.clone();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(triples, sorted);
+
+        let dup = Coo::from_entries(2, 2, vec![(0, 1, 1u32), (0, 1, 2)]).unwrap();
+        assert!(matches!(canonicalize(&dup), Err(SparseError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn empty_batch_is_a_bit_identical_no_op() {
+        let c = canonical_sample();
+        let (out, stats) = apply_batch(&c, &MutationBatch::new()).unwrap();
+        assert_eq!(out, c);
+        assert_eq!(stats, DeltaStats::default());
+        assert_eq!(
+            structural_fingerprint(&out, u64::from),
+            structural_fingerprint(&c, u64::from),
+        );
+    }
+
+    #[test]
+    fn inserts_and_deletes_apply_with_a_balanced_ledger() {
+        let c = canonical_sample();
+        let batch = MutationBatch {
+            inserts: vec![(1, 2, 6), (3, 0, 1)],
+            deletes: vec![(0, 1), (2, 3)],
+        };
+        let (out, stats) = apply_batch(&c, &batch).unwrap();
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(stats.deleted, 2);
+        assert_eq!(stats.redundant, 0);
+        assert_eq!(stats.applied() + stats.redundant, stats.requested);
+        assert_eq!(out.nnz(), c.nnz());
+        assert!(position(out.rows(), out.cols(), 1, 2).is_ok());
+        assert!(position(out.rows(), out.cols(), 0, 1).is_err());
+        assert_eq!(stats.touched_rows, vec![0, 1, 2, 3]);
+        assert_eq!(stats.touched_cols, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn redundant_operations_are_counted_not_applied() {
+        let c = canonical_sample();
+        let batch = MutationBatch {
+            // (0, 1) exists; (2, 2) doesn't. Duplicate insert of (1, 2).
+            inserts: vec![(0, 1, 9), (1, 2, 6), (1, 2, 8)],
+            deletes: vec![(2, 2), (1, 0), (1, 0)],
+        };
+        let (out, stats) = apply_batch(&c, &batch).unwrap();
+        assert_eq!(stats.inserted, 1, "only the first (1,2) insert lands");
+        assert_eq!(stats.deleted, 1, "only the first (1,0) delete lands");
+        assert_eq!(stats.redundant, 4);
+        assert_eq!(stats.applied() + stats.redundant, stats.requested);
+        let idx = position(out.rows(), out.cols(), 1, 2).expect("inserted");
+        assert_eq!(out.vals()[idx], 6, "the first duplicate's weight wins");
+    }
+
+    #[test]
+    fn delete_then_reinsert_reweights_in_one_batch() {
+        let c = canonical_sample();
+        let batch = MutationBatch { inserts: vec![(0, 1, 42)], deletes: vec![(0, 1)] };
+        let (out, stats) = apply_batch(&c, &batch).unwrap();
+        assert_eq!((stats.inserted, stats.deleted, stats.redundant), (1, 1, 0));
+        assert_eq!(stats.effective_deletes, vec![(0, 1, 5)], "old weight rides along");
+        assert_eq!(stats.effective_inserts, vec![(0, 1, 42)]);
+        let idx = position(out.rows(), out.cols(), 0, 1).expect("reinserted");
+        assert_eq!(out.vals()[idx], 42);
+        assert_eq!(out.nnz(), c.nnz());
+    }
+
+    #[test]
+    fn out_of_bounds_mutations_are_rejected_before_applying() {
+        let c = canonical_sample();
+        let bad_insert =
+            MutationBatch { inserts: vec![(4, 0, 1)], ..MutationBatch::default() };
+        assert!(matches!(
+            apply_batch(&c, &bad_insert),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+        let bad_delete = MutationBatch { deletes: vec![(0, 9)], ..MutationBatch::default() };
+        assert!(matches!(
+            apply_batch(&c, &bad_delete),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn batched_path_fingerprints_like_from_scratch() {
+        let base = canonicalize(&gen::erdos_renyi(200, 1_500, 77).unwrap()).unwrap();
+        let mut current = base.clone();
+        let mut edges: std::collections::BTreeMap<(u32, u32), u32> =
+            base.iter().map(|(r, c, v)| ((r, c), v)).collect();
+        for round in 0..5u64 {
+            let batch = seeded_batch(&current, 0xD311A ^ round, 40, 9);
+            let (next, _) = apply_batch(&current, &batch).unwrap();
+            // From-scratch referee: replay the batch on a plain map.
+            for &(r, c) in &batch.deletes {
+                edges.remove(&(r, c));
+            }
+            for &(r, c, w) in &batch.inserts {
+                edges.entry((r, c)).or_insert(w);
+            }
+            let rebuilt = Coo::from_entries(
+                base.n_rows(),
+                base.n_cols(),
+                edges.iter().map(|(&(r, c), &w)| (r, c, w)),
+            )
+            .unwrap();
+            assert_eq!(
+                structural_fingerprint(&next, u64::from),
+                structural_fingerprint(&rebuilt, u64::from),
+                "round {round}: incremental and from-scratch graphs diverged",
+            );
+            current = next;
+        }
+    }
+
+    #[test]
+    fn epoch_plan_replans_only_dirty_bands() {
+        let base = canonicalize(&gen::erdos_renyi(300, 2_000, 13).unwrap()).unwrap();
+        let mut plan = EpochPlan::new(&base, 8);
+        assert_eq!(plan.parts(), 8);
+        let total: u64 = plan.band_nnz().iter().sum();
+        assert_eq!(total, base.nnz() as u64);
+
+        let batch = seeded_batch(&base, 0xBEEF, 30, 9);
+        let (mutated, stats) = apply_batch(&base, &batch).unwrap();
+        let stale = plan.clone();
+        let (dirty, clean) = plan.replan(&mutated, &stats.touched_rows);
+        assert_eq!(dirty + clean, plan.parts() as u64);
+        assert!(dirty > 0, "30 random ops must dirty something");
+
+        // Dirty bands now match a from-scratch recount; clean bands kept
+        // their cached values AND those values are still exact (nothing in
+        // a clean band changed).
+        for (i, range) in plan.ranges().iter().enumerate() {
+            let hit = stats.touched_rows.iter().any(|&r| range.contains(&r));
+            if !hit {
+                assert_eq!(plan.band_nnz()[i], stale.band_nnz()[i], "band {i} was re-planned");
+            }
+            assert_eq!(
+                plan.band_nnz()[i],
+                count_in_band(&mutated, range),
+                "band {i} count is stale",
+            );
+        }
+        assert_eq!(plan.ranges(), stale.ranges(), "band boundaries are fixed by the plan");
+        let replanned_total: u64 = plan.band_nnz().iter().sum();
+        assert_eq!(replanned_total, mutated.nnz() as u64);
+    }
+
+    #[test]
+    fn seeded_batches_are_deterministic_and_in_bounds() {
+        let base = canonical_sample();
+        let a = seeded_batch(&base, 42, 16, 9);
+        let b = seeded_batch(&base, 42, 16, 9);
+        assert_eq!(a, b);
+        let c = seeded_batch(&base, 43, 16, 9);
+        assert_ne!(a, c, "different seeds, different batches");
+        assert!(apply_batch(&base, &a).is_ok(), "generated ops stay in bounds");
+        for &(r, col, w) in &a.inserts {
+            assert!(r < 4 && col < 4 && r != col);
+            assert!((1..=9).contains(&w));
+            assert_eq!(w, endpoint_weight(r, col, 9));
+        }
+    }
+}

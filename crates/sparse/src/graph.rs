@@ -146,18 +146,26 @@ impl Graph {
     }
 }
 
+/// The deterministic per-edge weight in `[1, max_weight]` that
+/// [`Graph::with_random_weights`] assigns to edge `(row, col)` — a
+/// SplitMix64 finalizer over the packed endpoints. Exposed so the delta
+/// layer can weight inserted edges consistently: a mutated weighted graph
+/// stays bit-identical to re-weighting its mutated structure from scratch.
+pub fn endpoint_weight(row: u32, col: u32, max_weight: u32) -> u32 {
+    debug_assert!(max_weight >= 1, "max_weight must be at least 1");
+    let mut z = ((row as u64) << 32 | col as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    1 + (z % max_weight as u64) as u32
+}
+
 impl Coo<u32> {
-    /// Deterministic per-edge weight in `[1, max_weight]` derived by hashing
-    /// the endpoints (SplitMix64 finalizer).
+    /// Deterministic per-edge weight via [`endpoint_weight`].
     fn map_indexed(&self, max_weight: u32) -> Coo<u32> {
         let mut out = Coo::new(self.n_rows(), self.n_cols());
         for (r, c, _) in self.iter() {
-            let mut z = ((r as u64) << 32 | c as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^= z >> 31;
-            let w = 1 + (z % max_weight as u64) as u32;
-            out.push(r, c, w).expect("same coordinates as source");
+            out.push(r, c, endpoint_weight(r, c, max_weight)).expect("same coordinates as source");
         }
         out
     }

@@ -33,6 +33,7 @@ pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod error;
 pub mod gen;
 pub mod graph;
@@ -45,6 +46,7 @@ pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
 pub use datasets::{DatasetSpec, GraphClass};
+pub use delta::{DeltaStats, EpochPlan, MutationBatch};
 pub use error::SparseError;
 pub use graph::{Graph, GraphStats};
 pub use partition::{ColPartition, GridPartition, RowPartition, Tile};

@@ -53,6 +53,8 @@ panic_lint crates/sparse/src/datasets.rs
 panic_lint crates/core/src/serve.rs
 panic_lint crates/core/src/recover.rs
 panic_lint crates/core/src/service.rs
+panic_lint crates/sparse/src/delta.rs
+panic_lint crates/core/src/delta.rs
 echo "panic-free lint ok"
 
 echo "==> calibration audit (analytic fast path vs exact replay, 13 graphs x 3 apps)"
@@ -102,6 +104,21 @@ rm -f BENCH_crash_recovery_base.json
 echo "crash recovery smoke ok: resumed == uninterrupted ($FP_RESUMED)"
 echo "==> BENCH_crash_recovery.json:"
 cat BENCH_crash_recovery.json
+
+echo "==> mutation audit (incremental vs rebuild differential gate, all catalog graphs)"
+# Seeded insert/delete batches on every catalog graph; incremental BFS/SSSP/PPR
+# must be bit-identical to a from-scratch rebuild at every epoch, at 1 and 4
+# threads, with the delta.* ledgers balancing to zero remainder.
+cargo test -q --offline --release -p alpha-pim-bench --test mutation_fuzz
+
+echo "==> mutate smoke (4 structural epochs, per-epoch rebuild referee)"
+# The CLI gate itself exits non-zero on any epoch whose incremental results
+# diverge from the fresh-engine referee or whose ledgers don't balance.
+cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
+    mutate A302 --scale 0.02 --dpus 64 --queries 12 --epochs 4 --ops 48 \
+    --json BENCH_dynamic_serve.json
+echo "==> BENCH_dynamic_serve.json summary:"
+grep -o '"saved_fraction": [0-9.]*\|"differential_match": [a-z]*\|"ledgers_balanced": [a-z]*' BENCH_dynamic_serve.json
 
 echo "==> service load smoke (100k-query open-loop trace, 3 tenants x 3 graphs, analytic path)"
 # Sustained overload through the multi-tenant front-end: weighted-fair

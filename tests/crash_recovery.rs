@@ -467,6 +467,108 @@ fn service_sustained_load_survives_host_crash_mid_run() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Dynamic-graph chaos: the same sustained load under the fault storm, but
+/// with seeded mutation batches landing on the model clock — one before
+/// the first dispatch, one mid-run — and the host killed inside a batch
+/// PAST a mutation-epoch boundary. The resumed process replays the drive
+/// loop from the top: pre-crash batches re-execute, the graphs re-mutate
+/// through the same epochs, the crashed batch restores from its snapshot
+/// against the *mutated* graph's fingerprint (the checkpoint world-check),
+/// and the final report reproduces the uninterrupted run exactly —
+/// `delta.*` ledgers included.
+#[test]
+fn dynamic_service_survives_host_crash_across_epoch_boundary() {
+    use alpha_pim::service::MutationEvent;
+    use alpha_pim_sparse::delta::seeded_batch;
+
+    set_sim_threads(1);
+    let dir = std::env::temp_dir().join(format!("alpha_pim_ckpt_{}_dynamic", std::process::id()));
+    let graphs: Vec<Graph> = catalog_graphs().into_iter().map(|(_, g)| g).collect();
+    let nodes: Vec<u32> = graphs.iter().map(|g| g.nodes()).collect();
+    let eng = engine(Some(storm()));
+    let workload = seeded_workload(0xC4A0_0002, 5_000, 18, 3, &nodes, [2, 2, 1]);
+    let mutations = vec![
+        // Lands before the first dispatch: every batch serves epoch 1.
+        MutationEvent {
+            at_cycle: 1,
+            graph: 0,
+            batch: seeded_batch(graphs[0].adjacency(), 0xD711, 24, 9),
+        },
+        // Lands mid-run, before the batch the crash kills.
+        MutationEvent {
+            at_cycle: workload[6].at_cycle,
+            graph: 1,
+            batch: seeded_batch(graphs[1].adjacency(), 0xD712, 24, 9),
+        },
+    ];
+    let service_config = || ServiceConfig {
+        tenants: vec![
+            TenantSpec { weight: 4, ..Default::default() },
+            TenantSpec { weight: 2, ..Default::default() },
+            TenantSpec { weight: 1, ..Default::default() },
+        ],
+        serve: ServeConfig { batch_size: 4, ..config(CheckpointPolicy::EveryN(1)) },
+        ..Default::default()
+    };
+
+    // The uninterrupted twin.
+    let base = ServiceEngine::new(&eng, service_config())
+        .run_dynamic(&graphs, &workload, &mutations)
+        .expect("uninterrupted dynamic run completes");
+    assert!(base.batches >= 4, "chaos needs a mid-run batch to kill");
+    assert_eq!(base.counters.get(CounterId::DeltaEpochs), 2, "both epochs must land");
+    assert_eq!(base.served(), 18, "the storm is survivable: nothing sheds");
+
+    // Kill batch 3 at its first superstep boundary — by then at least one
+    // mutation epoch is behind us, so the resume crosses the boundary.
+    let store = CheckpointStore::open(&dir).expect("store opens");
+    let outcome = ServiceEngine::new(&eng, service_config())
+        .run_dynamic_resilient(
+            &graphs,
+            &workload,
+            &mutations,
+            Some((3, HostCrashPlan::at(1))),
+            Some(&store),
+        )
+        .expect("crashing run returns its checkpoint");
+    let ServiceOutcome::Crashed { batch_tag, checkpoint } = outcome else {
+        panic!("the planned host crash did not fire");
+    };
+    assert_eq!(batch_tag, 3, "the crash must land in the tagged batch");
+    drop(store);
+
+    // A restarted process resumes from disk; the crashed batch's snapshot
+    // world-check must accept the re-mutated graph's fingerprint.
+    let reopened = CheckpointStore::open(&dir).expect("store reopens");
+    let loaded = reopened.load().expect("load succeeds").expect("checkpoint present");
+    assert_eq!(loaded.snapshot, checkpoint.snapshot, "snapshot survives the process boundary");
+    let resumed = ServiceEngine::new(&eng, service_config())
+        .resume_dynamic(&graphs, &workload, &mutations, &loaded, Some(&reopened))
+        .expect("resumed dynamic run completes");
+    let ServiceOutcome::Completed(resumed) = resumed else {
+        panic!("the resumed run crashed again without a plan");
+    };
+
+    assert_eq!(
+        resumed.result_fingerprint, base.result_fingerprint,
+        "resumed results diverged from the uninterrupted run"
+    );
+    assert_eq!(resumed.dispatch_order, base.dispatch_order, "scheduling decisions diverged");
+    assert_eq!(resumed.latencies_cycles, base.latencies_cycles, "latencies diverged");
+    assert_eq!(resumed.makespan_cycles, base.makespan_cycles, "the model clock diverged");
+    assert_eq!(
+        service_modulo_ckpt(&resumed),
+        service_modulo_ckpt(&base),
+        "reports diverged beyond recovery accounting — delta ledgers included"
+    );
+    assert_eq!(
+        RecoverySummary::from_counters(&resumed.counters).restores,
+        1,
+        "exactly one restore must be counted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Negative space: version skew, checksum corruption, truncation, a torn
 /// journal tail, and a wrong-world resume. Corrupt state is rejected with
 /// typed errors before anything is deserialized; a torn tail is tolerated.

@@ -4,11 +4,10 @@
 //! walk shows up here as a diff against the frozen fingerprint — update
 //! the constants only when the model change is intentional.
 //!
-//! Last regeneration: `KernelAccumulator::finish` now reports the exact
-//! DES maximum when every DPU is detailed instead of letting the
-//! sampled-fidelity estimate heuristic override it, so the four goldens
-//! whose estimate exceeded the true maximum (SpMV/SpMM, clean and
-//! faulty) dropped to the replayed value; every counter is unchanged.
+//! Last regeneration: the counter registry grew the twelve `delta.*`
+//! dynamic-graph ledgers, which static kernel runs never touch — every
+//! golden gained the same block of `delta.*=0` lines and nothing else
+//! moved.
 
 use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
@@ -250,7 +249,19 @@ queue.shed_deadline=0
 queue.wait_cycles=0
 tenant.active=0
 serve.cache_evictions=0
-serve.evicted_bytes=0";
+serve.evicted_bytes=0
+delta.epochs=0
+delta.edges_requested=0
+delta.edges_applied=0
+delta.edges_inserted=0
+delta.edges_deleted=0
+delta.edges_redundant=0
+delta.partitions_total=0
+delta.partitions_dirty=0
+delta.partitions_clean=0
+delta.frontier_full=0
+delta.frontier_seeded=0
+delta.frontier_saved=0";
 
 const SPMSPV_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=20107 instr=77984
@@ -312,7 +323,19 @@ queue.shed_deadline=0
 queue.wait_cycles=0
 tenant.active=0
 serve.cache_evictions=0
-serve.evicted_bytes=0";
+serve.evicted_bytes=0
+delta.epochs=0
+delta.edges_requested=0
+delta.edges_applied=0
+delta.edges_inserted=0
+delta.edges_deleted=0
+delta.edges_redundant=0
+delta.partitions_total=0
+delta.partitions_dirty=0
+delta.partitions_clean=0
+delta.frontier_full=0
+delta.frontier_seeded=0
+delta.frontier_saved=0";
 
 const SPMM_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=67835 instr=762288
@@ -374,7 +397,19 @@ queue.shed_deadline=0
 queue.wait_cycles=0
 tenant.active=0
 serve.cache_evictions=0
-serve.evicted_bytes=0";
+serve.evicted_bytes=0
+delta.epochs=0
+delta.edges_requested=0
+delta.edges_applied=0
+delta.edges_inserted=0
+delta.edges_deleted=0
+delta.edges_redundant=0
+delta.partitions_total=0
+delta.partitions_dirty=0
+delta.partitions_clean=0
+delta.frontier_full=0
+delta.frontier_seeded=0
+delta.frontier_saved=0";
 
 const SPMV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -437,7 +472,19 @@ queue.shed_deadline=0
 queue.wait_cycles=0
 tenant.active=0
 serve.cache_evictions=0
-serve.evicted_bytes=0";
+serve.evicted_bytes=0
+delta.epochs=0
+delta.edges_requested=0
+delta.edges_applied=0
+delta.edges_inserted=0
+delta.edges_deleted=0
+delta.edges_redundant=0
+delta.partitions_total=0
+delta.partitions_dirty=0
+delta.partitions_clean=0
+delta.frontier_full=0
+delta.frontier_seeded=0
+delta.frontier_saved=0";
 
 const SPMSPV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -500,7 +547,19 @@ queue.shed_deadline=0
 queue.wait_cycles=0
 tenant.active=0
 serve.cache_evictions=0
-serve.evicted_bytes=0";
+serve.evicted_bytes=0
+delta.epochs=0
+delta.edges_requested=0
+delta.edges_applied=0
+delta.edges_inserted=0
+delta.edges_deleted=0
+delta.edges_redundant=0
+delta.partitions_total=0
+delta.partitions_dirty=0
+delta.partitions_clean=0
+delta.frontier_full=0
+delta.frontier_seeded=0
+delta.frontier_saved=0";
 
 const SPMM_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -563,4 +622,16 @@ queue.shed_deadline=0
 queue.wait_cycles=0
 tenant.active=0
 serve.cache_evictions=0
-serve.evicted_bytes=0";
+serve.evicted_bytes=0
+delta.epochs=0
+delta.edges_requested=0
+delta.edges_applied=0
+delta.edges_inserted=0
+delta.edges_deleted=0
+delta.edges_redundant=0
+delta.partitions_total=0
+delta.partitions_dirty=0
+delta.partitions_clean=0
+delta.frontier_full=0
+delta.frontier_seeded=0
+delta.frontier_saved=0";

@@ -337,3 +337,86 @@ fn cache_byte_budget_evicts_deterministically_with_balanced_accounting() {
     assert_eq!(tiny.cache_evictions(), 1);
     assert_eq!(tiny.cache_evicted_bytes(), bytes_a);
 }
+
+/// Epoch invalidation accounting: across several mutation epochs, each
+/// stale epoch's prepared kernels leave the cache exactly once (an
+/// all-redundant epoch evicts nothing), `cache_resident_bytes` never
+/// double-counts, and invalidating a fingerprint twice is a no-op — byte
+/// conservation (`inserted == resident + evicted`) holds throughout.
+#[test]
+fn epoch_invalidation_evicts_stale_kernels_exactly_once() {
+    use alpha_pim::DeltaEngine;
+    use alpha_pim_sparse::delta::seeded_batch;
+    use alpha_pim_sparse::partition::structural_fingerprint;
+    use alpha_pim_sparse::MutationBatch;
+
+    let eng = engine(None);
+    let graph = table2_graph();
+    let trace = vec![Query::Bfs { source: 3 }, Query::Sssp { source: 5 }];
+    let mut delta =
+        DeltaEngine::new(&eng, ServeConfig::default(), &graph, 16).expect("canonical graph");
+
+    // Epoch 0: populate the cache and record its footprint.
+    delta.serve(&trace).expect("initial serve");
+    let entries0 = delta.serve_engine().cache_len() as u64;
+    let resident0 = delta.serve_engine().cache_resident_bytes();
+    assert!(entries0 > 0 && resident0 > 0, "the first serve must cache kernels");
+    let mut inserted_total = resident0;
+
+    // Three structural epochs: each must evict the previous epoch's
+    // kernels exactly once and leave the cache empty until the next serve.
+    let mut evictions = 0u64;
+    let mut evicted_bytes = 0u64;
+    for epoch in 1..=3u64 {
+        let before_entries = delta.serve_engine().cache_len() as u64;
+        let before_bytes = delta.serve_engine().cache_resident_bytes();
+        let batch = seeded_batch(delta.graph().adjacency(), 0xE7_0C00 + epoch, 32, 9);
+        let report = delta.mutate(&batch).expect("in-bounds batch");
+        assert_ne!(
+            report.fingerprint, report.previous_fingerprint,
+            "a 32-op seeded batch must change the structure",
+        );
+        evictions += before_entries;
+        evicted_bytes += before_bytes;
+        assert_eq!(delta.serve_engine().cache_len(), 0, "epoch {epoch}: stale kernels linger");
+        assert_eq!(delta.serve_engine().cache_resident_bytes(), 0);
+        assert_eq!(delta.serve_engine().cache_evictions(), evictions);
+        assert_eq!(delta.serve_engine().cache_evicted_bytes(), evicted_bytes);
+
+        delta.serve(&trace).expect("post-epoch serve");
+        inserted_total += delta.serve_engine().cache_resident_bytes();
+        // Conservation after every epoch: every byte ever prepared is
+        // either resident right now or was evicted exactly once.
+        assert_eq!(
+            delta.serve_engine().cache_resident_bytes()
+                + delta.serve_engine().cache_evicted_bytes(),
+            inserted_total,
+            "epoch {epoch}: resident/evicted bytes double-count",
+        );
+    }
+
+    // An all-redundant epoch keeps the fingerprint, so nothing is evicted.
+    let mut noop = MutationBatch::new();
+    let (r0, c0) = (delta.graph().adjacency().rows()[0], delta.graph().adjacency().cols()[0]);
+    noop.inserts.push((r0, c0, 1));
+    let entries_before = delta.serve_engine().cache_len();
+    let report = delta.mutate(&noop).expect("redundant batch");
+    assert_eq!(report.fingerprint, report.previous_fingerprint);
+    assert_eq!(delta.serve_engine().cache_len(), entries_before, "no-op epoch must not evict");
+    assert_eq!(delta.serve_engine().cache_evictions(), evictions);
+
+    // Direct double-invalidation is idempotent: the second sweep of the
+    // same fingerprint finds nothing and moves no counters.
+    let mut serve = ServeEngine::new(&eng, ServeConfig::default());
+    serve.run_batch(&graph, &trace).expect("plain serve");
+    let fp = structural_fingerprint(graph.adjacency(), u64::from);
+    let before = serve.cache_resident_bytes();
+    let (e1, b1) = serve.invalidate_graph(fp);
+    assert_eq!(b1, before, "the first sweep evicts the whole epoch");
+    assert!(e1 > 0);
+    let (e2, b2) = serve.invalidate_graph(fp);
+    assert_eq!((e2, b2), (0, 0), "the second sweep must find nothing");
+    assert_eq!(serve.cache_resident_bytes(), 0);
+    assert_eq!(serve.cache_evictions(), e1);
+    assert_eq!(serve.cache_evicted_bytes(), b1);
+}
