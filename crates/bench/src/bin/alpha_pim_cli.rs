@@ -9,6 +9,7 @@
 //! alpha_pim_cli serve-load <g1,g2,..> [options]  multi-tenant sustained-load service
 //! alpha_pim_cli calibrate <all|graph> [options]  analytic fast path vs replay audit
 //! alpha_pim_cli mutate <graph> [options]     dynamic-graph epochs, incremental vs scratch
+//! alpha_pim_cli sdc <all|graph> [options]    silent-corruption audit of the ABFT merge guard
 //!
 //! <graph>     path to a .mtx file, or a catalog abbreviation (e.g. A302)
 //! --source N      source vertex (default 0)
@@ -20,7 +21,8 @@
 //! --kernel K      top only: spmv | spmspv (default spmv)
 //! --density F     top only: input-vector density (default 0.1)
 //! --limit N       top only: rows in the per-DPU table (default 10)
-//! --fault-seed N  chaos only: seed of the fault draws (default 0xC4A05)
+//! --fault-seed N  chaos/sdc only: seed of the fault draws (default 0xC4A05)
+//! --flip-rate F   sdc only: per-DPU silent-corruption probability (default 0.05)
 //! --queries N     serve only: queries in the seeded trace (default 64)
 //! --batch N       serve only: queries per batch (default 16)
 //! --trace-seed N  serve only: seed of the query trace (default 0x5EED)
@@ -50,7 +52,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use alpha_pim::apps::{AppOptions, KernelPolicy, PprOptions};
+use alpha_pim::apps::{AppOptions, AppReport, KernelPolicy, PprOptions};
 use alpha_pim::semiring::{BoolOrAnd, Semiring};
 use alpha_pim::calibrate::{self, CalApp};
 use alpha_pim::serve::{
@@ -66,6 +68,8 @@ use alpha_pim::{
 };
 use alpha_pim_bench::harness::striped_vector;
 use alpha_pim_sim::host::detect_faults;
+use alpha_pim_sim::par::SimThreads;
+use alpha_pim_sim::pipeline::mix64;
 use alpha_pim_sim::{
     CounterId, CounterSet, FaultPlan, HostCrashPlan, ObservabilityLevel, PimConfig,
     RecoverySummary, ResiliencePolicy, SimFidelity,
@@ -76,7 +80,7 @@ use alpha_pim_sparse::{datasets, mtx, Graph};
 /// graph loading so typos exit non-zero with usage instead of part-running.
 const ALGORITHMS: &[&str] = &[
     "bfs", "sssp", "ppr", "wcc", "widest", "triangles", "msbfs", "kcore", "top", "chaos", "serve",
-    "serve-load", "calibrate", "mutate",
+    "serve-load", "calibrate", "mutate", "sdc",
 ];
 
 struct Args {
@@ -92,6 +96,7 @@ struct Args {
     density: f64,
     limit: usize,
     fault_seed: u64,
+    flip_rate: f64,
     queries: usize,
     batch: u32,
     trace_seed: u64,
@@ -135,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
         density: 0.1,
         limit: 10,
         fault_seed: 0xC4A05,
+        flip_rate: 0.05,
         queries: 64,
         batch: 16,
         trace_seed: 0x5EED,
@@ -175,6 +181,7 @@ fn parse_args() -> Result<Args, String> {
             "--density" => args.density = value.parse().map_err(|e| format!("{e}"))?,
             "--limit" => args.limit = value.parse().map_err(|e| format!("{e}"))?,
             "--fault-seed" => args.fault_seed = value.parse().map_err(|e| format!("{e}"))?,
+            "--flip-rate" => args.flip_rate = value.parse().map_err(|e| format!("{e}"))?,
             "--queries" => args.queries = value.parse().map_err(|e| format!("{e}"))?,
             "--batch" => args.batch = value.parse().map_err(|e| format!("{e}"))?,
             "--trace-seed" => args.trace_seed = value.parse().map_err(|e| format!("{e}"))?,
@@ -267,7 +274,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve|serve-load|calibrate|mutate> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--queries N] [--batch N] [--trace-seed N] [--json PATH] [--checkpoint-dir DIR] [--resume] [--deadline-cycles N] [--crash-after K] [--fast-path P] [--mix B:S:P] [--baseline-queries N] [--tenants N] [--mean-gap N] [--queue-capacity N] [--budget-cycles N] [--bound F] [--frozen] [--epochs N] [--ops N]");
+            eprintln!("error: {e}\nusage: alpha_pim_cli <bfs|sssp|ppr|wcc|widest|triangles|msbfs|kcore|top|chaos|serve|serve-load|calibrate|mutate|sdc> <graph> [--source N] [--dpus N] [--scale F] [--seed N] [--policy P] [--max-weight W] [--kernel K] [--density F] [--limit N] [--fault-seed N] [--flip-rate F] [--queries N] [--batch N] [--trace-seed N] [--json PATH] [--checkpoint-dir DIR] [--resume] [--deadline-cycles N] [--crash-after K] [--fast-path P] [--mix B:S:P] [--baseline-queries N] [--tenants N] [--mean-gap N] [--queue-capacity N] [--budget-cycles N] [--bound F] [--frozen] [--epochs N] [--ops N]");
             return ExitCode::FAILURE;
         }
     };
@@ -286,6 +293,9 @@ fn run(args: &Args) -> Result<(), String> {
     }
     if args.algo == "serve-load" {
         return run_serve_load(args);
+    }
+    if args.algo == "sdc" {
+        return run_sdc(args);
     }
     let graph = load_graph(args)?;
     if args.algo == "top" {
@@ -593,6 +603,7 @@ fn run_serve_load(args: &Args) -> Result<(), String> {
         tenants: tenants.clone(),
         queue_capacity: args.queue_capacity,
         deadline_budget_cycles: args.budget_cycles,
+        quarantine_threshold: None,
         serve: ServeConfig {
             batch_size: args.batch,
             // Sustained load re-visits every (graph, app) pair constantly:
@@ -1396,6 +1407,267 @@ fn run_chaos(args: &Args, graph: &Graph) -> Result<(), String> {
             faulty.report.total_seconds() / baseline.report.total_seconds(),
         );
     }
+    Ok(())
+}
+
+/// One (graph, app, config) cell of the `sdc` audit sweep.
+struct SdcCase {
+    graph: String,
+    app: &'static str,
+    threads: u32,
+    injected: u64,
+    detected: u64,
+    corrected: u64,
+    escaped: u64,
+    recompute_cycles: u64,
+    corrupted_dpus: usize,
+    values_match: bool,
+    ledger_ok: bool,
+}
+
+impl SdcCase {
+    fn passes(&self) -> bool {
+        self.values_match && self.ledger_ok && self.escaped == 0
+    }
+}
+
+/// Order-independent fingerprint of an answer vector's exact bit patterns.
+fn sdc_fingerprint(bits: impl Iterator<Item = u64>) -> u64 {
+    let mut fold = 0u64;
+    for (i, b) in bits.enumerate() {
+        fold ^= mix64(mix64(i as u64 + 1) ^ b);
+    }
+    fold
+}
+
+/// Runs one application with `engine` and returns the answer fingerprint
+/// plus the aggregated counters and distinct corrupted physical DPUs of
+/// the run.
+fn run_sdc_app(
+    engine: &AlphaPim,
+    app: &'static str,
+    graph: &Graph,
+    weighted: &Graph,
+    source: u32,
+    options: &AppOptions,
+) -> Result<(u64, CounterSet, Vec<u32>), String> {
+    let (fp, report): (u64, AppReport) = match app {
+        "bfs" => {
+            let r = engine.bfs(graph, source, options).map_err(|e| e.to_string())?;
+            (sdc_fingerprint(r.levels.iter().map(|&l| u64::from(l))), r.report)
+        }
+        "sssp" => {
+            let r = engine.sssp(weighted, source, options).map_err(|e| e.to_string())?;
+            (sdc_fingerprint(r.distances.iter().map(|&d| u64::from(d))), r.report)
+        }
+        "ppr" => {
+            let ppr_options = PprOptions { app: *options, ..Default::default() };
+            let r = engine.ppr(graph, source, &ppr_options).map_err(|e| e.to_string())?;
+            (sdc_fingerprint(r.scores.iter().map(|v| u64::from(v.to_bits()))), r.report)
+        }
+        other => return Err(format!("unknown sdc app {other}")),
+    };
+    let mut counters = CounterSet::new();
+    let mut corrupted: Vec<u32> = Vec::new();
+    for s in &report.iterations {
+        counters.merge(&s.kernel_report.breakdown.counters);
+        corrupted.extend_from_slice(&s.kernel_report.corrupted_dpus);
+    }
+    corrupted.sort_unstable();
+    corrupted.dedup();
+    Ok((fp, counters, corrupted))
+}
+
+/// `sdc`: the end-to-end silent-corruption audit. For every requested
+/// graph × {bfs, sssp, ppr} pair it runs a fault-free baseline, then the
+/// same run under a silent-only fault plan ([`FaultPlan::silent`]) with
+/// ABFT merge verification on — at 1 and 4 host merge threads — and
+/// asserts (a) answers are bit-identical to the fault-free run, (b) the
+/// `sdc.*` ledgers balance with zero remainder (`injected = detected +
+/// escaped`, `detected = corrected`), and (c) nothing escaped. A final
+/// verify-off run per pair documents that the same draws *do* escape
+/// without the guard. Exits non-zero on any escaped corruption or ledger
+/// remainder, so `scripts/ci.sh` gates on this command directly.
+fn run_sdc(args: &Args) -> Result<(), String> {
+    let suite: Vec<(String, Graph)> = if args.graph == "all" {
+        datasets::table2()
+            .iter()
+            .map(|s| {
+                s.generate_scaled(args.scale, args.seed)
+                    .map(|g| (s.abbrev.to_string(), g))
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        vec![(args.graph.clone(), load_graph(args)?)]
+    };
+    let options = AppOptions { policy: args.policy, ..Default::default() };
+    let make_engine = |faults: Option<FaultPlan>| {
+        AlphaPim::new(PimConfig {
+            num_dpus: args.dpus,
+            fidelity: SimFidelity::Sampled(64),
+            faults,
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())
+    };
+    let clean = make_engine(None)?;
+    let plan = FaultPlan::silent(args.fault_seed, args.flip_rate);
+    let verified = make_engine(Some(plan.clone()))?;
+    let mut unverified_plan = plan.clone();
+    unverified_plan.policy.verify_merges = false;
+    let unverified = make_engine(Some(unverified_plan))?;
+
+    println!(
+        "sdc — {} graphs x bfs/sssp/ppr, {} DPUs, flip rate {}, fault seed {:#x}, \
+         scale {}, verify at 1 and 4 simulation threads",
+        suite.len(),
+        args.dpus,
+        args.flip_rate,
+        args.fault_seed,
+        args.scale,
+    );
+    println!(
+        "\n{:>6} {:>5} {:>4} {:>9} {:>9} {:>10} {:>8} {:>11} {:>5} {:>7} {:>7}",
+        "graph", "app", "thr", "injected", "detected", "corrected", "escaped", "recompute",
+        "dpus", "values", "ledger"
+    );
+
+    let mut cases: Vec<SdcCase> = Vec::new();
+    let mut escaped_unverified = 0u64;
+    let mut injected_unverified = 0u64;
+    for (name, graph) in &suite {
+        let weighted = graph.with_random_weights(args.max_weight);
+        for app in ["bfs", "sssp", "ppr"] {
+            let (fp_clean, _, _) =
+                run_sdc_app(&clean, app, graph, &weighted, args.source, &options)?;
+            for threads in [1u32, 4] {
+                SimThreads::set(threads as usize);
+                let (fp, c, corrupted) =
+                    run_sdc_app(&verified, app, graph, &weighted, args.source, &options)?;
+                SimThreads::set(1);
+                let case = SdcCase {
+                    graph: name.clone(),
+                    app,
+                    threads,
+                    injected: c.get(CounterId::SdcInjected),
+                    detected: c.get(CounterId::SdcDetected),
+                    corrected: c.get(CounterId::SdcCorrected),
+                    escaped: c.get(CounterId::SdcEscaped),
+                    recompute_cycles: c.get(CounterId::SdcRecomputeCycles),
+                    corrupted_dpus: corrupted.len(),
+                    values_match: fp == fp_clean,
+                    ledger_ok: c.get(CounterId::SdcInjected)
+                        == c.get(CounterId::SdcDetected) + c.get(CounterId::SdcEscaped)
+                        && c.get(CounterId::SdcDetected) == c.get(CounterId::SdcCorrected),
+                };
+                println!(
+                    "{:>6} {:>5} {:>4} {:>9} {:>9} {:>10} {:>8} {:>11} {:>5} {:>7} {:>7}",
+                    case.graph,
+                    case.app,
+                    case.threads,
+                    case.injected,
+                    case.detected,
+                    case.corrected,
+                    case.escaped,
+                    case.recompute_cycles,
+                    case.corrupted_dpus,
+                    if case.values_match { "ok" } else { "DIFF" },
+                    if case.ledger_ok { "ok" } else { "BREACH" },
+                );
+                cases.push(case);
+            }
+            // The control arm: with verification off, every injected flip
+            // must flow through as escaped — the detector, not the fault
+            // model, is what the verify-on rows are exercising.
+            let (_, c, _) =
+                run_sdc_app(&unverified, app, graph, &weighted, args.source, &options)?;
+            injected_unverified += c.get(CounterId::SdcInjected);
+            escaped_unverified += c.get(CounterId::SdcEscaped);
+        }
+    }
+
+    let injected_total: u64 = cases.iter().map(|c| c.injected).sum();
+    let escaped_total: u64 = cases.iter().map(|c| c.escaped).sum();
+    let failures = cases.iter().filter(|c| !c.passes()).count();
+    println!(
+        "\ntotals: {} injected, {} escaped under verification across {} cases; \
+         verify-off control arm: {injected_unverified} injected → {escaped_unverified} escaped",
+        injected_total,
+        escaped_total,
+        cases.len(),
+    );
+
+    if let Some(path) = &args.json {
+        let mut cases_json = String::new();
+        for (i, c) in cases.iter().enumerate() {
+            if i > 0 {
+                cases_json.push_str(", ");
+            }
+            cases_json.push_str(&format!(
+                "{{\"graph\": \"{}\", \"app\": \"{}\", \"threads\": {}, \"injected\": {}, \
+                 \"detected\": {}, \"corrected\": {}, \"escaped\": {}, \
+                 \"recompute_cycles\": {}, \"corrupted_dpus\": {}, \"values_match\": {}, \
+                 \"ledger_ok\": {}}}",
+                c.graph,
+                c.app,
+                c.threads,
+                c.injected,
+                c.detected,
+                c.corrected,
+                c.escaped,
+                c.recompute_cycles,
+                c.corrupted_dpus,
+                c.values_match,
+                c.ledger_ok,
+            ));
+        }
+        let json = format!(
+            "{{{}, \"graph\": \"{}\", \"scale\": {}, \"dpus\": {}, \"seed\": {}, \
+             \"fault_seed\": {}, \"flip_rate\": {}, \"injected\": {injected_total}, \
+             \"escaped\": {escaped_total}, \
+             \"injected_unverified\": {injected_unverified}, \
+             \"escaped_unverified\": {escaped_unverified}, \
+             \"failures\": {failures}, \"passes\": {}, \"cases\": [{cases_json}]}}\n",
+            alpha_pim_bench::report::bench_schema_fields("sdc-audit"),
+            args.graph,
+            args.scale,
+            args.dpus,
+            args.seed,
+            args.fault_seed,
+            args.flip_rate,
+            failures == 0,
+        );
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    if failures > 0 {
+        let list: Vec<String> = cases
+            .iter()
+            .filter(|c| !c.passes())
+            .map(|c| format!("{}/{}@{}t", c.graph, c.app, c.threads))
+            .collect();
+        return Err(format!(
+            "sdc audit failed for {failures} of {} cases: {}",
+            cases.len(),
+            list.join(", ")
+        ));
+    }
+    if injected_total == 0 {
+        return Err(format!(
+            "sdc sweep drew no silent flips (rate {}, seed {:#x}) — the audit exercised \
+             nothing; raise --flip-rate or change --fault-seed",
+            args.flip_rate, args.fault_seed,
+        ));
+    }
+    if escaped_unverified != injected_unverified {
+        return Err(format!(
+            "verify-off control arm leaked accounting: {injected_unverified} injected but \
+             {escaped_unverified} recorded escaped"
+        ));
+    }
+    println!("sdc audit passed (all corruption detected, corrected, and ledger-balanced)");
     Ok(())
 }
 

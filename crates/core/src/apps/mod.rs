@@ -203,12 +203,16 @@ impl<S: Semiring> MvEngine<S> {
             }
         };
         if use_spmv {
-            let prep = self.spmv.as_ref().expect("policy prepared SpMV");
+            let prep = self.spmv.as_ref().ok_or_else(|| {
+                AlphaPimError::Config("kernel policy selected SpMV but none was prepared".into())
+            })?;
             let dense: DenseVector<S::Elem> = x.to_dense(S::zero());
             let outcome = prep.run(&dense, sys)?;
             Ok((outcome, KernelKind::Spmv(prep.variant())))
         } else {
-            let prep = self.spmspv.as_ref().expect("policy prepared SpMSpV");
+            let prep = self.spmspv.as_ref().ok_or_else(|| {
+                AlphaPimError::Config("kernel policy selected SpMSpV but none was prepared".into())
+            })?;
             let outcome = prep.run(x, sys)?;
             Ok((outcome, KernelKind::Spmspv(prep.variant())))
         }
@@ -272,6 +276,7 @@ mod tests {
             avg_active_threads: 0.0,
             total_instructions: 1,
             degraded: false,
+            corrupted_dpus: Vec::new(),
             dpu_details: Vec::new(),
         }
     }

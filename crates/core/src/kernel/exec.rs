@@ -52,6 +52,7 @@ mod tests {
             avg_active_threads: 1.0,
             total_instructions: 100,
             degraded: false,
+            corrupted_dpus: Vec::new(),
             dpu_details: Vec::new(),
         }
     }

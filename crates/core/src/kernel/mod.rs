@@ -16,6 +16,7 @@
 //!   (column-wise CSC), and [`SpmspvVariant::Csc2d`] (2D CSC tiles).
 
 pub mod exec;
+pub(crate) mod integrity;
 pub(crate) mod layout;
 pub mod spmm;
 pub mod spmspv;

@@ -57,6 +57,12 @@ impl<V: Copy> MultiVector<V> {
         self.data[i * self.k + j] = v;
     }
 
+    /// The whole block as a mutable row-major slice (for the merge-time
+    /// integrity guard, which treats it as one contiguous output band).
+    pub(crate) fn data_mut(&mut self) -> &mut [V] {
+        &mut self.data
+    }
+
     /// The `k` elements of row `i`.
     pub fn row(&self, i: usize) -> &[V] {
         &self.data[i * self.k..(i + 1) * self.k]
@@ -159,13 +165,21 @@ impl<S: Semiring> PreparedSpmm<S> {
         });
         // Tiles in one grid row overlap in `y`: reduce in tile order so the
         // result matches a sequential run exactly.
-        for (t, (eval, local)) in self.grid.tiles.iter().zip(evals) {
+        let mut guard = crate::kernel::integrity::IntegrityGuard::new(sys);
+        for (t, (eval, mut local)) in self.grid.tiles.iter().zip(evals) {
             let lost = eval.is_lost();
+            let active = eval.is_active();
             acc.merge(eval);
             if lost {
                 // Unsurvivable DPU loss: the tile's results are dropped and
                 // the report completes degraded.
                 continue;
+            }
+            if active {
+                // Row-major flat view: element `i·k + j` carries the key
+                // of output cell `(row_range.start + i, j)`.
+                let base = t.row_range.start.wrapping_mul(k as u32);
+                guard.admit_band::<S>(t.part, base, local.data_mut());
             }
             ops += 2 * t.matrix.nnz() as u64 * k as u64;
             let rows = (t.row_range.end - t.row_range.start) as usize;
@@ -181,7 +195,7 @@ impl<S: Semiring> PreparedSpmm<S> {
         }
         let mut kernel = acc.finish();
         let mut host = CounterSet::new();
-        let phases = PhaseBreakdown {
+        let mut phases = PhaseBreakdown {
             load: sys.scatter_time_counted(&load, &mut host),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
             retrieve: sys.gather_time_counted(&retrieve, &mut host),
@@ -193,6 +207,7 @@ impl<S: Semiring> PreparedSpmm<S> {
             ),
         };
         kernel.breakdown.counters.merge(&host);
+        guard.finalize(sys, &mut kernel, &mut phases);
         Ok(SpmmOutcome { y, phases, kernel, useful_ops: ops })
     }
 }

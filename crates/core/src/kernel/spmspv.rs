@@ -29,6 +29,7 @@ use alpha_pim_sparse::{Coo, Csc, Csr, DenseVector, SparseVector};
 
 use crate::error::AlphaPimError;
 use crate::kernel::exec::IterationOutcome;
+use crate::kernel::integrity::IntegrityGuard;
 use crate::kernel::layout::{
     coo_entry_bytes, edge_base_cost, search_probes, tasklet_prologue,
     tasklet_ranges, vec_entry_bytes, BlockedOutput, CHUNK_BYTES, CHUNK_OVERHEAD, KERNEL_LAUNCH_S,
@@ -269,8 +270,10 @@ impl<S: Semiring> PreparedSpmspv<S> {
             };
             (acc.evaluate_records(part, &traces), local, part_ops)
         });
-        for (part, (eval, local, part_ops)) in evals.into_iter().enumerate() {
+        let mut guard = IntegrityGuard::new(sys);
+        for (part, (eval, mut local, part_ops)) in evals.into_iter().enumerate() {
             let lost = eval.is_lost();
+            let active = eval.is_active();
             acc.merge(eval);
             if lost {
                 // Unsurvivable DPU loss: drop the partition's results; the
@@ -279,6 +282,9 @@ impl<S: Semiring> PreparedSpmspv<S> {
             }
             ops += part_ops;
             let (rows_range, nnz) = kind.band(part);
+            if active {
+                guard.admit_band::<S>(part as u32, rows_range.start, &mut local);
+            }
             let band = local.len() as u64;
             let mut nnz_out = 0u64;
             for (i, v) in local.into_iter().enumerate() {
@@ -294,7 +300,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
         // Zero-length bands (`parts > n`) hold no rows: the compressed
         // vector is only broadcast to the DPUs that compute.
         let live = (0..num_parts).filter(|&p| !kind.band(p).0.is_empty()).count() as u32;
-        let phases = PhaseBreakdown {
+        let mut phases = PhaseBreakdown {
             load: sys.broadcast_time_counted(
                 x.compressed_bytes(eb as usize) as u64,
                 live,
@@ -305,6 +311,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
             merge: 0.0,
         };
         kernel.breakdown.counters.merge(&host);
+        guard.finalize(sys, &mut kernel, &mut phases);
         finish::<S>(y, kernel, phases, ops)
     }
 
@@ -341,11 +348,16 @@ impl<S: Semiring> PreparedSpmspv<S> {
             );
             (acc.evaluate_records(part as u32, &traces), local, part_ops)
         });
-        for (part, (b, (eval, local, part_ops))) in bands.iter().zip(evals).enumerate() {
+        let mut guard = IntegrityGuard::new(sys);
+        for (part, (b, (eval, mut local, part_ops))) in bands.iter().zip(evals).enumerate() {
             let lost = eval.is_lost();
+            let active = eval.is_active();
             acc.merge(eval);
             if lost {
                 continue;
+            }
+            if active {
+                guard.admit_band::<S>(part as u32, b.rows.start, &mut local);
             }
             ops += part_ops;
             let band = local.len() as u64;
@@ -361,7 +373,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
         let mut kernel = acc.finish();
         let mut host = CounterSet::new();
         let live = bands.iter().filter(|b| !b.rows.is_empty()).count() as u32;
-        let phases = PhaseBreakdown {
+        let mut phases = PhaseBreakdown {
             load: sys.broadcast_time_counted(
                 x.compressed_bytes(eb as usize) as u64,
                 live,
@@ -372,6 +384,7 @@ impl<S: Semiring> PreparedSpmspv<S> {
             merge: 0.0,
         };
         kernel.breakdown.counters.merge(&host);
+        guard.finalize(sys, &mut kernel, &mut phases);
         finish::<S>(y, kernel, phases, ops)
     }
 
@@ -413,11 +426,16 @@ impl<S: Semiring> PreparedSpmspv<S> {
             );
             (acc.evaluate_records(part as u32, &traces), partial, seg_bytes, part_ops)
         });
-        for (part, (eval, partial, seg_bytes, part_ops)) in evals.into_iter().enumerate() {
+        let mut guard = IntegrityGuard::new(sys);
+        for (part, (eval, mut partial, seg_bytes, part_ops)) in evals.into_iter().enumerate() {
             let lost = eval.is_lost();
+            let active = eval.is_active();
             acc.merge(eval);
             if lost {
                 continue;
+            }
+            if active {
+                guard.admit_map::<S>(part as u32, &mut partial);
             }
             ops += part_ops;
             load[part] = seg_bytes;
@@ -431,13 +449,14 @@ impl<S: Semiring> PreparedSpmspv<S> {
         }
         let mut kernel = acc.finish();
         let mut host = CounterSet::new();
-        let phases = PhaseBreakdown {
+        let mut phases = PhaseBreakdown {
             load: sys.scatter_time_counted(&load, &mut host),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
             retrieve: sys.gather_time_counted(&retrieve, &mut host),
             merge: sys.merge_time_counted(merged_elems.max(1), 1, ventry as u32, &mut host),
         };
         kernel.breakdown.counters.merge(&host);
+        guard.finalize(sys, &mut kernel, &mut phases);
         finish::<S>(y, kernel, phases, ops)
     }
 
@@ -481,13 +500,18 @@ impl<S: Semiring> PreparedSpmspv<S> {
         });
         // Tiles sharing a grid row overlap in `y`; merge in tile order to
         // keep the cross-tile reduction identical to a sequential run.
-        for (part, (t, (eval, local, seg_bytes, part_ops))) in
+        let mut guard = IntegrityGuard::new(sys);
+        for (part, (t, (eval, mut local, seg_bytes, part_ops))) in
             tiles.iter().zip(evals).enumerate()
         {
             let lost = eval.is_lost();
+            let active = eval.is_active();
             acc.merge(eval);
             if lost {
                 continue;
+            }
+            if active {
+                guard.admit_band::<S>(part as u32, t.rows.start, &mut local);
             }
             ops += part_ops;
             load[part] = seg_bytes;
@@ -505,13 +529,14 @@ impl<S: Semiring> PreparedSpmspv<S> {
         }
         let mut kernel = acc.finish();
         let mut host = CounterSet::new();
-        let phases = PhaseBreakdown {
+        let mut phases = PhaseBreakdown {
             load: sys.scatter_time_counted(&load, &mut host),
             kernel: kernel.seconds + KERNEL_LAUNCH_S,
             retrieve: sys.gather_time_counted(&retrieve, &mut host),
             merge: sys.merge_time_counted(merged_elems.max(1), 1, ventry as u32, &mut host),
         };
         kernel.breakdown.counters.merge(&host);
+        guard.finalize(sys, &mut kernel, &mut phases);
         finish::<S>(y, kernel, phases, ops)
     }
 }

@@ -27,6 +27,7 @@ use alpha_pim_sparse::{Coo, DenseVector};
 
 use crate::error::AlphaPimError;
 use crate::kernel::exec::IterationOutcome;
+use crate::kernel::integrity::IntegrityGuard;
 use crate::kernel::layout::{
     coo_entry_bytes, edge_base_cost, tasklet_prologue, tasklet_ranges, BlockedOutput,
     CHUNK_BYTES, CHUNK_OVERHEAD, KERNEL_LAUNCH_S,
@@ -215,13 +216,18 @@ impl<S: Semiring> PreparedSpmv<S> {
                     );
                     (acc.evaluate_records(p.part, &traces), local)
                 });
-                for (p, (eval, local)) in parts.iter().zip(evals) {
+                let mut guard = IntegrityGuard::new(sys);
+                for (p, (eval, mut local)) in parts.iter().zip(evals) {
                     let lost = eval.is_lost();
+                    let active = eval.is_active();
                     acc.merge(eval);
                     if lost {
                         // Unsurvivable DPU loss: drop the partition's
                         // results; the report completes degraded.
                         continue;
+                    }
+                    if active {
+                        guard.admit_band::<S>(p.part, p.row_range.start, &mut local);
                     }
                     ops += 2 * p.matrix.nnz() as u64;
                     let band = local.len() as u64;
@@ -235,13 +241,14 @@ impl<S: Semiring> PreparedSpmv<S> {
                 // Zero-length bands (`parts > n`) hold no rows, so the
                 // vector is only broadcast to the DPUs that compute.
                 let live = parts.iter().filter(|p| !p.row_range.is_empty()).count() as u32;
-                let phases = PhaseBreakdown {
+                let mut phases = PhaseBreakdown {
                     load: sys.broadcast_time_counted(self.n as u64 * eb, live, &mut host),
                     kernel: kernel.seconds + KERNEL_LAUNCH_S,
                     retrieve: sys.gather_time_counted(&retrieve, &mut host),
                     merge: 0.0,
                 };
                 kernel.breakdown.counters.merge(&host);
+                guard.finalize(sys, &mut kernel, &mut phases);
                 finish_outcome::<S>(y, kernel, phases, ops)
             }
             SpmvData::Csr1d(bands) => {
@@ -259,11 +266,16 @@ impl<S: Semiring> PreparedSpmv<S> {
                     );
                     (acc.evaluate_records(part as u32, &traces), local)
                 });
-                for (part, (b, (eval, local))) in bands.iter().zip(evals).enumerate() {
+                let mut guard = IntegrityGuard::new(sys);
+                for (part, (b, (eval, mut local))) in bands.iter().zip(evals).enumerate() {
                     let lost = eval.is_lost();
+                    let active = eval.is_active();
                     acc.merge(eval);
                     if lost {
                         continue;
+                    }
+                    if active {
+                        guard.admit_band::<S>(part as u32, b.rows.start, &mut local);
                     }
                     ops += 2 * b.matrix.nnz() as u64;
                     retrieve[part] = local.len() as u64 * eb;
@@ -274,13 +286,14 @@ impl<S: Semiring> PreparedSpmv<S> {
                 let mut kernel = acc.finish();
                 let mut host = CounterSet::new();
                 let live = bands.iter().filter(|b| !b.rows.is_empty()).count() as u32;
-                let phases = PhaseBreakdown {
+                let mut phases = PhaseBreakdown {
                     load: sys.broadcast_time_counted(self.n as u64 * eb, live, &mut host),
                     kernel: kernel.seconds + KERNEL_LAUNCH_S,
                     retrieve: sys.gather_time_counted(&retrieve, &mut host),
                     merge: 0.0,
                 };
                 kernel.breakdown.counters.merge(&host);
+                guard.finalize(sys, &mut kernel, &mut phases);
                 finish_outcome::<S>(y, kernel, phases, ops)
             }
             SpmvData::Dcoo2d(grid) => {
@@ -323,11 +336,16 @@ impl<S: Semiring> PreparedSpmv<S> {
                 // Tiles in the same grid row overlap in `y`, so the
                 // cross-tile reduction must stay in tile order (semiring
                 // `add` is not assumed commutative-exact over f32).
-                for (t, (eval, local, seg_bytes)) in grid.tiles.iter().zip(evals) {
+                let mut guard = IntegrityGuard::new(sys);
+                for (t, (eval, mut local, seg_bytes)) in grid.tiles.iter().zip(evals) {
                     let lost = eval.is_lost();
+                    let active = eval.is_active();
                     acc.merge(eval);
                     if lost {
                         continue;
+                    }
+                    if active {
+                        guard.admit_band::<S>(t.part, t.row_range.start, &mut local);
                     }
                     ops += 2 * t.matrix.nnz() as u64;
                     retrieve[t.part as usize] = local.len() as u64 * eb;
@@ -339,7 +357,7 @@ impl<S: Semiring> PreparedSpmv<S> {
                 }
                 let mut kernel = acc.finish();
                 let mut host = CounterSet::new();
-                let phases = PhaseBreakdown {
+                let mut phases = PhaseBreakdown {
                     load: sys.scatter_time_counted(&load, &mut host),
                     kernel: kernel.seconds + KERNEL_LAUNCH_S,
                     retrieve: sys.gather_time_counted(&retrieve, &mut host),
@@ -351,6 +369,7 @@ impl<S: Semiring> PreparedSpmv<S> {
                     ),
                 };
                 kernel.breakdown.counters.merge(&host);
+                guard.finalize(sys, &mut kernel, &mut phases);
                 finish_outcome::<S>(y, kernel, phases, ops)
             }
         }

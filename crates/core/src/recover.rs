@@ -44,7 +44,10 @@ use crate::kernel::{KernelKind, SpmspvVariant, SpmvVariant};
 /// Version 2: batch snapshots carry per-query deadline overrides, and the
 /// counter registry grew the service-layer `queue.*`/`tenant.*`/eviction
 /// counters.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// Version 3: kernel reports carry the corrupted-DPU list, batch snapshots
+/// carry the quarantine set, and the counter registry grew the integrity
+/// `sdc.*`/`quarantine.*` counters.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Container magic, first bytes of every sealed artifact.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"APCK";
@@ -635,6 +638,7 @@ pub(crate) fn put_kernel_report(out: &mut Vec<u8>, r: &KernelReport) {
     put_f64(out, r.avg_active_threads);
     put_u64(out, r.total_instructions);
     put_bool(out, r.degraded);
+    put_u32_slice(out, &r.corrupted_dpus);
     put_u64(out, r.dpu_details.len() as u64);
     for dt in &r.dpu_details {
         put_u32(out, dt.dpu_id);
@@ -659,6 +663,7 @@ pub(crate) fn read_kernel_report(d: &mut Dec) -> Result<KernelReport, RecoverErr
     let avg_active_threads = d.f64()?;
     let total_instructions = d.u64()?;
     let degraded = d.bool()?;
+    let corrupted_dpus = read_u32_vec(d)?;
     let n_details = d.seq_len(4 + 8 + 8, "dpu_details")?;
     let mut dpu_details = Vec::with_capacity(n_details);
     for _ in 0..n_details {
@@ -690,6 +695,7 @@ pub(crate) fn read_kernel_report(d: &mut Dec) -> Result<KernelReport, RecoverErr
         avg_active_threads,
         total_instructions,
         degraded,
+        corrupted_dpus,
         dpu_details,
     })
 }

@@ -43,6 +43,23 @@ impl OpCost {
     }
 }
 
+/// Which ABFT checksum family guards a semiring's partition outputs at
+/// merge time (see `crate::kernel::integrity`).
+///
+/// Plus-times outputs admit a *linear* row-sum checksum (the classic
+/// Huang–Abraham construction: the sum of the outputs equals the output of
+/// the summed inputs), which is the cheapest guard. Tropical and boolean
+/// semirings are not linear over their carriers, so their partitions are
+/// guarded by an order-independent *fingerprint* instead: cardinality plus
+/// an XOR-fold over mixed `(vertex, value)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardScheme {
+    /// Running `f64` sum of element values plus a count.
+    LinearSum,
+    /// Cardinality + XOR-fold of `mix64(mix64(key+1) ^ elem_bits(v))`.
+    Fingerprint,
+}
+
 /// An algebraic semiring over a copyable element type, with DPU costs.
 ///
 /// Implementations must satisfy the semiring laws: `⊕` is associative and
@@ -87,6 +104,26 @@ pub trait Semiring: Copy + Send + Sync + 'static {
 
     /// DPU cost of one ⊗.
     fn mul_cost() -> OpCost;
+
+    /// The element's exact bit pattern, widened to `u64` — the input to
+    /// fingerprint folds. Two elements compare equal under `==` iff their
+    /// bit patterns match for every carrier used here (no negative-zero
+    /// ambiguity arises: kernels never produce `-0.0`).
+    fn elem_bits(a: Self::Elem) -> u64;
+
+    /// The element's numeric value as `f64`, for linear-sum checksums.
+    fn elem_to_f64(a: Self::Elem) -> f64;
+
+    /// A deterministically corrupted copy of `a`, derived from a fault
+    /// plan's `pattern` draw. Guaranteed `!= a` (bitwise), finite, and
+    /// within the carrier — the silent-flip injector uses this to model an
+    /// undetected MRAM/DMA value flip.
+    fn corrupt_elem(a: Self::Elem, pattern: u64) -> Self::Elem;
+
+    /// Which checksum family guards this semiring's partition outputs.
+    fn guard_scheme() -> GuardScheme {
+        GuardScheme::Fingerprint
+    }
 }
 
 /// The Boolean (∨, ∧) semiring over `{0, 1}` used by BFS.
@@ -121,6 +158,15 @@ impl Semiring for BoolOrAnd {
     }
     fn mul_cost() -> OpCost {
         OpCost { arith: 1, loadstore: 0, control: 0 }
+    }
+    fn elem_bits(a: u32) -> u64 {
+        a as u64
+    }
+    fn elem_to_f64(a: u32) -> f64 {
+        a as f64
+    }
+    fn corrupt_elem(a: u32, pattern: u64) -> u32 {
+        a ^ (1 << (pattern % 32))
     }
 }
 
@@ -163,6 +209,15 @@ impl Semiring for MinPlus {
     fn mul_cost() -> OpCost {
         OpCost { arith: 2, loadstore: 0, control: 0 }
     }
+    fn elem_bits(a: u32) -> u64 {
+        a as u64
+    }
+    fn elem_to_f64(a: u32) -> f64 {
+        a as f64
+    }
+    fn corrupt_elem(a: u32, pattern: u64) -> u32 {
+        a ^ (1 << (pattern % 32))
+    }
 }
 
 /// The real (+, ×) semiring over `f32` used by PageRank / PPR.
@@ -204,6 +259,29 @@ impl Semiring for PlusTimes {
         // Software f32 multiply via the 8×8 hardware multiplier.
         OpCost { arith: 48, loadstore: 6, control: 6 }
     }
+    fn elem_bits(a: f32) -> u64 {
+        a.to_bits() as u64
+    }
+    fn elem_to_f64(a: f32) -> f64 {
+        a as f64
+    }
+    fn corrupt_elem(a: f32, pattern: u64) -> f32 {
+        corrupt_f32(a, pattern)
+    }
+    fn guard_scheme() -> GuardScheme {
+        GuardScheme::LinearSum
+    }
+}
+
+/// Replaces `a` with a finite, nonzero value in `[1, 2)` whose mantissa
+/// comes from `pattern`, nudged by one ulp if the draw happens to collide
+/// with `a` — so the corrupted value is always bitwise distinct.
+fn corrupt_f32(a: f32, pattern: u64) -> f32 {
+    let mut b = f32::from_bits(0x3f80_0000 | ((pattern as u32) & 0x007f_ffff));
+    if b.to_bits() == a.to_bits() {
+        b = f32::from_bits(b.to_bits() ^ 1);
+    }
+    b
 }
 
 /// The (max, min) semiring over `u32` used by widest-path / bottleneck
@@ -244,6 +322,15 @@ impl Semiring for MaxMin {
     fn mul_cost() -> OpCost {
         OpCost { arith: 2, loadstore: 0, control: 0 }
     }
+    fn elem_bits(a: u32) -> u64 {
+        a as u64
+    }
+    fn elem_to_f64(a: u32) -> f64 {
+        a as f64
+    }
+    fn corrupt_elem(a: u32, pattern: u64) -> u32 {
+        a ^ (1 << (pattern % 32))
+    }
 }
 
 /// The counting semiring (ℕ, +, ×) over saturating `u32` — used by
@@ -282,6 +369,15 @@ impl Semiring for CountPlus {
         // 32-bit multiply through the 8×8 hardware multiplier.
         OpCost { arith: 10, loadstore: 0, control: 2 }
     }
+    fn elem_bits(a: u32) -> u64 {
+        a as u64
+    }
+    fn elem_to_f64(a: u32) -> f64 {
+        a as f64
+    }
+    fn corrupt_elem(a: u32, pattern: u64) -> u32 {
+        a ^ (1 << (pattern % 32))
+    }
 }
 
 /// What-if variant of [`PlusTimes`] with single-digit-cycle floating
@@ -318,6 +414,18 @@ impl Semiring for PlusTimesHw {
     }
     fn mul_cost() -> OpCost {
         OpCost { arith: 3, loadstore: 0, control: 0 }
+    }
+    fn elem_bits(a: f32) -> u64 {
+        a.to_bits() as u64
+    }
+    fn elem_to_f64(a: f32) -> f64 {
+        a as f64
+    }
+    fn corrupt_elem(a: f32, pattern: u64) -> f32 {
+        corrupt_f32(a, pattern)
+    }
+    fn guard_scheme() -> GuardScheme {
+        GuardScheme::LinearSum
     }
 }
 
@@ -430,6 +538,46 @@ mod tests {
         assert_eq!(BoolOrAnd::elem_bytes(), 4);
         assert_eq!(MinPlus::elem_bytes(), 4);
         assert_eq!(PlusTimes::elem_bytes(), 4);
+    }
+
+    #[test]
+    fn guard_schemes_match_the_algebra() {
+        assert_eq!(BoolOrAnd::guard_scheme(), GuardScheme::Fingerprint);
+        assert_eq!(MinPlus::guard_scheme(), GuardScheme::Fingerprint);
+        assert_eq!(MaxMin::guard_scheme(), GuardScheme::Fingerprint);
+        assert_eq!(CountPlus::guard_scheme(), GuardScheme::Fingerprint);
+        assert_eq!(PlusTimes::guard_scheme(), GuardScheme::LinearSum);
+        assert_eq!(PlusTimesHw::guard_scheme(), GuardScheme::LinearSum);
+    }
+
+    #[test]
+    fn corrupt_elem_always_changes_the_bits() {
+        let patterns = [0u64, 1, 31, 32, 0x3f80_0000, u64::MAX, 0xDEAD_BEEF];
+        for &p in &patterns {
+            for &a in &[0u32, 1, 7, u32::MAX] {
+                let c = BoolOrAnd::corrupt_elem(a, p);
+                assert_ne!(c, a, "u32 corrupt({a}, {p})");
+                assert_ne!(MinPlus::elem_bits(c), MinPlus::elem_bits(a));
+            }
+            for &a in &[0.0f32, 1.0, 1.5, 0.25, -3.0] {
+                let c = PlusTimes::corrupt_elem(a, p);
+                assert_ne!(c.to_bits(), a.to_bits(), "f32 corrupt({a}, {p})");
+                assert!(c.is_finite() && c != 0.0);
+                assert!((1.0..2.0).contains(&c) || (1.0..2.0).contains(&c.abs()));
+            }
+        }
+        // The collision nudge: a value already in [1, 2) with the drawn
+        // mantissa still comes back different.
+        let a = f32::from_bits(0x3f80_0000 | 0x1234);
+        assert_ne!(PlusTimes::corrupt_elem(a, 0x1234).to_bits(), a.to_bits());
+    }
+
+    #[test]
+    fn elem_bits_and_f64_round_values() {
+        assert_eq!(MinPlus::elem_bits(INF), u32::MAX as u64);
+        assert_eq!(PlusTimes::elem_bits(1.0), 0x3f80_0000);
+        assert_eq!(MinPlus::elem_to_f64(7), 7.0);
+        assert_eq!(PlusTimes::elem_to_f64(0.5), 0.5);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use alpha_pim_sim::report::BatchReport;
-use alpha_pim_sim::{host, transfer, CounterId, CounterSet, HostCrashPlan, PimSystem};
+use alpha_pim_sim::{host, transfer, CounterId, CounterSet, HostCrashPlan, PimSystem, SimFidelity};
 use alpha_pim_sparse::partition::structural_fingerprint;
 use alpha_pim_sparse::Graph;
 
@@ -252,10 +252,20 @@ pub struct ServeEngine<'a> {
     resident_bytes: u64,
     evictions: u64,
     evicted_bytes: u64,
-    /// The [`SimFidelity::Analytic`](alpha_pim_sim::SimFidelity::Analytic)
-    /// twin supersteps run against when the fast path is active; `None`
-    /// keeps every superstep on the exact replay system.
+    /// The [`SimFidelity::Analytic`] twin supersteps run against when the
+    /// fast path is active; `None` keeps every superstep on the exact
+    /// replay system.
     analytic_sys: Option<PimSystem>,
+    /// Physical DPU ids currently quarantined (sorted, deduplicated).
+    quarantine: Vec<u32>,
+    /// The quarantine-reduced execution system supersteps run against;
+    /// `None` while the quarantine list is empty (the engine's own system
+    /// serves) or under total quarantine.
+    exec_sys: Option<PimSystem>,
+    /// Every DPU is quarantined: batches complete by shedding their
+    /// queries (done, degraded, partial answers retained) instead of
+    /// executing supersteps — graceful degradation, never a panic.
+    total_quarantine: bool,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -291,6 +301,9 @@ impl<'a> ServeEngine<'a> {
             evictions: 0,
             evicted_bytes: 0,
             analytic_sys,
+            quarantine: Vec::new(),
+            exec_sys: None,
+            total_quarantine: false,
         }
     }
 
@@ -305,12 +318,80 @@ impl<'a> ServeEngine<'a> {
         self.analytic_sys.is_some()
     }
 
-    /// The system supersteps execute against: the analytic twin when the
-    /// fast path is active, the engine's exact replay system otherwise.
+    /// The physical DPUs currently quarantined (sorted, deduplicated).
+    pub fn quarantine(&self) -> &[u32] {
+        &self.quarantine
+    }
+
+    /// Whether every DPU is quarantined. Batches still complete: each
+    /// query is shed at admission (done, degraded, partial answer) so the
+    /// serving surface degrades instead of panicking.
+    pub fn total_quarantine(&self) -> bool {
+        self.total_quarantine
+    }
+
+    /// Replaces the quarantine set with the given *physical* DPU ids and
+    /// re-plans: subsequent batches prepare their kernels against a
+    /// contiguous machine that excludes the quarantined DPUs, while
+    /// [`alpha_pim_sim::PimConfig::dpu_remap`] keeps every survivor's
+    /// seeded fault fate. Prepared kernels for the old machine stay cached
+    /// under their own keys (the key carries the DPU count), so lifting a
+    /// quarantine restores cache hits instead of re-preparing.
+    ///
+    /// Quarantining every DPU is not an error: the engine enters total
+    /// quarantine and sheds queries instead of executing them.
+    pub fn set_quarantine(&mut self, dpus: &[u32]) {
+        let mut q = dpus.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        if q == self.quarantine {
+            return;
+        }
+        self.quarantine = q;
+        if self.quarantine.is_empty() {
+            self.exec_sys = None;
+            self.total_quarantine = false;
+        } else {
+            match self.engine.system().config().excluding_dpus(&self.quarantine) {
+                Some(cfg) => {
+                    self.exec_sys = PimSystem::new(cfg).ok();
+                    self.total_quarantine = self.exec_sys.is_none();
+                }
+                None => {
+                    self.exec_sys = None;
+                    self.total_quarantine = true;
+                }
+            }
+        }
+        // The analytic twin must model the same (reduced) machine.
+        self.analytic_sys =
+            if adaptive::use_analytic_timing(self.config.fast_path, self.engine.system().config()) {
+                match &self.exec_sys {
+                    Some(sys) => {
+                        let mut cfg = sys.config().clone();
+                        cfg.fidelity = SimFidelity::Analytic;
+                        PimSystem::new(cfg).ok()
+                    }
+                    None if self.total_quarantine => None,
+                    None => self.engine.analytic_twin(),
+                }
+            } else {
+                None
+            };
+    }
+
+    /// The exact system supersteps execute against: the quarantine-reduced
+    /// machine when a quarantine is active, the engine's own otherwise.
+    fn exec_system(&self) -> &PimSystem {
+        self.exec_sys.as_ref().unwrap_or_else(|| self.engine.system())
+    }
+
+    /// The system supersteps are timed against: the analytic twin when the
+    /// fast path is active, the exact execution system otherwise.
     fn timing_system(&self) -> &PimSystem {
         match &self.analytic_sys {
             Some(sys) => sys,
-            None => self.engine.system(),
+            None => self.exec_system(),
         }
     }
 
@@ -532,7 +613,7 @@ impl<'a> ServeEngine<'a> {
         deadlines: &[Option<u64>],
         tag: u64,
     ) -> Result<BatchRun, AlphaPimError> {
-        let sys = self.engine.system();
+        let dpus = self.exec_system().num_dpus();
         let graph_fp = structural_fingerprint(graph.adjacency(), u64::from);
         let threshold = self.engine.switch_threshold(graph);
         let hits_before = self.hits;
@@ -550,6 +631,17 @@ impl<'a> ServeEngine<'a> {
         counters.add(CounterId::ServeCacheMisses, misses_delta);
         counters.add(CounterId::ServeCacheEvictions, self.evictions - evictions_before);
         counters.add(CounterId::ServeEvictedBytes, self.evicted_bytes - evicted_bytes_before);
+        // Total quarantine: no machine remains to execute on. Every query
+        // is shed immediately — done, degraded, its partial (initial-state)
+        // answer retained — so the batch completes without a superstep.
+        if self.total_quarantine {
+            for slot in &mut slots {
+                if let Slot::Live(s) = slot {
+                    s.shed();
+                    counters.add(CounterId::ServeShed, 1);
+                }
+            }
+        }
         // Per-query overrides are normalized to one entry per query so the
         // snapshot layout is a pure function of the query count.
         let mut deadlines = deadlines.to_vec();
@@ -557,7 +649,8 @@ impl<'a> ServeEngine<'a> {
         Ok(BatchRun {
             tag,
             graph_fp,
-            dpus: sys.num_dpus(),
+            dpus,
+            quarantine: self.quarantine.clone(),
             policy_bits: policy_bits(&self.config.options),
             threshold_bits: threshold.to_bits(),
             queries: queries.to_vec(),
@@ -582,12 +675,13 @@ impl<'a> ServeEngine<'a> {
         graph: &Graph,
         checkpoint: &BatchCheckpoint,
     ) -> Result<BatchRun, AlphaPimError> {
-        let sys = self.engine.system();
+        let dpus_now = self.exec_system().num_dpus();
         let payload = recover::unseal(&checkpoint.snapshot)?;
         let mut d = recover::Dec::new(payload);
         let tag = d.u64()?;
         let graph_fp = d.u64()?;
         let dpus = d.u32()?;
+        let quarantine = recover::read_u32_vec(&mut d)?;
         let pbits = d.u64()?;
         let tbits = d.u64()?;
         let want_fp = structural_fingerprint(graph.adjacency(), u64::from);
@@ -597,10 +691,17 @@ impl<'a> ServeEngine<'a> {
             ))
             .into());
         }
-        if dpus != sys.num_dpus() {
+        if dpus != dpus_now {
             return Err(RecoverError::Mismatch(format!(
-                "checkpoint taken with {dpus} DPUs, engine has {}",
-                sys.num_dpus()
+                "checkpoint taken with {dpus} DPUs, engine has {dpus_now}"
+            ))
+            .into());
+        }
+        if quarantine != self.quarantine {
+            return Err(RecoverError::Mismatch(format!(
+                "checkpoint taken with {} quarantined DPUs, engine has {}",
+                quarantine.len(),
+                self.quarantine.len()
             ))
             .into());
         }
@@ -691,6 +792,7 @@ impl<'a> ServeEngine<'a> {
             tag,
             graph_fp,
             dpus,
+            quarantine,
             policy_bits: pbits,
             threshold_bits: tbits,
             queries,
@@ -836,12 +938,11 @@ impl<'a> ServeEngine<'a> {
         graph_fp: u64,
         app: AppKind,
     ) -> Result<CachedEngine, AlphaPimError> {
-        let sys = self.engine.system();
         let threshold = self.engine.switch_threshold(graph);
         let key = CacheKey {
             graph_fp,
             app,
-            dpus: sys.num_dpus(),
+            dpus: self.exec_system().num_dpus(),
             policy_bits: policy_bits(&self.config.options),
             threshold_bits: threshold.to_bits(),
         };
@@ -853,6 +954,9 @@ impl<'a> ServeEngine<'a> {
             return Ok(entry.engine.clone());
         }
         self.misses += 1;
+        // Preparation partitions across the quarantine-reduced machine, so
+        // a re-plan after quarantining is just a cache miss here.
+        let sys = self.exec_system();
         let engine = match app {
             AppKind::Bfs => {
                 let matrix = graph.transposed().map(BoolOrAnd::from_weight);
@@ -1107,6 +1211,8 @@ struct BatchRun {
     tag: u64,
     graph_fp: u64,
     dpus: u32,
+    /// The quarantine set the batch ran under (world-checked on resume).
+    quarantine: Vec<u32>,
     policy_bits: u64,
     threshold_bits: u64,
     queries: Vec<Query>,
@@ -1233,6 +1339,7 @@ fn encode_snapshot(run: &BatchRun) -> Vec<u8> {
     recover::put_u64(&mut out, run.tag);
     recover::put_u64(&mut out, run.graph_fp);
     recover::put_u32(&mut out, run.dpus);
+    recover::put_u32_slice(&mut out, &run.quarantine);
     recover::put_u64(&mut out, run.policy_bits);
     recover::put_u64(&mut out, run.threshold_bits);
     recover::put_u64(&mut out, run.queries.len() as u64);

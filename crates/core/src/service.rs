@@ -154,6 +154,15 @@ pub struct ServiceConfig {
     /// execution deadline (the inner config's `deadline_cycles` still
     /// applies, if set).
     pub deadline_budget_cycles: Option<u64>,
+    /// Corruption strikes before a DPU is quarantined: every detected
+    /// silent corruption attributed to a physical DPU (an entry in a
+    /// kernel report's `corrupted_dpus`) is one strike, and a DPU reaching
+    /// this count is excluded from every subsequent batch's partitioning
+    /// (a re-plan via [`crate::serve::ServeEngine::set_quarantine`]). The
+    /// health ledger lands in the `quarantine.*` counters at drain. Zero
+    /// is clamped to 1. `None` disables the scoreboard (and the counters
+    /// stay zero).
+    pub quarantine_threshold: Option<u32>,
     /// The inner batched-executor configuration (batch size, partition
     /// cache entry/byte budgets, checkpointing, fast path).
     pub serve: ServeConfig,
@@ -165,6 +174,7 @@ impl Default for ServiceConfig {
             tenants: vec![TenantSpec::default()],
             queue_capacity: 1024,
             deadline_budget_cycles: None,
+            quarantine_threshold: None,
             serve: ServeConfig::default(),
         }
     }
@@ -665,6 +675,22 @@ impl<'a> ServiceEngine<'a> {
         let mut counters = CounterSet::new();
         let budget = self.config.deadline_budget_cycles;
         let capacity = self.config.queue_capacity;
+        // Per-DPU health scoreboard: strikes accumulate per *physical* DPU
+        // from the corrupted-DPU lists of every completed batch; a DPU
+        // reaching the threshold is quarantined and every later batch
+        // re-plans without it. Indexed by physical id, so the scoreboard
+        // survives the logical renumbering a re-plan introduces.
+        let quarantine_after =
+            self.config.quarantine_threshold.map(|t| u64::from(t.max(1)));
+        // Every run starts with a clean bill of health, so repeat runs on
+        // one engine (and resumed replays, which re-derive strikes batch by
+        // batch) are bit-identical to fresh ones.
+        self.serve.set_quarantine(&[]);
+        let mut strikes = vec![0u64; self.parts as usize];
+        let mut quarantined: Vec<u32> = Vec::new();
+        let mut total_strikes = 0u64;
+        let mut quarantine_events = 0u64;
+        let mut replans = 0u64;
 
         while next < workload.len() || !queue.is_empty() {
             // Pull every arrival the clock has passed; jump the clock when
@@ -781,6 +807,28 @@ impl<'a> ServiceEngine<'a> {
             clock = clock.saturating_add(batch_cycles);
             counters.merge(&report.counters);
             fingerprint = fingerprint_fold(fingerprint, &results);
+            if let Some(threshold) = quarantine_after {
+                let mut tripped = false;
+                for r in &results {
+                    for it in &r.report().iterations {
+                        for &d in &it.kernel_report.corrupted_dpus {
+                            total_strikes += 1;
+                            let Some(s) = strikes.get_mut(d as usize) else { continue };
+                            *s += 1;
+                            if *s >= threshold && !quarantined.contains(&d) {
+                                quarantined.push(d);
+                                quarantine_events += 1;
+                                tripped = true;
+                            }
+                        }
+                    }
+                }
+                if tripped {
+                    quarantined.sort_unstable();
+                    self.serve.set_quarantine(&quarantined);
+                    replans += 1;
+                }
+            }
             for (p, r) in picks.iter().zip(results.iter()) {
                 let t = p.tenant as usize;
                 // Under survivable fault plans a degraded result means the
@@ -806,6 +854,21 @@ impl<'a> ServiceEngine<'a> {
             mnext += 1;
         }
 
+        // The health ledger, a zero-remainder partition of the machine:
+        // `quarantine.dpus_total = dpus_active + dpus_quarantined`. Only
+        // emitted when the scoreboard is on, so default runs keep all-zero
+        // quarantine counters.
+        if quarantine_after.is_some() {
+            counters.add(CounterId::QuarantineStrikes, total_strikes);
+            counters.add(CounterId::QuarantineEvents, quarantine_events);
+            counters.add(CounterId::QuarantineReplans, replans);
+            counters.add(CounterId::QuarantineDpusTotal, u64::from(self.parts));
+            counters.add(CounterId::QuarantineDpusQuarantined, quarantined.len() as u64);
+            counters.add(
+                CounterId::QuarantineDpusActive,
+                u64::from(self.parts) - quarantined.len() as u64,
+            );
+        }
         for t in &tenants {
             counters.add(CounterId::QueueArrivals, t.arrivals);
             counters.add(CounterId::QueueAdmitted, t.admitted);

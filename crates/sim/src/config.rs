@@ -40,6 +40,14 @@ pub struct PimConfig {
     /// fully healthy machine and adds no work to the hot path.
     #[cfg_attr(feature = "serde", serde(default))]
     pub faults: Option<FaultPlan>,
+    /// Logical→physical DPU remap used when part of the machine is
+    /// quarantined: entry `i` is the physical DPU id behind logical DPU
+    /// `i`. Empty (the default) is the identity map. Fault draws are keyed
+    /// on *physical* ids, so a quarantined system built by
+    /// [`PimConfig::excluding_dpus`] keeps every surviving DPU's seeded
+    /// fate while kernels see a smaller, contiguous machine.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub dpu_remap: Vec<u32>,
 }
 
 impl Default for PimConfig {
@@ -57,6 +65,7 @@ impl Default for PimConfig {
             fidelity: SimFidelity::default(),
             observability: ObservabilityLevel::default(),
             faults: None,
+            dpu_remap: Vec::new(),
         }
     }
 }
@@ -90,10 +99,50 @@ impl PimConfig {
         if self.dpu_frequency_hz == 0 {
             return Err("dpu_frequency_hz must be positive".into());
         }
+        if !self.dpu_remap.is_empty() {
+            if self.dpu_remap.len() != self.num_dpus as usize {
+                return Err(format!(
+                    "dpu_remap must cover every logical DPU: {} entries for {} DPUs",
+                    self.dpu_remap.len(),
+                    self.num_dpus
+                ));
+            }
+            if self.dpu_remap.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("dpu_remap must be strictly increasing".into());
+            }
+        }
         if let Some(plan) = &self.faults {
             plan.validate()?;
         }
         Ok(())
+    }
+
+    /// The configuration of this machine with the given *physical* DPUs
+    /// quarantined: kernels see a smaller contiguous machine whose
+    /// [`PimConfig::dpu_remap`] routes fault draws back to the surviving
+    /// physical ids (composing with any remap already in place). Returns
+    /// `None` when no healthy DPU would remain — callers must degrade
+    /// gracefully instead of constructing an empty system.
+    pub fn excluding_dpus(&self, quarantined: &[u32]) -> Option<PimConfig> {
+        let keep: Vec<u32> = (0..self.num_dpus)
+            .map(|logical| {
+                self.dpu_remap.get(logical as usize).copied().unwrap_or(logical)
+            })
+            .filter(|physical| !quarantined.contains(physical))
+            .collect();
+        if keep.is_empty() {
+            return None;
+        }
+        let mut cfg = self.clone();
+        cfg.num_dpus = keep.len() as u32;
+        cfg.dpu_remap = keep;
+        Some(cfg)
+    }
+
+    /// The physical DPU id behind logical DPU `dpu` under
+    /// [`PimConfig::dpu_remap`] (identity when no remap is active).
+    pub fn physical_dpu(&self, dpu: u32) -> u32 {
+        self.dpu_remap.get(dpu as usize).copied().unwrap_or(dpu)
     }
 }
 
@@ -124,6 +173,12 @@ pub struct FaultPlan {
     pub bitflip_rate: f64,
     /// Probability a CPU↔DPU transfer batch times out and is retransmitted.
     pub timeout_rate: f64,
+    /// Probability a DPU's partition output is *silently* corrupted: no
+    /// ECC event, no timeout, no heartbeat loss — the flipped value flows
+    /// into the host merge unless the ABFT merge guard
+    /// ([`ResiliencePolicy::verify_merges`]) catches it.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub silent_flip_rate: f64,
     /// How the host reacts to detected faults.
     pub policy: ResiliencePolicy,
 }
@@ -137,6 +192,7 @@ impl Default for FaultPlan {
             straggler_multiplier: 1.5,
             bitflip_rate: 0.0,
             timeout_rate: 0.0,
+            silent_flip_rate: 0.0,
             policy: ResiliencePolicy::default(),
         }
     }
@@ -155,12 +211,20 @@ impl FaultPlan {
         }
     }
 
+    /// A plan injecting *only* silent output corruption at `rate` — every
+    /// detectable fault kind stays off, so any divergence from a clean run
+    /// is attributable to the integrity layer alone.
+    pub fn silent(seed: u64, rate: f64) -> Self {
+        FaultPlan { seed, silent_flip_rate: rate, ..FaultPlan::default() }
+    }
+
     /// Whether every rate is zero (the plan can never fire).
     pub fn is_inert(&self) -> bool {
         self.dpu_loss_rate == 0.0
             && self.straggler_rate == 0.0
             && self.bitflip_rate == 0.0
             && self.timeout_rate == 0.0
+            && self.silent_flip_rate == 0.0
     }
 
     /// Validates rates and the straggler multiplier.
@@ -174,6 +238,7 @@ impl FaultPlan {
             ("straggler_rate", self.straggler_rate),
             ("bitflip_rate", self.bitflip_rate),
             ("timeout_rate", self.timeout_rate),
+            ("silent_flip_rate", self.silent_flip_rate),
         ] {
             if !(0.0..=1.0).contains(&rate) {
                 return Err(format!("{name} must be in [0, 1], got {rate}"));
@@ -205,11 +270,26 @@ pub struct ResiliencePolicy {
     /// When `false` (or when no healthy DPU remains), lost partitions are
     /// dropped and the kernel completes `Degraded`.
     pub redistribute: bool,
+    /// Whether the host verifies per-partition ABFT checksums at merge
+    /// time (linear row-sums for plus-times, order-independent frontier
+    /// fingerprints for the tropical/boolean semirings). On a mismatch the
+    /// offending partition is recomputed on a healthy DPU; with
+    /// verification off, silent corruption escapes into merged results.
+    /// Serde note: absent in serialized configs predating the integrity
+    /// layer, where it deserializes to `false` (the old unverified
+    /// behavior); fresh [`Default`] configs verify.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub verify_merges: bool,
 }
 
 impl Default for ResiliencePolicy {
     fn default() -> Self {
-        ResiliencePolicy { max_retries: 3, backoff_base_cycles: 256, redistribute: true }
+        ResiliencePolicy {
+            max_retries: 3,
+            backoff_base_cycles: 256,
+            redistribute: true,
+            verify_merges: true,
+        }
     }
 }
 

@@ -48,9 +48,19 @@
 //!   vertices an incremental recompute seeded versus the full-frontier
 //!   size a from-scratch rerun would have touched). Event-like: outside
 //!   both cycle partitions.
+//! * **Integrity** (`sdc.*`, `quarantine.*`) — the silent-data-corruption
+//!   layer: ABFT merge-time verification of partition outputs and the
+//!   per-DPU health quarantine. Two ledgers: `sdc.detected + sdc.escaped
+//!   == sdc.injected` (with verification enabled `escaped == 0`), and
+//!   `sdc.detected == sdc.corrected` (every detected corruption is
+//!   recomputed on a healthy DPU). The quarantine scoreboard partitions
+//!   the machine: `quarantine.dpus_active + quarantine.dpus_quarantined
+//!   == quarantine.dpus_total`. Event-like: outside both cycle
+//!   partitions (`sdc.recompute_cycles` is informational host-side time,
+//!   not part of the slot/tasklet budgets).
 
 /// Number of distinct counters in the registry.
-pub const NUM_COUNTERS: usize = 69;
+pub const NUM_COUNTERS: usize = 81;
 
 /// Identifier of one observability counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -235,6 +245,45 @@ pub enum CounterId {
     /// [`CounterId::DeltaFrontierSeeded`] this partitions
     /// [`CounterId::DeltaFrontierFull`] with zero remainder.
     DeltaFrontierSaved,
+    /// Partition outputs silently corrupted by the fault plan's
+    /// `SilentFlip` verdicts (no detectable event is raised at injection
+    /// time — only the ABFT merge guard can catch them).
+    SdcInjected,
+    /// Corruptions caught by the merge-time checksum guard. Together with
+    /// [`CounterId::SdcEscaped`] this partitions
+    /// [`CounterId::SdcInjected`] with zero remainder.
+    SdcDetected,
+    /// Detected corruptions repaired by recomputing the partition on a
+    /// healthy DPU. Equal to [`CounterId::SdcDetected`] by construction
+    /// (detection always localizes to one partition, which is re-run).
+    SdcCorrected,
+    /// Corruptions that flowed into merged results unchecked (verification
+    /// disabled). Zero whenever the merge guard is active.
+    SdcEscaped,
+    /// Partition outputs the merge guard verified (clean or corrupt).
+    SdcChecks,
+    /// Simulated DPU cycles spent re-running corrupted partitions on
+    /// healthy stand-ins (informational; charged to the host-side merge
+    /// phase, outside the slot/tasklet cycle partitions).
+    SdcRecomputeCycles,
+    /// Corruption strikes recorded against DPUs by the service health
+    /// scoreboard (one per corrupted partition attributed to a DPU).
+    QuarantineStrikes,
+    /// DPUs moved into quarantine after reaching the strike threshold.
+    QuarantineEvents,
+    /// Serving-plan rebuilds triggered by quarantine changes (the machine
+    /// is re-partitioned over the remaining healthy DPUs).
+    QuarantineReplans,
+    /// Machine size the quarantine scoreboard tracks (healthy +
+    /// quarantined by construction).
+    QuarantineDpusTotal,
+    /// DPUs still eligible for kernel launches. Together with
+    /// [`CounterId::QuarantineDpusQuarantined`] this partitions
+    /// [`CounterId::QuarantineDpusTotal`] with zero remainder.
+    QuarantineDpusActive,
+    /// DPUs excluded from serving plans for exceeding the corruption
+    /// strike threshold.
+    QuarantineDpusQuarantined,
 }
 
 impl CounterId {
@@ -309,7 +358,28 @@ impl CounterId {
         CounterId::DeltaFrontierFull,
         CounterId::DeltaFrontierSeeded,
         CounterId::DeltaFrontierSaved,
+        CounterId::SdcInjected,
+        CounterId::SdcDetected,
+        CounterId::SdcCorrected,
+        CounterId::SdcEscaped,
+        CounterId::SdcChecks,
+        CounterId::SdcRecomputeCycles,
+        CounterId::QuarantineStrikes,
+        CounterId::QuarantineEvents,
+        CounterId::QuarantineReplans,
+        CounterId::QuarantineDpusTotal,
+        CounterId::QuarantineDpusActive,
+        CounterId::QuarantineDpusQuarantined,
     ];
+
+    /// The corruption-outcome ledger (sums to [`CounterId::SdcInjected`]).
+    pub const SDC_OUTCOMES: [CounterId; 2] =
+        [CounterId::SdcDetected, CounterId::SdcEscaped];
+
+    /// The quarantine machine partition (sums to
+    /// [`CounterId::QuarantineDpusTotal`]).
+    pub const QUARANTINE_DPUS: [CounterId; 2] =
+        [CounterId::QuarantineDpusActive, CounterId::QuarantineDpusQuarantined];
 
     /// The effective-edge ledger (sums to
     /// [`CounterId::DeltaEdgesApplied`]).
@@ -449,6 +519,18 @@ impl CounterId {
             CounterId::DeltaFrontierFull => "delta.frontier_full",
             CounterId::DeltaFrontierSeeded => "delta.frontier_seeded",
             CounterId::DeltaFrontierSaved => "delta.frontier_saved",
+            CounterId::SdcInjected => "sdc.injected",
+            CounterId::SdcDetected => "sdc.detected",
+            CounterId::SdcCorrected => "sdc.corrected",
+            CounterId::SdcEscaped => "sdc.escaped",
+            CounterId::SdcChecks => "sdc.checks",
+            CounterId::SdcRecomputeCycles => "sdc.recompute_cycles",
+            CounterId::QuarantineStrikes => "quarantine.strikes",
+            CounterId::QuarantineEvents => "quarantine.events",
+            CounterId::QuarantineReplans => "quarantine.replans",
+            CounterId::QuarantineDpusTotal => "quarantine.dpus_total",
+            CounterId::QuarantineDpusActive => "quarantine.dpus_active",
+            CounterId::QuarantineDpusQuarantined => "quarantine.dpus_quarantined",
         }
     }
 }

@@ -254,6 +254,13 @@ pub struct KernelReport {
     /// missing from the output (see [`crate::faults`]).
     #[cfg_attr(feature = "serde", serde(default))]
     pub degraded: bool,
+    /// Physical ids of DPUs whose outputs failed an ABFT checksum guard at
+    /// merge time (silent corruption detected and corrected by the
+    /// integrity layer). Sorted, deduplicated; empty on clean runs and
+    /// whenever verification is disabled. The serving health scoreboard
+    /// consumes this to build quarantine strikes.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub corrupted_dpus: Vec<u32>,
     /// Per-DPU observability records (empty below
     /// [`crate::config::ObservabilityLevel::PerDpu`]).
     #[cfg_attr(feature = "serde", serde(default))]
@@ -290,6 +297,14 @@ impl KernelReport {
             self.total_instructions,
             self.degraded,
         ));
+        out.push_str("\"corrupted_dpus\":[");
+        for (i, d) in self.corrupted_dpus.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_string());
+        }
+        out.push_str("],");
         out.push_str("\"instr_mix\":{");
         for (i, class) in InstrClass::ALL.iter().enumerate() {
             if i > 0 {
@@ -387,6 +402,14 @@ impl DpuEval {
     pub fn is_lost(&self) -> bool {
         self.lost
     }
+
+    /// Whether this DPU actually executed work (issued at least one
+    /// instruction). Idle partitions cannot be fault sites, so integrity
+    /// guards only admit active, non-lost partitions for corruption and
+    /// verification.
+    pub fn is_active(&self) -> bool {
+        self.instructions > 0
+    }
 }
 
 /// Charges a verdict's recovery cost to a detailed DPU profile, keeping
@@ -452,11 +475,7 @@ impl KernelAccumulator {
             SimFidelity::Full | SimFidelity::Analytic => 1,
             SimFidelity::Sampled(k) => (cfg.num_dpus / k.max(1)).max(1),
         };
-        let faults = cfg
-            .faults
-            .as_ref()
-            .filter(|plan| !plan.is_inert())
-            .map(|plan| FaultEngine::new(plan.clone(), cfg.num_dpus));
+        let faults = FaultEngine::from_config(cfg);
         KernelAccumulator {
             cfg: cfg.clone(),
             faults,
@@ -721,6 +740,10 @@ impl KernelAccumulator {
             },
             total_instructions: self.total_instructions,
             degraded: self.degraded,
+            // Filled in by the merge-time integrity guard
+            // (`alpha_pim::kernel::integrity`), which is the only layer
+            // that can see corrupted output values.
+            corrupted_dpus: Vec::new(),
             dpu_details: self.details,
         }
     }

@@ -21,10 +21,10 @@ use crate::counters::{CounterId, CounterSet};
 
 /// Total backoff wait of `retries` exponential rounds, in simulated cycles
 /// (`base, 2·base, 4·base, …`; the shift is capped so the sum stays finite
-/// for adversarial retry counts).
+/// for adversarial retry counts, and the whole sum saturates at
+/// `u64::MAX` rather than overflowing for adversarial base cycles).
 pub fn backoff_cycles(policy: &ResiliencePolicy, retries: u32) -> u64 {
-    let base = policy.backoff_base_cycles;
-    (0..retries).map(|i| base << i.min(16)).sum()
+    crate::faults::saturating_backoff(policy.backoff_base_cycles, retries)
 }
 
 /// Wall-clock seconds a transfer timeout adds: each retry re-sends the
@@ -168,6 +168,16 @@ mod tests {
         let p = policy();
         // 64 rounds would otherwise shift past the word width.
         assert!(backoff_cycles(&p, 64) > backoff_cycles(&p, 32));
+    }
+
+    #[test]
+    fn backoff_never_overflows_for_extreme_policies() {
+        let mut p = policy();
+        p.backoff_base_cycles = u64::MAX;
+        assert_eq!(backoff_cycles(&p, u32::MAX), u64::MAX);
+        assert_eq!(backoff_cycles(&p, 0), 0);
+        p.backoff_base_cycles = 1 << 62;
+        assert_eq!(backoff_cycles(&p, 100), u64::MAX);
     }
 
     #[test]

@@ -62,11 +62,7 @@ impl PimSystem {
     /// configurations (zero DPUs, more than 24 tasklets, …).
     pub fn new(cfg: PimConfig) -> Result<Self, String> {
         cfg.validate()?;
-        let faults = cfg
-            .faults
-            .as_ref()
-            .filter(|plan| !plan.is_inert())
-            .map(|plan| FaultEngine::new(plan.clone(), cfg.num_dpus));
+        let faults = FaultEngine::from_config(&cfg);
         Ok(PimSystem { cfg, energy: EnergyModel::default(), faults })
     }
 

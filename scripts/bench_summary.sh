@@ -29,6 +29,8 @@ for f in "${files[@]}"; do
                 "\(.throughput_multiplier)x analytic vs replay, \(.queries) queries"
             elif .max_rel_error != null then
                 "max rel err \((.max_rel_error * 10000 | round) / 100)% over \(.cases | length) pairs"
+            elif .escaped_unverified != null then
+                "sdc \(.injected) injected / \(.escaped) escaped verified (\(.escaped_unverified) unverified) over \(.cases | length) cases"
             elif .saved_fraction != null then
                 "frontier saved \((.saved_fraction * 10000 | round) / 100)%, \(.epochs) epochs x \(.ops_per_epoch) ops on \(.graph)"
             elif .speedup != null and .broadcast_bytes_saved != null then

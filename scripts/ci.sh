@@ -30,32 +30,71 @@ echo "==> fault audit (ledger/partition invariants + app-level chaos suite)"
 cargo test -q --offline --release -p alpha-pim-sim --test fault_invariants
 cargo test -q --offline --release -p alpha-pim-bench --test chaos
 
+echo "==> integrity audit (ABFT merge guard, silent-corruption ledgers, quarantine)"
+cargo test -q --offline --release -p alpha-pim-bench --test integrity
+
 echo "==> perfsmoke (parallel replay: bit-identical reports + speedup)"
 cargo run --release --offline -p alpha-pim-bench --bin perfsmoke
 echo "==> BENCH_parallel_sim.json:"
 cat BENCH_parallel_sim.json
 
-echo "==> panic-free lint (no unwrap/expect/panic in ingestion + serve paths)"
-# Library code that parses untrusted input or serves queries must return
-# typed errors, never panic. Test modules (everything from the first
-# `#[cfg(test)]` line down) are exempt.
+echo "==> panic-free lint (typed errors, never panics, every sparse + core source)"
+# Library code must return typed errors, never panic. Test modules
+# (everything from the first `#[cfg(test)]` line down) are exempt. Hard
+# panic paths (unwrap / panic! / unreachable! / todo! / unimplemented!)
+# are banned in every non-test source below crates/sparse/src and
+# crates/core/src; `.expect(...)` is additionally banned except in the
+# files listed here, where every use documents an internal invariant the
+# surrounding code establishes (bounds already validated, indices
+# constructed unique, ...). Extend the list only with an expect message
+# that names its invariant.
+INVARIANT_EXPECT_OK="
+crates/core/src/adaptive.rs
+crates/core/src/apps/bfs.rs
+crates/core/src/apps/kcore.rs
+crates/core/src/apps/ppr.rs
+crates/core/src/apps/sssp.rs
+crates/core/src/apps/triangles.rs
+crates/core/src/apps/wcc.rs
+crates/core/src/apps/widest.rs
+crates/core/src/cost_model.rs
+crates/core/src/gblas.rs
+crates/core/src/kernel/integrity.rs
+crates/core/src/kernel/layout.rs
+crates/sparse/src/coo.rs
+crates/sparse/src/csc.rs
+crates/sparse/src/csr.rs
+crates/sparse/src/gen/mod.rs
+crates/sparse/src/gen/models.rs
+crates/sparse/src/graph.rs
+crates/sparse/src/partition.rs
+crates/sparse/src/reorder.rs
+"
 panic_lint() {
-    local file="$1"
-    local body
+    local file="$1" mode="$2"
+    local body pattern
+    pattern='\.unwrap\(\)|panic!|unreachable!|todo!|unimplemented!'
+    if [ "$mode" = strict ]; then
+        pattern="$pattern"'|\.expect\('
+    fi
     body="$(sed '/#\[cfg(test)\]/,$d' "$file")"
-    if printf '%s\n' "$body" | grep -nE '\.unwrap\(\)|\.expect\(|panic!|unreachable!|todo!|unimplemented!' ; then
+    if printf '%s\n' "$body" | grep -nE "$pattern"; then
         echo "FAIL: panic path in non-test code of $file" >&2
         return 1
     fi
 }
-panic_lint crates/sparse/src/mtx.rs
-panic_lint crates/sparse/src/datasets.rs
-panic_lint crates/core/src/serve.rs
-panic_lint crates/core/src/recover.rs
-panic_lint crates/core/src/service.rs
-panic_lint crates/sparse/src/delta.rs
-panic_lint crates/core/src/delta.rs
-echo "panic-free lint ok"
+LINTED=0
+for f in $(find crates/sparse/src crates/core/src -name '*.rs' | sort); do
+    mode=strict
+    case "$INVARIANT_EXPECT_OK" in
+        *"
+$f
+"*) mode=invariant-expects ;;
+    esac
+    panic_lint "$f" "$mode"
+    LINTED=$((LINTED + 1))
+done
+echo "panic-free lint ok ($LINTED files)"
 
 echo "==> calibration audit (analytic fast path vs exact replay, 13 graphs x 3 apps)"
 # Fails if any graph x app pair exceeds the 5% relative makespan error
@@ -66,6 +105,15 @@ cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
     --json BENCH_calibration.json
 echo "==> BENCH_calibration.json summary:"
 grep -o '"max_rel_error": [0-9.]*' BENCH_calibration.json
+
+echo "==> sdc audit (seeded silent-corruption sweep, 13 graphs x 3 apps, 1 vs 4 threads)"
+# The CLI gate exits non-zero on any escaped corruption, any sdc.* ledger
+# remainder, or any corrected answer that is not bit-identical to the
+# fault-free run.
+cargo run --release --offline -p alpha-pim-bench --bin alpha_pim_cli -- \
+    sdc all --scale 0.02 --dpus 64 --flip-rate 0.08 --json BENCH_sdc_audit.json
+echo "==> BENCH_sdc_audit.json summary:"
+grep -o '"injected": [0-9]*\|"escaped": [0-9]*\|"escaped_unverified": [0-9]*\|"passes": [a-z]*' BENCH_sdc_audit.json
 
 echo "==> crash recovery audit (checkpoint/restore bit-identity sweep)"
 cargo test -q --offline --release -p alpha-pim-bench --test crash_recovery

@@ -4,10 +4,12 @@
 //! walk shows up here as a diff against the frozen fingerprint — update
 //! the constants only when the model change is intentional.
 //!
-//! Last regeneration: the counter registry grew the twelve `delta.*`
-//! dynamic-graph ledgers, which static kernel runs never touch — every
-//! golden gained the same block of `delta.*=0` lines and nothing else
-//! moved.
+//! Last regeneration: the counter registry grew the six `sdc.*`
+//! silent-corruption ledgers and the six `quarantine.*` scoreboard
+//! counters. Neither fires here — the clean systems carry no fault plan
+//! and the faulty plan's `silent_flip_rate` is zero, so the ABFT merge
+//! guard stays inert — and every golden gained the same trailing block of
+//! `sdc.*=0` / `quarantine.*=0` lines with nothing else moving.
 
 use alpha_pim::semiring::BoolOrAnd;
 use alpha_pim::{MultiVector, PreparedSpmm, PreparedSpmspv, PreparedSpmv, SpmspvVariant, SpmvVariant};
@@ -42,6 +44,7 @@ fn faulty_system() -> PimSystem {
             straggler_multiplier: 1.5,
             bitflip_rate: 0.10,
             timeout_rate: 0.25,
+            silent_flip_rate: 0.0,
             policy: ResiliencePolicy::default(),
         }),
         ..Default::default()
@@ -261,7 +264,19 @@ delta.partitions_dirty=0
 delta.partitions_clean=0
 delta.frontier_full=0
 delta.frontier_seeded=0
-delta.frontier_saved=0";
+delta.frontier_saved=0
+sdc.injected=0
+sdc.detected=0
+sdc.corrected=0
+sdc.escaped=0
+sdc.checks=0
+sdc.recompute_cycles=0
+quarantine.strikes=0
+quarantine.events=0
+quarantine.replans=0
+quarantine.dpus_total=0
+quarantine.dpus_active=0
+quarantine.dpus_quarantined=0";
 
 const SPMSPV_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=20107 instr=77984
@@ -335,7 +350,19 @@ delta.partitions_dirty=0
 delta.partitions_clean=0
 delta.frontier_full=0
 delta.frontier_seeded=0
-delta.frontier_saved=0";
+delta.frontier_saved=0
+sdc.injected=0
+sdc.detected=0
+sdc.corrected=0
+sdc.escaped=0
+sdc.checks=0
+sdc.recompute_cycles=0
+quarantine.strikes=0
+quarantine.events=0
+quarantine.replans=0
+quarantine.dpus_total=0
+quarantine.dpus_active=0
+quarantine.dpus_quarantined=0";
 
 const SPMM_GOLDEN: &str = "\
 num_dpus=16 detailed=16 max_cycles=67835 instr=762288
@@ -409,7 +436,19 @@ delta.partitions_dirty=0
 delta.partitions_clean=0
 delta.frontier_full=0
 delta.frontier_seeded=0
-delta.frontier_saved=0";
+delta.frontier_saved=0
+sdc.injected=0
+sdc.detected=0
+sdc.corrected=0
+sdc.escaped=0
+sdc.checks=0
+sdc.recompute_cycles=0
+quarantine.strikes=0
+quarantine.events=0
+quarantine.replans=0
+quarantine.dpus_total=0
+quarantine.dpus_active=0
+quarantine.dpus_quarantined=0";
 
 const SPMV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -484,7 +523,19 @@ delta.partitions_dirty=0
 delta.partitions_clean=0
 delta.frontier_full=0
 delta.frontier_seeded=0
-delta.frontier_saved=0";
+delta.frontier_saved=0
+sdc.injected=0
+sdc.detected=0
+sdc.corrected=0
+sdc.escaped=0
+sdc.checks=0
+sdc.recompute_cycles=0
+quarantine.strikes=0
+quarantine.events=0
+quarantine.replans=0
+quarantine.dpus_total=0
+quarantine.dpus_active=0
+quarantine.dpus_quarantined=0";
 
 const SPMSPV_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -559,7 +610,19 @@ delta.partitions_dirty=0
 delta.partitions_clean=0
 delta.frontier_full=0
 delta.frontier_seeded=0
-delta.frontier_saved=0";
+delta.frontier_saved=0
+sdc.injected=0
+sdc.detected=0
+sdc.corrected=0
+sdc.escaped=0
+sdc.checks=0
+sdc.recompute_cycles=0
+quarantine.strikes=0
+quarantine.events=0
+quarantine.replans=0
+quarantine.dpus_total=0
+quarantine.dpus_active=0
+quarantine.dpus_quarantined=0";
 
 const SPMM_FAULTY_GOLDEN: &str = "\
 degraded=false
@@ -634,4 +697,16 @@ delta.partitions_dirty=0
 delta.partitions_clean=0
 delta.frontier_full=0
 delta.frontier_seeded=0
-delta.frontier_saved=0";
+delta.frontier_saved=0
+sdc.injected=0
+sdc.detected=0
+sdc.corrected=0
+sdc.escaped=0
+sdc.checks=0
+sdc.recompute_cycles=0
+quarantine.strikes=0
+quarantine.events=0
+quarantine.replans=0
+quarantine.dpus_total=0
+quarantine.dpus_active=0
+quarantine.dpus_quarantined=0";

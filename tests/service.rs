@@ -91,6 +91,7 @@ fn scenario(seed: u64, count: usize, catalog_nodes: &[u32]) -> (ServiceConfig, V
         tenants,
         queue_capacity,
         deadline_budget_cycles,
+        quarantine_threshold: None,
         serve: ServeConfig { batch_size, fast_path: FastPath::Analytic, ..Default::default() },
     };
     (config, workload, graphs_used)
@@ -184,6 +185,7 @@ fn burst_scenario(seed: u64, per_tenant: usize) -> (ServiceConfig, Vec<Arrival>)
         tenants,
         queue_capacity: 4096,
         deadline_budget_cycles: None,
+        quarantine_threshold: None,
         serve: ServeConfig { batch_size: 4, fast_path: FastPath::Analytic, ..Default::default() },
     };
     (config, workload)
